@@ -1,0 +1,85 @@
+// Command peabench regenerates the paper's evaluation (§6): Table 1 for
+// the DaCapo, ScalaDaCapo and SPECjbb2005 workload suites, the lock
+// operation observations of §6.1, and the flow-insensitive-EA vs PEA
+// comparison of §6.2.
+//
+// Usage:
+//
+//	peabench [-suite dacapo|scaladacapo|specjbb|all] [-mode pea|ea]
+//	         [-compare] [-locks] [-full] [-warmup N] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pea/internal/bench"
+	"pea/internal/vm"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "suite to run: dacapo, scaladacapo, specjbb, or all")
+	mode := flag.String("mode", "pea", "analysis to compare against the no-EA baseline: pea or ea")
+	compare := flag.Bool("compare", false, "run the section-6.2 EA vs PEA comparison instead of Table 1")
+	ablate := flag.Bool("ablate", false, "run the ablation study over PEA's design choices")
+	locks := flag.Bool("locks", false, "also print monitor-operation changes (section 6.1)")
+	full := flag.Bool("full", false, "include the DaCapo rows the paper omits from Table 1")
+	warmup := flag.Int("warmup", bench.DefaultRuns.Warmup, "warmup iterations per benchmark")
+	iters := flag.Int("iters", bench.DefaultRuns.Iters, "measured iterations per benchmark")
+	flag.Parse()
+
+	rc := bench.RunConfig{Warmup: *warmup, Iters: *iters}
+
+	if *ablate {
+		rs, err := bench.RunAblation()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatAblation(rs))
+		return
+	}
+
+	if *compare {
+		cs, err := bench.RunComparison(rc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatComparison(cs))
+		fmt.Println("\npaper section 6.2: DaCapo 0.9% vs 2.2%, ScalaDaCapo 7.4% vs 10.4%, SPECjbb2005 5.4% vs 8.7%")
+		return
+	}
+
+	var m vm.EAMode
+	switch *mode {
+	case "pea":
+		m = vm.EAPartial
+	case "ea":
+		m = vm.EAFlowInsensitive
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	suites := []string{*suite}
+	if *suite == "all" {
+		suites = bench.SuiteNames()
+	}
+	for _, s := range suites {
+		rows, err := bench.RunSuite(s, m, rc)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("Table 1 (%s, without vs with %s)", s, *mode)
+		fmt.Print(bench.FormatTable1(title, rows, !*full))
+		if *locks {
+			fmt.Println()
+			fmt.Print(bench.FormatLockTable(rows))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command peavm compiles and runs a MiniJava program on the PEA VM: an
+// interpreter with a JIT whose escape analysis configuration is selectable
+// (none, flow-insensitive, or the paper's Partial Escape Analysis), with
+// optional speculative branch pruning and deoptimization.
+//
+// Usage:
+//
+//	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S] prog.mj
+//
+// The program must define a static Main.main method. Printed values go to
+// stdout, one per line. With -stats the VM reports allocation, monitor,
+// compilation and deoptimization counters to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pea/internal/mj"
+	"pea/internal/vm"
+)
+
+func main() {
+	eaMode := flag.String("ea", "pea", "escape analysis: off, ea (flow-insensitive), or pea")
+	speculate := flag.Bool("speculate", false, "enable speculative branch pruning with deoptimization")
+	interpret := flag.Bool("interpret", false, "disable the JIT entirely")
+	runs := flag.Int("runs", 1, "number of times to run Main.main (later runs execute compiled code)")
+	stats := flag.Bool("stats", false, "print VM statistics to stderr")
+	seed := flag.Uint64("seed", 1, "PRNG seed for the rand() intrinsic")
+	threshold := flag.Int64("threshold", 20, "JIT compile threshold (invocations)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: peavm [flags] prog.mj")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := mj.Compile(string(src), "Main.main")
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := vm.Options{
+		Speculate:        *speculate,
+		Interpret:        *interpret,
+		Seed:             *seed,
+		CompileThreshold: *threshold,
+	}
+	switch *eaMode {
+	case "off":
+		opts.EA = vm.EAOff
+	case "ea":
+		opts.EA = vm.EAFlowInsensitive
+	case "pea":
+		opts.EA = vm.EAPartial
+	default:
+		fatal(fmt.Errorf("unknown -ea mode %q", *eaMode))
+	}
+
+	machine := vm.New(prog, opts)
+	for i := 0; i < *runs; i++ {
+		if _, err := machine.Run(); err != nil {
+			fatal(err)
+		}
+	}
+	for _, v := range machine.Env.Output {
+		fmt.Println(v)
+	}
+	if *stats {
+		s := machine.Env.Stats
+		fmt.Fprintf(os.Stderr, "allocations:      %d (%d bytes)\n", s.Allocations, s.AllocatedBytes)
+		fmt.Fprintf(os.Stderr, "monitor ops:      %d\n", s.MonitorOps)
+		fmt.Fprintf(os.Stderr, "field loads/stores: %d/%d\n", s.FieldLoads, s.FieldStores)
+		fmt.Fprintf(os.Stderr, "materializations: %d\n", s.Materializations)
+		fmt.Fprintf(os.Stderr, "deoptimizations:  %d\n", s.Deopts)
+		fmt.Fprintf(os.Stderr, "compiled methods: %d (invalidated %d)\n",
+			machine.VMStats.CompiledMethods, machine.VMStats.InvalidatedMethods)
+		fmt.Fprintf(os.Stderr, "model cycles:     %d\n", machine.Env.Cycles)
+		for m, cerr := range machine.FailedCompilations() {
+			fmt.Fprintf(os.Stderr, "compile failure:  %s: %v\n", m.QualifiedName(), cerr)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peavm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Cachekey walks through the paper's running example (Listings 1–6): a
+// Key object that escapes only on the cache-miss branch. It runs the same
+// program under the plain JIT, the flow-insensitive escape analysis
+// baseline, and Partial Escape Analysis, showing that only PEA removes the
+// hot-path allocation and the synchronization, and prints the optimized IR
+// of getValue (the textual equivalent of the paper's Listing 6).
+//
+//	go run ./examples/cachekey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pea/internal/build"
+	"pea/internal/ir"
+	"pea/internal/mj"
+	"pea/internal/opt"
+	"pea/internal/pea"
+	"pea/internal/rt"
+	"pea/internal/vm"
+)
+
+// listing1 is the paper's Listing 1 in MiniJava: getValue allocates a Key,
+// compares it against the cached key under the key's monitor (the inlined
+// synchronized equals of Listing 2), and publishes it only on a miss.
+const listing1 = `
+class Key {
+	int idx;
+	Key(int idx) { this.idx = idx; }
+	boolean equalsKey(Key other) {
+		synchronized (this) {
+			return other != null && idx == other.idx;
+		}
+	}
+}
+class Cache {
+	static Key cacheKey;
+	static int cacheValue;
+}
+class Main {
+	static int createValue(int idx) { return idx * 31; }
+	static int getValue(int idx) {
+		Key key = new Key(idx);
+		if (key.equalsKey(Cache.cacheKey)) {
+			return Cache.cacheValue;
+		} else {
+			Cache.cacheKey = key;
+			Cache.cacheValue = createValue(idx);
+			return Cache.cacheValue;
+		}
+	}
+	static void main() {
+		int s = 0;
+		for (int i = 0; i < 400; i++) {
+			s += getValue(i / 16);   // 16 hits per miss
+		}
+		print(s);
+	}
+}
+`
+
+func measure(mode vm.EAMode) (*vm.VM, rt.Stats) {
+	prog, err := mj.Compile(listing1, "Main.main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := vm.New(prog, vm.Options{EA: mode, CompileThreshold: 5})
+	for i := 0; i < 10; i++ { // warmup: interpret, then compile
+		if _, err := machine.Run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := machine.Env.Stats
+	for i := 0; i < 5; i++ { // steady state
+		if _, err := machine.Run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return machine, machine.Env.Stats.Sub(before)
+}
+
+func main() {
+	_, base := measure(vm.EAOff)
+	_, eaStats := measure(vm.EAFlowInsensitive)
+	_, peaStats := measure(vm.EAPartial)
+
+	fmt.Println("getValue is called 2000 times (400 calls x 5 runs); 25 distinct keys per run miss.")
+	fmt.Printf("%-28s %10s %10s %10s\n", "", "no EA", "EA (6.2)", "PEA")
+	fmt.Printf("%-28s %10d %10d %10d\n", "Key allocations", base.Allocations, eaStats.Allocations, peaStats.Allocations)
+	fmt.Printf("%-28s %10d %10d %10d\n", "allocated bytes", base.AllocatedBytes, eaStats.AllocatedBytes, peaStats.AllocatedBytes)
+	fmt.Printf("%-28s %10d %10d %10d\n", "monitor operations", base.MonitorOps, eaStats.MonitorOps, peaStats.MonitorOps)
+	fmt.Println()
+	fmt.Println("The flow-insensitive baseline cannot touch the Key: it escapes on ONE branch,")
+	fmt.Println("so the all-or-nothing analysis gives up. Partial Escape Analysis allocates only")
+	fmt.Println("on actual misses and removes the synchronization entirely (paper Listings 4-6).")
+	fmt.Println()
+
+	// Show the optimized IR of getValue — the shape of Listing 6.
+	prog, err := mj.Compile(listing1, "Main.main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := prog.ClassByName("Main").MethodByName("getValue")
+	g, err := build.Build(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := &opt.Pipeline{Phases: []opt.Phase{
+		&opt.Inliner{BuildGraph: build.Build, Program: prog},
+		opt.Canonicalize{}, opt.SimplifyCFG{}, opt.GVN{}, opt.DCE{},
+	}}
+	if err := pipe.Run(g); err != nil {
+		log.Fatal(err)
+	}
+	res, err := pea.Run(g, pea.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	post := opt.Standard()
+	if err := post.Run(g); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IR of getValue after PEA (%d alloc virtualized, %d monitors elided, %d materialization sites):\n\n",
+		res.VirtualizedAllocs, res.ElidedMonitors, res.MaterializeSites)
+	fmt.Println(ir.Dump(g))
+}

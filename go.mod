@@ -1,0 +1,3 @@
+module pea
+
+go 1.24

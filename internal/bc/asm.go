@@ -1,0 +1,355 @@
+package bc
+
+import "fmt"
+
+// Assembler builds a Program from class and method declarations. Code is
+// emitted through MethodAsm, which supports forward branch labels. Call
+// Finish to link and verify the whole program.
+//
+// Typical use:
+//
+//	a := bc.NewAssembler()
+//	key := a.Class("Key", nil)
+//	key.Field("idx", bc.KindInt)
+//	m := key.Method("getIdx", nil, bc.KindInt, false)
+//	m.Load(0).GetField(key.FieldRef("idx")).ReturnValue()
+//	prog, err := a.Finish("Main.main")
+type Assembler struct {
+	classes []*ClassAsm
+	err     error
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler { return &Assembler{} }
+
+// ClassAsm builds one class.
+type ClassAsm struct {
+	a   *Assembler
+	c   *Class
+	ms  []*MethodAsm
+	sup string // super class name, resolved at Finish
+}
+
+// MethodAsm builds one method's code with label support.
+type MethodAsm struct {
+	ca     *ClassAsm
+	m      *Method
+	labels map[string]int   // label -> pc
+	fixups map[string][]int // label -> pcs of branches to patch
+	line   int
+}
+
+// Class declares a class. superName is "" for no superclass.
+func (a *Assembler) Class(name string, superName string) *ClassAsm {
+	ca := &ClassAsm{a: a, c: &Class{Name: name}, sup: superName}
+	a.classes = append(a.classes, ca)
+	return ca
+}
+
+func (a *Assembler) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Field declares an instance field and returns it.
+func (ca *ClassAsm) Field(name string, kind Kind) *Field {
+	f := &Field{Class: ca.c, Name: name, Kind: kind}
+	ca.c.Fields = append(ca.c.Fields, f)
+	return f
+}
+
+// Static declares a static field and returns it.
+func (ca *ClassAsm) Static(name string, kind Kind) *Field {
+	f := &Field{Class: ca.c, Name: name, Kind: kind, Static: true}
+	ca.c.Statics = append(ca.c.Statics, f)
+	return f
+}
+
+// Name returns the class name being assembled.
+func (ca *ClassAsm) Name() string { return ca.c.Name }
+
+// Ref returns the (partially built) class for use as an instruction operand.
+// Field offsets and the vtable are only valid after Finish.
+func (ca *ClassAsm) Ref() *Class { return ca.c }
+
+// Method declares a method. For instance methods (static=false) local slot 0
+// is the receiver and parameters occupy the following slots.
+func (ca *ClassAsm) Method(name string, params []Kind, ret Kind, static bool) *MethodAsm {
+	m := &Method{
+		Class:  ca.c,
+		Name:   name,
+		Params: append([]Kind(nil), params...),
+		Ret:    ret,
+		Static: static,
+	}
+	if !static {
+		m.LocalKinds = append(m.LocalKinds, KindRef)
+	}
+	m.LocalKinds = append(m.LocalKinds, params...)
+	ca.c.Methods = append(ca.c.Methods, m)
+	ma := &MethodAsm{
+		ca:     ca,
+		m:      m,
+		labels: make(map[string]int),
+		fixups: make(map[string][]int),
+	}
+	ca.ms = append(ca.ms, ma)
+	return ma
+}
+
+// Ref returns the method under construction for use as a call operand.
+func (ma *MethodAsm) Ref() *Method { return ma.m }
+
+// NewLocal reserves a fresh local slot of the given kind and returns its
+// index.
+func (ma *MethodAsm) NewLocal(k Kind) int {
+	s := len(ma.m.LocalKinds)
+	ma.m.LocalKinds = append(ma.m.LocalKinds, k)
+	return s
+}
+
+// SetLine records the source line attached to subsequently emitted
+// instructions (0 disables).
+func (ma *MethodAsm) SetLine(line int) *MethodAsm { ma.line = line; return ma }
+
+func (ma *MethodAsm) emit(in Instr) *MethodAsm {
+	in.Line = ma.line
+	ma.m.Code = append(ma.m.Code, in)
+	return ma
+}
+
+// Label binds the given label name to the next instruction's pc.
+func (ma *MethodAsm) Label(name string) *MethodAsm {
+	if _, dup := ma.labels[name]; dup {
+		ma.ca.a.fail("bc: duplicate label %q in %s", name, ma.m.QualifiedName())
+		return ma
+	}
+	ma.labels[name] = len(ma.m.Code)
+	return ma
+}
+
+func (ma *MethodAsm) branchTo(op Op, cond Cond, label string) *MethodAsm {
+	pc := len(ma.m.Code)
+	ma.emit(Instr{Op: op, Cond: cond, A: -1})
+	ma.fixups[label] = append(ma.fixups[label], pc)
+	return ma
+}
+
+// Const pushes an integer constant.
+func (ma *MethodAsm) Const(v int64) *MethodAsm { return ma.emit(Instr{Op: OpConst, A: v}) }
+
+// ConstNull pushes null.
+func (ma *MethodAsm) ConstNull() *MethodAsm { return ma.emit(Instr{Op: OpConstNull}) }
+
+// Load pushes local slot s.
+func (ma *MethodAsm) Load(s int) *MethodAsm { return ma.emit(Instr{Op: OpLoad, A: int64(s)}) }
+
+// Store pops into local slot s.
+func (ma *MethodAsm) Store(s int) *MethodAsm { return ma.emit(Instr{Op: OpStore, A: int64(s)}) }
+
+// Pop discards the top of stack.
+func (ma *MethodAsm) Pop() *MethodAsm { return ma.emit(Instr{Op: OpPop}) }
+
+// Dup duplicates the top of stack.
+func (ma *MethodAsm) Dup() *MethodAsm { return ma.emit(Instr{Op: OpDup}) }
+
+// Swap swaps the top two stack values.
+func (ma *MethodAsm) Swap() *MethodAsm { return ma.emit(Instr{Op: OpSwap}) }
+
+// Arith emits an arithmetic op (OpAdd..OpNeg).
+func (ma *MethodAsm) Arith(op Op) *MethodAsm { return ma.emit(Instr{Op: op}) }
+
+// Add emits integer addition.
+func (ma *MethodAsm) Add() *MethodAsm { return ma.emit(Instr{Op: OpAdd}) }
+
+// Sub emits integer subtraction.
+func (ma *MethodAsm) Sub() *MethodAsm { return ma.emit(Instr{Op: OpSub}) }
+
+// Mul emits integer multiplication.
+func (ma *MethodAsm) Mul() *MethodAsm { return ma.emit(Instr{Op: OpMul}) }
+
+// Div emits integer division.
+func (ma *MethodAsm) Div() *MethodAsm { return ma.emit(Instr{Op: OpDiv}) }
+
+// Rem emits integer remainder.
+func (ma *MethodAsm) Rem() *MethodAsm { return ma.emit(Instr{Op: OpRem}) }
+
+// Neg emits integer negation.
+func (ma *MethodAsm) Neg() *MethodAsm { return ma.emit(Instr{Op: OpNeg}) }
+
+// Cmp pushes the boolean result of comparing the two top ints.
+func (ma *MethodAsm) Cmp(c Cond) *MethodAsm { return ma.emit(Instr{Op: OpCmp, Cond: c}) }
+
+// Goto jumps to the label.
+func (ma *MethodAsm) Goto(label string) *MethodAsm { return ma.branchTo(OpGoto, CondEQ, label) }
+
+// IfCmp pops two ints and branches to the label if the condition holds.
+func (ma *MethodAsm) IfCmp(c Cond, label string) *MethodAsm { return ma.branchTo(OpIfCmp, c, label) }
+
+// If pops one int and branches if it compares to zero under c.
+func (ma *MethodAsm) If(c Cond, label string) *MethodAsm { return ma.branchTo(OpIf, c, label) }
+
+// IfRef pops two refs and branches on identity (CondEQ) or distinctness.
+func (ma *MethodAsm) IfRef(c Cond, label string) *MethodAsm { return ma.branchTo(OpIfRef, c, label) }
+
+// IfNull pops a ref and branches if it is null (CondEQ) or non-null (CondNE).
+func (ma *MethodAsm) IfNull(c Cond, label string) *MethodAsm { return ma.branchTo(OpIfNull, c, label) }
+
+// New allocates an instance of class c.
+func (ma *MethodAsm) New(c *Class) *MethodAsm { return ma.emit(Instr{Op: OpNew, Class: c}) }
+
+// NewArray pops a length and allocates an array of the given element kind.
+func (ma *MethodAsm) NewArray(k Kind) *MethodAsm { return ma.emit(Instr{Op: OpNewArray, Kind: k}) }
+
+// GetField pops a receiver and pushes the field value.
+func (ma *MethodAsm) GetField(f *Field) *MethodAsm {
+	return ma.emit(Instr{Op: OpGetField, Field: f, Class: f.Class})
+}
+
+// PutField pops value then receiver and stores the field.
+func (ma *MethodAsm) PutField(f *Field) *MethodAsm {
+	return ma.emit(Instr{Op: OpPutField, Field: f, Class: f.Class})
+}
+
+// GetStatic pushes a static field value.
+func (ma *MethodAsm) GetStatic(f *Field) *MethodAsm {
+	return ma.emit(Instr{Op: OpGetStatic, Field: f, Class: f.Class})
+}
+
+// PutStatic pops a value into a static field.
+func (ma *MethodAsm) PutStatic(f *Field) *MethodAsm {
+	return ma.emit(Instr{Op: OpPutStatic, Field: f, Class: f.Class})
+}
+
+// ArrayLoad pops index and array and pushes the element of the given kind.
+func (ma *MethodAsm) ArrayLoad(k Kind) *MethodAsm { return ma.emit(Instr{Op: OpArrayLoad, Kind: k}) }
+
+// ArrayStore pops value, index, array and stores the element.
+func (ma *MethodAsm) ArrayStore(k Kind) *MethodAsm { return ma.emit(Instr{Op: OpArrayStore, Kind: k}) }
+
+// ArrayLen pops an array and pushes its length.
+func (ma *MethodAsm) ArrayLen() *MethodAsm { return ma.emit(Instr{Op: OpArrayLen}) }
+
+// InstanceOf pops a ref and pushes whether it is an instance of c.
+func (ma *MethodAsm) InstanceOf(c *Class) *MethodAsm {
+	return ma.emit(Instr{Op: OpInstanceOf, Class: c})
+}
+
+// InvokeStatic calls a static method.
+func (ma *MethodAsm) InvokeStatic(m *Method) *MethodAsm {
+	return ma.emit(Instr{Op: OpInvokeStatic, Method: m})
+}
+
+// InvokeDirect calls an instance method without dynamic dispatch.
+func (ma *MethodAsm) InvokeDirect(m *Method) *MethodAsm {
+	return ma.emit(Instr{Op: OpInvokeDirect, Method: m})
+}
+
+// InvokeVirtual calls an instance method with vtable dispatch.
+func (ma *MethodAsm) InvokeVirtual(m *Method) *MethodAsm {
+	return ma.emit(Instr{Op: OpInvokeVirtual, Method: m})
+}
+
+// MonitorEnter pops a ref and acquires its monitor.
+func (ma *MethodAsm) MonitorEnter() *MethodAsm { return ma.emit(Instr{Op: OpMonitorEnter}) }
+
+// MonitorExit pops a ref and releases its monitor.
+func (ma *MethodAsm) MonitorExit() *MethodAsm { return ma.emit(Instr{Op: OpMonitorExit}) }
+
+// Return returns void.
+func (ma *MethodAsm) Return() *MethodAsm { return ma.emit(Instr{Op: OpReturn}) }
+
+// ReturnValue pops and returns the top of stack.
+func (ma *MethodAsm) ReturnValue() *MethodAsm { return ma.emit(Instr{Op: OpReturnValue}) }
+
+// Throw pops a ref and aborts execution.
+func (ma *MethodAsm) Throw() *MethodAsm { return ma.emit(Instr{Op: OpThrow}) }
+
+// Print pops an int and appends it to the VM output.
+func (ma *MethodAsm) Print() *MethodAsm { return ma.emit(Instr{Op: OpPrint}) }
+
+// Rand pushes a deterministic pseudo-random int in [0, mod) (mod > 0), or
+// the raw 63-bit value if mod is 0.
+func (ma *MethodAsm) Rand(mod int64) *MethodAsm { return ma.emit(Instr{Op: OpRand, A: mod}) }
+
+func (ma *MethodAsm) finish() error {
+	for label, pcs := range ma.fixups {
+		target, ok := ma.labels[label]
+		if !ok {
+			return fmt.Errorf("bc: undefined label %q in %s", label, ma.m.QualifiedName())
+		}
+		for _, pc := range pcs {
+			ma.m.Code[pc].A = int64(target)
+		}
+	}
+	return nil
+}
+
+// Finish resolves superclasses and labels, links the program, verifies every
+// method, and returns the program. mainName is "Class.method" naming a
+// static method to use as the entry point; it may be "" when the program is
+// only a library of methods (e.g. in compiler unit tests).
+func (a *Assembler) Finish(mainName string) (*Program, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	p := &Program{}
+	byName := make(map[string]*Class, len(a.classes))
+	for _, ca := range a.classes {
+		p.Classes = append(p.Classes, ca.c)
+		byName[ca.c.Name] = ca.c
+	}
+	for _, ca := range a.classes {
+		if ca.sup != "" {
+			sup, ok := byName[ca.sup]
+			if !ok {
+				return nil, fmt.Errorf("bc: class %s extends unknown class %s", ca.c.Name, ca.sup)
+			}
+			ca.c.Super = sup
+		}
+	}
+	for _, ca := range a.classes {
+		for _, ma := range ca.ms {
+			if err := ma.finish(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.link(); err != nil {
+		return nil, err
+	}
+	if mainName != "" {
+		cls, meth, ok := splitQualified(mainName)
+		if !ok {
+			return nil, fmt.Errorf("bc: entry point %q is not of the form Class.method", mainName)
+		}
+		c := p.ClassByName(cls)
+		if c == nil {
+			return nil, fmt.Errorf("bc: entry class %q not found", cls)
+		}
+		m := c.MethodByName(meth)
+		if m == nil {
+			return nil, fmt.Errorf("bc: entry method %q not found in %s", meth, cls)
+		}
+		if !m.Static {
+			return nil, fmt.Errorf("bc: entry method %s must be static", mainName)
+		}
+		p.Main = m
+	}
+	for _, m := range p.Methods {
+		if err := Verify(m); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func splitQualified(s string) (cls, meth string, ok bool) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[:i], s[i+1:], i > 0 && i < len(s)-1
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,75 @@
+package bc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a method's code as text, one instruction per line,
+// with pc labels. Intended for debugging and golden tests.
+func Disassemble(m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  locals=%v maxstack=%d\n", m.Signature(), m.LocalKinds, m.MaxStack)
+	targets := make(map[int]bool)
+	for i := range m.Code {
+		in := &m.Code[i]
+		if in.Op.IsBranch() || in.Op == OpGoto {
+			targets[in.Target()] = true
+		}
+	}
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		mark := "  "
+		if targets[pc] {
+			mark = "> "
+		}
+		fmt.Fprintf(&b, "%s%4d: %s\n", mark, pc, FormatInstr(in))
+	}
+	return b.String()
+}
+
+// FormatInstr renders one instruction with its operands.
+func FormatInstr(in *Instr) string {
+	switch in.Op {
+	case OpConst, OpLoad, OpStore:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case OpRand:
+		if in.A > 0 {
+			return fmt.Sprintf("rand %%%d", in.A)
+		}
+		return "rand"
+	case OpCmp:
+		return fmt.Sprintf("cmp %s", in.Cond)
+	case OpGoto:
+		return fmt.Sprintf("goto @%d", in.A)
+	case OpIfCmp, OpIf, OpIfRef, OpIfNull:
+		return fmt.Sprintf("%s %s @%d", in.Op, in.Cond, in.A)
+	case OpNew, OpInstanceOf:
+		return fmt.Sprintf("%s %s", in.Op, in.Class.Name)
+	case OpNewArray, OpArrayLoad, OpArrayStore:
+		return fmt.Sprintf("%s %s", in.Op, in.Kind)
+	case OpGetField, OpPutField, OpGetStatic, OpPutStatic:
+		return fmt.Sprintf("%s %s", in.Op, in.Field.QualifiedName())
+	case OpInvokeStatic, OpInvokeDirect, OpInvokeVirtual:
+		return fmt.Sprintf("%s %s", in.Op, in.Method.Signature())
+	default:
+		return in.Op.String()
+	}
+}
+
+// DisassembleProgram renders every method of a program.
+func DisassembleProgram(p *Program) string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, "class %s", c.Name)
+		if c.Super != nil {
+			fmt.Fprintf(&b, " extends %s", c.Super.Name)
+		}
+		b.WriteString("\n")
+		for _, m := range c.Methods {
+			b.WriteString(Disassemble(m))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

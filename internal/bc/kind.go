@@ -1,0 +1,113 @@
+// Package bc defines the bytecode format consumed by the interpreter and the
+// compiler front end. It is a JVM-like stack bytecode: classes with instance
+// and static fields, static/direct/virtual methods, object and array
+// allocation, monitors, and structured control flow via conditional branches.
+//
+// The format deliberately mirrors the subset of Java bytecode that the CGO'14
+// Partial Escape Analysis paper exercises: allocation (new, newarray), field
+// traffic (getfield/putfield, getstatic/putstatic), locking (monitorenter/
+// monitorexit), calls, and branches. Exceptions are modeled as a single
+// Throw terminator that aborts execution (no handlers), which keeps the IR
+// free of exception edges without losing Throw as a control sink.
+package bc
+
+import "fmt"
+
+// Kind is the type of a bytecode-level value. Booleans are represented as
+// Int (0/1), as on the JVM operand stack.
+type Kind uint8
+
+const (
+	// KindVoid is the return kind of methods that return nothing.
+	KindVoid Kind = iota
+	// KindInt is a 64-bit signed integer (also carries booleans as 0/1).
+	KindInt
+	// KindRef is an object or array reference (possibly null).
+	KindRef
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindRef:
+		return "ref"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Cond is a comparison condition used by conditional branches.
+type Cond uint8
+
+// Comparison conditions for IfCmp (integer compare) and IfRef (reference
+// compare, where only EQ and NE are meaningful).
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+)
+
+// String returns the Java-operator spelling of the condition.
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "=="
+	case CondNE:
+		return "!="
+	case CondLT:
+		return "<"
+	case CondLE:
+		return "<="
+	case CondGT:
+		return ">"
+	case CondGE:
+		return ">="
+	default:
+		return fmt.Sprintf("Cond(%d)", uint8(c))
+	}
+}
+
+// Negate returns the condition that is true exactly when c is false.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	case CondGE:
+		return CondLT
+	}
+	panic("bc: unknown condition")
+}
+
+// EvalInt reports whether the condition holds for the integer pair (a, b).
+func (c Cond) EvalInt(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	panic("bc: unknown condition")
+}

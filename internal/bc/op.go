@@ -1,0 +1,218 @@
+package bc
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. The operand stack discipline is noted for each op as
+// [pops] -> [pushes], with i meaning an int and r meaning a reference.
+const (
+	// OpNop does nothing. [] -> []
+	OpNop Op = iota
+	// OpConst pushes the int constant Instr.A. [] -> [i]
+	OpConst
+	// OpConstNull pushes the null reference. [] -> [r]
+	OpConstNull
+	// OpLoad pushes local slot Instr.A. [] -> [v]
+	OpLoad
+	// OpStore pops into local slot Instr.A. [v] -> []
+	OpStore
+	// OpPop discards the top of stack. [v] -> []
+	OpPop
+	// OpDup duplicates the top of stack. [v] -> [v v]
+	OpDup
+	// OpSwap swaps the two top stack values. [a b] -> [b a]
+	OpSwap
+
+	// OpAdd ... OpUShr are integer arithmetic. [i i] -> [i]
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpUShr
+	// OpNeg negates the top int. [i] -> [i]
+	OpNeg
+
+	// OpCmp pushes 1 if Cond(Instr.Cond) holds for the two popped ints,
+	// else 0. [i i] -> [i]
+	OpCmp
+
+	// OpGoto jumps unconditionally to pc Instr.A. [] -> []
+	OpGoto
+	// OpIfCmp pops two ints and jumps to Instr.A if the condition holds.
+	// [i i] -> []
+	OpIfCmp
+	// OpIf pops one int and jumps to Instr.A if it compares to zero under
+	// the condition (e.g. CondNE means "jump if non-zero"). [i] -> []
+	OpIf
+	// OpIfRef pops two references and jumps to Instr.A if they are
+	// identical (CondEQ) or distinct (CondNE). [r r] -> []
+	OpIfRef
+	// OpIfNull pops a reference and jumps to Instr.A if it is null
+	// (CondEQ) or non-null (CondNE). [r] -> []
+	OpIfNull
+
+	// OpNew allocates an instance of Instr.Class with zeroed fields.
+	// [] -> [r]
+	OpNew
+	// OpNewArray pops a length and allocates an array with element kind
+	// Instr.Kind. [i] -> [r]
+	OpNewArray
+	// OpGetField pops a receiver and pushes field Instr.Field. [r] -> [v]
+	OpGetField
+	// OpPutField pops a value and a receiver and stores the field.
+	// [r v] -> []
+	OpPutField
+	// OpGetStatic pushes static field Instr.Field of Instr.Class.
+	// [] -> [v]
+	OpGetStatic
+	// OpPutStatic pops a value into a static field. [v] -> []
+	OpPutStatic
+	// OpArrayLoad pops index and array, pushes the element. [r i] -> [v]
+	OpArrayLoad
+	// OpArrayStore pops value, index and array, stores the element.
+	// [r i v] -> []
+	OpArrayStore
+	// OpArrayLen pops an array and pushes its length. [r] -> [i]
+	OpArrayLen
+	// OpInstanceOf pops a reference and pushes 1 if it is a non-null
+	// instance of Instr.Class (or a subclass), else 0. [r] -> [i]
+	OpInstanceOf
+
+	// OpInvokeStatic calls the static method Instr.Method.
+	// [args...] -> [ret?]
+	OpInvokeStatic
+	// OpInvokeDirect calls Instr.Method on the popped receiver without
+	// dynamic dispatch (constructors, effectively-final methods).
+	// [r args...] -> [ret?]
+	OpInvokeDirect
+	// OpInvokeVirtual calls the method with Instr.Method's slot via the
+	// receiver's vtable. [r args...] -> [ret?]
+	OpInvokeVirtual
+
+	// OpMonitorEnter pops a reference and acquires its monitor. [r] -> []
+	OpMonitorEnter
+	// OpMonitorExit pops a reference and releases its monitor. [r] -> []
+	OpMonitorExit
+
+	// OpReturn returns void from the current method. [] -> []
+	OpReturn
+	// OpReturnValue pops the return value and returns it. [v] -> []
+	OpReturnValue
+	// OpThrow pops a reference and aborts execution with an error
+	// (this VM has no exception handlers). [r] -> []
+	OpThrow
+
+	// OpPrint pops an int and appends it to the VM's output log. [i] -> []
+	OpPrint
+	// OpRand pushes the next value of the VM's deterministic PRNG,
+	// reduced modulo Instr.A if Instr.A > 0. [] -> [i]
+	OpRand
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop:           "nop",
+	OpConst:         "const",
+	OpConstNull:     "constnull",
+	OpLoad:          "load",
+	OpStore:         "store",
+	OpPop:           "pop",
+	OpDup:           "dup",
+	OpSwap:          "swap",
+	OpAdd:           "add",
+	OpSub:           "sub",
+	OpMul:           "mul",
+	OpDiv:           "div",
+	OpRem:           "rem",
+	OpAnd:           "and",
+	OpOr:            "or",
+	OpXor:           "xor",
+	OpShl:           "shl",
+	OpShr:           "shr",
+	OpUShr:          "ushr",
+	OpNeg:           "neg",
+	OpCmp:           "cmp",
+	OpGoto:          "goto",
+	OpIfCmp:         "ifcmp",
+	OpIf:            "if",
+	OpIfRef:         "ifref",
+	OpIfNull:        "ifnull",
+	OpNew:           "new",
+	OpNewArray:      "newarray",
+	OpGetField:      "getfield",
+	OpPutField:      "putfield",
+	OpGetStatic:     "getstatic",
+	OpPutStatic:     "putstatic",
+	OpArrayLoad:     "arrayload",
+	OpArrayStore:    "arraystore",
+	OpArrayLen:      "arraylen",
+	OpInstanceOf:    "instanceof",
+	OpInvokeStatic:  "invokestatic",
+	OpInvokeDirect:  "invokedirect",
+	OpInvokeVirtual: "invokevirtual",
+	OpMonitorEnter:  "monitorenter",
+	OpMonitorExit:   "monitorexit",
+	OpReturn:        "return",
+	OpReturnValue:   "returnvalue",
+	OpThrow:         "throw",
+	OpPrint:         "print",
+	OpRand:          "rand",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the op is a conditional branch.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpIfCmp, OpIf, OpIfRef, OpIfNull:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether the op unconditionally ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpGoto, OpReturn, OpReturnValue, OpThrow:
+		return true
+	}
+	return false
+}
+
+// IsInvoke reports whether the op is a method call.
+func (o Op) IsInvoke() bool {
+	switch o {
+	case OpInvokeStatic, OpInvokeDirect, OpInvokeVirtual:
+		return true
+	}
+	return false
+}
+
+// HasSideEffect reports whether the op has an observable effect beyond its
+// stack result (stores, calls, allocation failure aside, monitors, output).
+// It mirrors the Graal notion used for FrameState placement: ops with side
+// effects cannot be re-executed after deoptimization.
+func (o Op) HasSideEffect() bool {
+	switch o {
+	case OpPutField, OpPutStatic, OpArrayStore,
+		OpInvokeStatic, OpInvokeDirect, OpInvokeVirtual,
+		OpMonitorEnter, OpMonitorExit, OpPrint, OpRand:
+		return true
+	}
+	return false
+}

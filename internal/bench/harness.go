@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"pea/internal/cost"
+	"pea/internal/mj"
+	"pea/internal/vm"
+)
+
+// Metrics are the per-iteration measurements of one configuration,
+// mirroring the columns of the paper's Table 1.
+type Metrics struct {
+	// MBPerIter is allocated megabytes per benchmark iteration.
+	MBPerIter float64
+	// KAllocsPerIter is thousands of allocations per iteration (the
+	// paper reports millions; our iterations are proportionally
+	// smaller).
+	KAllocsPerIter float64
+	// MonOpsPerIter is monitor operations per iteration.
+	MonOpsPerIter float64
+	// ItersPerMin derives from the deterministic cycle model at the
+	// paper's 2.9 GHz clock.
+	ItersPerMin float64
+}
+
+// Row is one benchmark's result under two configurations.
+type Row struct {
+	Spec     WorkloadSpec
+	Without  Metrics // baseline configuration
+	With     Metrics // measured configuration (EA or PEA)
+	MBDelta  float64 // percent change in MB/iter
+	AllocsD  float64 // percent change in allocations/iter
+	MonOpsD  float64 // percent change in monitor ops/iter
+	SpeedupD float64 // percent change in iterations/min
+}
+
+func pct(without, with float64) float64 {
+	if without == 0 {
+		return 0
+	}
+	return (with - without) / without * 100
+}
+
+// RunConfig describes one measurement run.
+type RunConfig struct {
+	Mode vm.EAMode
+	// Warmup iterations before measurement (JIT threshold is 10).
+	Warmup int
+	// Iters measured iterations.
+	Iters int
+	// Speculate enables branch pruning.
+	Speculate bool
+}
+
+// DefaultRuns is the standard measurement configuration.
+var DefaultRuns = RunConfig{Warmup: 16, Iters: 8}
+
+// Measure runs one workload under one EA mode and returns per-iteration
+// metrics from the post-warmup steady state.
+func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
+	prog, err := mj.Compile(w.Source(), "Main.main")
+	if err != nil {
+		return Metrics{}, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
+	machine := vm.New(prog, vm.Options{
+		EA:               rc.Mode,
+		CompileThreshold: 10,
+		Speculate:        rc.Speculate,
+		Seed:             uint64(len(w.Name))*2654435761 + 7,
+		MaxSteps:         2_000_000_000,
+	})
+	setup := prog.ClassByName("Store").MethodByName("setup")
+	iter := prog.ClassByName("Bench").MethodByName("iteration")
+	if _, err := machine.Call(setup, nil); err != nil {
+		return Metrics{}, fmt.Errorf("bench %s setup: %w", w.Name, err)
+	}
+	for i := 0; i < rc.Warmup; i++ {
+		if _, err := machine.Call(iter, nil); err != nil {
+			return Metrics{}, fmt.Errorf("bench %s warmup: %w", w.Name, err)
+		}
+	}
+	for m, cerr := range machine.FailedCompilations() {
+		return Metrics{}, fmt.Errorf("bench %s: compiling %s: %w", w.Name, m.QualifiedName(), cerr)
+	}
+	startStats := machine.Env.Stats
+	startCycles := machine.Env.Cycles
+	for i := 0; i < rc.Iters; i++ {
+		if _, err := machine.Call(iter, nil); err != nil {
+			return Metrics{}, fmt.Errorf("bench %s measure: %w", w.Name, err)
+		}
+	}
+	d := machine.Env.Stats.Sub(startStats)
+	cycles := machine.Env.Cycles - startCycles
+	n := float64(rc.Iters)
+	m := Metrics{
+		MBPerIter:      float64(d.AllocatedBytes) / n / (1 << 20),
+		KAllocsPerIter: float64(d.Allocations) / n / 1000,
+		MonOpsPerIter:  float64(d.MonitorOps) / n,
+	}
+	if cycles > 0 {
+		m.ItersPerMin = cost.CyclesPerMinute / (float64(cycles) / n)
+	}
+	return m, nil
+}
+
+// RunRow measures one workload without EA and with the given mode.
+func RunRow(w WorkloadSpec, mode vm.EAMode, rc RunConfig) (Row, error) {
+	rcBase := rc
+	rcBase.Mode = vm.EAOff
+	without, err := Measure(w, rcBase)
+	if err != nil {
+		return Row{}, err
+	}
+	rcWith := rc
+	rcWith.Mode = mode
+	with, err := Measure(w, rcWith)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Spec:     w,
+		Without:  without,
+		With:     with,
+		MBDelta:  pct(without.MBPerIter, with.MBPerIter),
+		AllocsD:  pct(without.KAllocsPerIter, with.KAllocsPerIter),
+		MonOpsD:  pct(without.MonOpsPerIter, with.MonOpsPerIter),
+		SpeedupD: pct(without.ItersPerMin, with.ItersPerMin),
+	}, nil
+}
+
+// RunSuite measures every workload of a suite against the given mode.
+func RunSuite(suite string, mode vm.EAMode, rc RunConfig) ([]Row, error) {
+	var rows []Row
+	for _, w := range BySuite(suite) {
+		r, err := RunRow(w, mode, rc)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Averages computes the arithmetic-mean percentage changes over rows (the
+// paper's "average" line, which includes benchmarks omitted from the
+// table).
+func Averages(rows []Row) (mb, allocs, speed float64) {
+	if len(rows) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range rows {
+		mb += r.MBDelta
+		allocs += r.AllocsD
+		speed += r.SpeedupD
+	}
+	n := float64(len(rows))
+	return mb / n, allocs / n, speed / n
+}
+
+// Comparison is the §6.2 experiment: average speedup of flow-insensitive
+// EA vs Partial Escape Analysis per suite.
+type Comparison struct {
+	Suite      string
+	EASpeedup  float64
+	PEASpeedup float64
+}
+
+// RunComparison reproduces §6.2 for every suite.
+func RunComparison(rc RunConfig) ([]Comparison, error) {
+	var out []Comparison
+	for _, suite := range SuiteNames() {
+		eaRows, err := RunSuite(suite, vm.EAFlowInsensitive, rc)
+		if err != nil {
+			return nil, err
+		}
+		peaRows, err := RunSuite(suite, vm.EAPartial, rc)
+		if err != nil {
+			return nil, err
+		}
+		_, _, eaSpeed := Averages(eaRows)
+		_, _, peaSpeed := Averages(peaRows)
+		out = append(out, Comparison{Suite: suite, EASpeedup: eaSpeed, PEASpeedup: peaSpeed})
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable1 renders rows in the layout of the paper's Table 1: size and
+// number of allocations and performance, without and with the analysis.
+// onlyShown hides the DaCapo rows the paper omits (they still enter the
+// average).
+func FormatTable1(title string, rows []Row, onlyShown bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %28s  %28s  %28s\n", "", "MB / Iteration", "KAllocs / Iteration", "Iterations / Minute")
+	fmt.Fprintf(&b, "%-14s %9s %9s %8s  %9s %9s %8s  %9s %9s %8s\n",
+		"benchmark", "without", "with", "delta", "without", "with", "delta", "without", "with", "speedup")
+	for _, r := range rows {
+		if onlyShown && !ShownInTable1(r.Spec.Name) {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %9.3f %9.3f %+7.1f%%  %9.2f %9.2f %+7.1f%%  %9.0f %9.0f %+7.1f%%\n",
+			r.Spec.Name,
+			r.Without.MBPerIter, r.With.MBPerIter, r.MBDelta,
+			r.Without.KAllocsPerIter, r.With.KAllocsPerIter, r.AllocsD,
+			r.Without.ItersPerMin, r.With.ItersPerMin, r.SpeedupD)
+	}
+	mb, allocs, speed := Averages(rows)
+	fmt.Fprintf(&b, "%-14s %9s %9s %+7.1f%%  %9s %9s %+7.1f%%  %9s %9s %+7.1f%%\n",
+		"average", "", "", mb, "", "", allocs, "", "", speed)
+	return b.String()
+}
+
+// FormatLockTable renders the monitor-operation changes (paper §6.1,
+// "Number of Locks": tomcat -4%, SPECjbb2005 -3.8%).
+func FormatLockTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s\n", "benchmark", "mon-ops w/o", "mon-ops w/", "delta")
+	for _, r := range rows {
+		if r.Without.MonOpsPerIter == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %12.0f %12.0f %+7.1f%%\n",
+			r.Spec.Name, r.Without.MonOpsPerIter, r.With.MonOpsPerIter, r.MonOpsD)
+	}
+	return b.String()
+}
+
+// FormatComparison renders the §6.2 experiment.
+func FormatComparison(cs []Comparison) string {
+	var b strings.Builder
+	b.WriteString("Flow-insensitive EA vs Partial Escape Analysis (average speedup, paper section 6.2)\n")
+	fmt.Fprintf(&b, "%-14s %14s %14s\n", "suite", "EA speedup", "PEA speedup")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%-14s %+13.1f%% %+13.1f%%\n", c.Suite, c.EASpeedup, c.PEASpeedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package cost
+
+import (
+	"testing"
+
+	"pea/internal/bc"
+)
+
+func TestRelativeCosts(t *testing.T) {
+	// The model's defining relations: allocation >> field access > ALU;
+	// monitors cost about a CAS; calls dominate simple arithmetic;
+	// interpretation pays a large dispatch multiplier.
+	if AllocBase <= Monitor || Monitor <= FieldAccess || FieldAccess <= ALU {
+		t.Fatal("cost ordering violated")
+	}
+	if InterpFactor < 5 {
+		t.Fatal("interpreter must be much slower than compiled code")
+	}
+	if DeoptPenalty < 10*CallOverhead {
+		t.Fatal("deoptimization must be expensive")
+	}
+}
+
+func TestOfOpCoverage(t *testing.T) {
+	// Every opcode has a non-negative cost; allocation and monitor ops
+	// map to their model constants.
+	for op := bc.OpNop; op < bc.OpRand+1; op++ {
+		if OfOp(op) < 0 {
+			t.Fatalf("negative cost for %s", op)
+		}
+	}
+	if OfOp(bc.OpNew) != AllocBase || OfOp(bc.OpMonitorEnter) != Monitor {
+		t.Fatal("alloc/monitor costs not wired")
+	}
+	if OfOp(bc.OpInvokeVirtual) <= OfOp(bc.OpInvokeStatic) {
+		t.Fatal("virtual dispatch must cost more than static calls")
+	}
+	if OfOp(bc.OpDiv) <= OfOp(bc.OpAdd) {
+		t.Fatal("division must cost more than addition")
+	}
+}

@@ -1,0 +1,142 @@
+// Package ea implements the control-flow-insensitive Escape Analysis
+// baseline the paper compares against (§6.2): equi-escape sets in the
+// style of Kotzmann and Mössenböck, as used by the HotSpot compilers. All
+// nodes that may refer to the same object are merged into one set
+// (union-find); a set escapes if any member is stored to a global, passed
+// to a call, returned, or thrown. An allocation is scalar-replaceable only
+// if its whole set never escapes anywhere in the method — the
+// "all-or-nothing approach" whose weakness motivates Partial Escape
+// Analysis.
+//
+// The actual transformation (scalar replacement, lock elision, frame-state
+// virtualization) is delegated to the pea package, restricted to the
+// provably non-escaping allocations; on that subset PEA's flow-sensitive
+// machinery degenerates to the classic flow-insensitive optimization, so
+// both configurations share one battle-tested rewriter.
+package ea
+
+import (
+	"pea/internal/bc"
+	"pea/internal/ir"
+	"pea/internal/pea"
+)
+
+// Analyze computes the set of allocation nodes (OpNew / OpNewArray) that
+// never escape the graph under equi-escape-set rules.
+func Analyze(g *ir.Graph) map[*ir.Node]bool {
+	u := newUnionFind()
+
+	escape := func(n *ir.Node) {
+		if n != nil && n.Kind == bc.KindRef {
+			u.markEscaped(n)
+		}
+	}
+	unionRef := func(x, y *ir.Node) {
+		if x == nil || y == nil || x.Kind != bc.KindRef || y.Kind != bc.KindRef {
+			return
+		}
+		// The null constant refers to no object; merging through it
+		// would spuriously bridge every set that ever stores null.
+		if x.Op == ir.OpConstNull || y.Op == ir.OpConstNull {
+			return
+		}
+		u.union(x, y)
+	}
+
+	g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+		switch n.Op {
+		case ir.OpParam, ir.OpLoadStatic:
+			// Unknown sources: anything merged with them escapes.
+			escape(n)
+		case ir.OpInvoke:
+			// Arguments escape into the callee; the result is an
+			// unknown object.
+			for _, in := range n.Inputs {
+				escape(in)
+			}
+			escape(n)
+		case ir.OpReturn, ir.OpThrow:
+			for _, in := range n.Inputs {
+				escape(in)
+			}
+		case ir.OpStoreStatic:
+			escape(n.Inputs[0])
+		case ir.OpStoreField:
+			// The stored value shares the fate of the object it is
+			// stored into.
+			unionRef(n.Inputs[0], n.Inputs[1])
+		case ir.OpStoreIndexed:
+			unionRef(n.Inputs[0], n.Inputs[2])
+		case ir.OpLoadField:
+			// A value loaded from an object may be anything stored
+			// into it: same set.
+			unionRef(n, n.Inputs[0])
+		case ir.OpLoadIndexed:
+			unionRef(n, n.Inputs[0])
+		case ir.OpPhi:
+			for _, in := range n.Inputs {
+				unionRef(n, in)
+			}
+		case ir.OpDeopt:
+			// Frame states do not cause escapes: the deoptimization
+			// runtime rematerializes scalar-replaced objects
+			// (Kotzmann's contribution, which both EA and PEA
+			// configurations share here).
+		}
+	})
+
+	nonEscaping := make(map[*ir.Node]bool)
+	g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+		if (n.Op == ir.OpNew || n.Op == ir.OpNewArray) && !u.escaped(n) {
+			nonEscaping[n] = true
+		}
+	})
+	return nonEscaping
+}
+
+// Run performs flow-insensitive escape analysis and scalar replacement on
+// g. It returns the transformation result (same shape as pea.Result).
+func Run(g *ir.Graph, conf pea.Config) (pea.Result, error) {
+	allowed := Analyze(g)
+	if len(allowed) == 0 {
+		return pea.Result{}, nil
+	}
+	conf.AllowAlloc = func(n *ir.Node) bool { return allowed[n] }
+	return pea.Run(g, conf)
+}
+
+// unionFind is a union-find over nodes with an "escaped" flag per set.
+type unionFind struct {
+	parent map[*ir.Node]*ir.Node
+	esc    map[*ir.Node]bool // valid on set representatives
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[*ir.Node]*ir.Node), esc: make(map[*ir.Node]bool)}
+}
+
+func (u *unionFind) find(n *ir.Node) *ir.Node {
+	p, ok := u.parent[n]
+	if !ok || p == n {
+		u.parent[n] = n
+		return n
+	}
+	r := u.find(p)
+	u.parent[n] = r
+	return r
+}
+
+func (u *unionFind) union(a, b *ir.Node) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	u.parent[rb] = ra
+	if u.esc[rb] {
+		u.esc[ra] = true
+	}
+}
+
+func (u *unionFind) markEscaped(n *ir.Node) { u.esc[u.find(n)] = true }
+
+func (u *unionFind) escaped(n *ir.Node) bool { return u.esc[u.find(n)] }

@@ -1,0 +1,363 @@
+// Package interp implements the bytecode interpreter. It plays the role of
+// the HotSpot interpreter in the paper: it executes any code without
+// assumptions, collects the profiles (invocation counts, branch
+// frequencies) that drive the JIT policy, and is the target of
+// deoptimization — compiled frames are translated into interpreter frames
+// (materializing any virtual objects first) and execution resumes here.
+package interp
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+	"pea/internal/cost"
+	"pea/internal/rt"
+)
+
+// Frame is one interpreter activation.
+type Frame struct {
+	Method *bc.Method
+	PC     int
+	Locals []rt.Value
+	Stack  []rt.Value // operand stack; top is the last element
+}
+
+// NewFrame creates a frame for invoking m with the given arguments
+// (receiver first for instance methods).
+func NewFrame(m *bc.Method, args []rt.Value) *Frame {
+	f := &Frame{Method: m, Locals: make([]rt.Value, m.NumLocals())}
+	copy(f.Locals, args)
+	for i := len(args); i < len(f.Locals); i++ {
+		if m.LocalKinds[i] == bc.KindRef {
+			f.Locals[i] = rt.Null
+		}
+	}
+	f.Stack = make([]rt.Value, 0, m.MaxStack)
+	return f
+}
+
+func (f *Frame) push(v rt.Value) { f.Stack = append(f.Stack, v) }
+
+func (f *Frame) pop() rt.Value {
+	v := f.Stack[len(f.Stack)-1]
+	f.Stack = f.Stack[:len(f.Stack)-1]
+	return v
+}
+
+// Interp executes bytecode against an rt.Env.
+type Interp struct {
+	Env     *rt.Env
+	Profile *Profile
+
+	// CallHook, when non-nil, is consulted before each interpreted call;
+	// if it returns true the call was executed by other means (e.g. by
+	// jumping to compiled code) and the interpreter uses the returned
+	// value. This is how the VM mixes interpreted and compiled frames.
+	CallHook func(m *bc.Method, args []rt.Value) (rt.Value, bool, error)
+
+	// MaxSteps bounds the number of executed instructions (0 = no bound);
+	// exceeding it returns an error. Guards tests against runaway loops.
+	MaxSteps int64
+
+	steps int64
+}
+
+// New creates an interpreter over env with a fresh profile.
+func New(env *rt.Env) *Interp {
+	return &Interp{Env: env, Profile: NewProfile(env.Program)}
+}
+
+// Run executes the program's entry point with no arguments.
+func (it *Interp) Run() (rt.Value, error) {
+	if it.Env.Program.Main == nil {
+		return rt.Value{}, fmt.Errorf("interp: program has no entry point")
+	}
+	return it.Call(it.Env.Program.Main, nil)
+}
+
+// Call invokes m with args and runs it to completion in the interpreter
+// (nested calls may still be diverted by CallHook).
+func (it *Interp) Call(m *bc.Method, args []rt.Value) (rt.Value, error) {
+	if len(args) != m.NumArgs() {
+		return rt.Value{}, fmt.Errorf("interp: %s called with %d args, want %d",
+			m.QualifiedName(), len(args), m.NumArgs())
+	}
+	if it.Profile != nil {
+		it.Profile.CountInvocation(m)
+	}
+	return it.Resume(NewFrame(m, args))
+}
+
+// Resume runs the given frame to completion. It is the entry point used by
+// deoptimization: the frame may start at any pc with any consistent
+// locals/stack contents.
+func (it *Interp) Resume(f *Frame) (rt.Value, error) {
+	for {
+		done, ret, err := it.step(f)
+		if err != nil {
+			return rt.Value{}, err
+		}
+		if done {
+			return ret, nil
+		}
+	}
+}
+
+// step executes one instruction of f. It returns done=true with the return
+// value when the frame completes.
+func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
+	if it.MaxSteps > 0 {
+		it.steps++
+		if it.steps > it.MaxSteps {
+			return false, rt.Value{}, fmt.Errorf("interp: step budget of %d exhausted in %s",
+				it.MaxSteps, f.Method.QualifiedName())
+		}
+	}
+	m := f.Method
+	pc := f.PC
+	in := &m.Code[pc]
+	it.Env.Cycles += cost.OfOp(in.Op) * cost.InterpFactor
+
+	trap := func(reason string) error { return rt.NewTrap(reason, m, pc) }
+
+	switch in.Op {
+	case bc.OpNop:
+	case bc.OpConst:
+		f.push(rt.IntValue(in.A))
+	case bc.OpConstNull:
+		f.push(rt.Null)
+	case bc.OpLoad:
+		f.push(f.Locals[in.A])
+	case bc.OpStore:
+		f.Locals[in.A] = f.pop()
+	case bc.OpPop:
+		f.pop()
+	case bc.OpDup:
+		f.push(f.Stack[len(f.Stack)-1])
+	case bc.OpSwap:
+		n := len(f.Stack)
+		f.Stack[n-1], f.Stack[n-2] = f.Stack[n-2], f.Stack[n-1]
+	case bc.OpAdd, bc.OpSub, bc.OpMul, bc.OpDiv, bc.OpRem,
+		bc.OpAnd, bc.OpOr, bc.OpXor, bc.OpShl, bc.OpShr, bc.OpUShr:
+		b, a := f.pop().I, f.pop().I
+		var r int64
+		r, err = EvalArith(in.Op, a, b)
+		if err != nil {
+			return false, rt.Value{}, trap(err.Error())
+		}
+		f.push(rt.IntValue(r))
+	case bc.OpNeg:
+		f.push(rt.IntValue(-f.pop().I))
+	case bc.OpCmp:
+		b, a := f.pop().I, f.pop().I
+		f.push(rt.BoolValue(in.Cond.EvalInt(a, b)))
+	case bc.OpGoto:
+		f.PC = in.Target()
+		return false, rt.Value{}, nil
+	case bc.OpIfCmp:
+		b, a := f.pop().I, f.pop().I
+		return false, rt.Value{}, it.branch(f, in, in.Cond.EvalInt(a, b))
+	case bc.OpIf:
+		a := f.pop().I
+		return false, rt.Value{}, it.branch(f, in, in.Cond.EvalInt(a, 0))
+	case bc.OpIfRef:
+		b, a := f.pop(), f.pop()
+		taken := a.Ref == b.Ref
+		if in.Cond == bc.CondNE {
+			taken = !taken
+		}
+		return false, rt.Value{}, it.branch(f, in, taken)
+	case bc.OpIfNull:
+		a := f.pop()
+		taken := a.Ref == nil
+		if in.Cond == bc.CondNE {
+			taken = !taken
+		}
+		return false, rt.Value{}, it.branch(f, in, taken)
+	case bc.OpNew:
+		it.Env.Cycles += cost.AllocPerField * int64(in.Class.NumFields()) * cost.InterpFactor
+		f.push(rt.RefValue(it.Env.AllocObject(in.Class)))
+	case bc.OpNewArray:
+		n := f.pop().I
+		if n < 0 {
+			return false, rt.Value{}, trap(fmt.Sprintf("negative array size %d", n))
+		}
+		it.Env.Cycles += cost.AllocPerField * n * cost.InterpFactor
+		f.push(rt.RefValue(it.Env.AllocArray(in.Kind, n)))
+	case bc.OpGetField:
+		obj := f.pop()
+		if obj.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in getfield " + in.Field.QualifiedName())
+		}
+		it.Env.Stats.FieldLoads++
+		f.push(obj.Ref.Fields[in.Field.Offset])
+	case bc.OpPutField:
+		v := f.pop()
+		obj := f.pop()
+		if obj.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in putfield " + in.Field.QualifiedName())
+		}
+		it.Env.Stats.FieldStores++
+		obj.Ref.Fields[in.Field.Offset] = v
+	case bc.OpGetStatic:
+		f.push(it.Env.GetStatic(in.Field))
+	case bc.OpPutStatic:
+		it.Env.SetStatic(in.Field, f.pop())
+	case bc.OpArrayLoad:
+		idx := f.pop().I
+		arr := f.pop()
+		if arr.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in arrayload")
+		}
+		if idx < 0 || idx >= int64(arr.Ref.Len()) {
+			return false, rt.Value{}, trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
+		}
+		f.push(arr.Ref.Fields[idx])
+	case bc.OpArrayStore:
+		v := f.pop()
+		idx := f.pop().I
+		arr := f.pop()
+		if arr.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in arraystore")
+		}
+		if idx < 0 || idx >= int64(arr.Ref.Len()) {
+			return false, rt.Value{}, trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
+		}
+		arr.Ref.Fields[idx] = v
+	case bc.OpArrayLen:
+		arr := f.pop()
+		if arr.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in arraylen")
+		}
+		f.push(rt.IntValue(int64(arr.Ref.Len())))
+	case bc.OpInstanceOf:
+		obj := f.pop()
+		ok := obj.Ref != nil && !obj.Ref.IsArray() && obj.Ref.Class.IsSubclassOf(in.Class)
+		f.push(rt.BoolValue(ok))
+	case bc.OpInvokeStatic, bc.OpInvokeDirect, bc.OpInvokeVirtual:
+		return false, rt.Value{}, it.invoke(f, in)
+	case bc.OpMonitorEnter:
+		obj := f.pop()
+		if obj.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in monitorenter")
+		}
+		it.Env.MonitorEnter(obj.Ref)
+	case bc.OpMonitorExit:
+		obj := f.pop()
+		if obj.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in monitorexit")
+		}
+		if err := it.Env.MonitorExit(obj.Ref); err != nil {
+			return false, rt.Value{}, trap(err.Error())
+		}
+	case bc.OpReturn:
+		return true, rt.Value{}, nil
+	case bc.OpReturnValue:
+		return true, f.pop(), nil
+	case bc.OpThrow:
+		obj := f.pop()
+		if obj.Ref == nil {
+			return false, rt.Value{}, trap("null dereference in throw")
+		}
+		return false, rt.Value{}, trap("uncaught exception " + obj.Ref.String())
+	case bc.OpPrint:
+		it.Env.Print(f.pop().I)
+	case bc.OpRand:
+		f.push(rt.IntValue(it.Env.Rand(in.A)))
+	default:
+		return false, rt.Value{}, trap(fmt.Sprintf("unknown opcode %d", in.Op))
+	}
+	f.PC = pc + 1
+	return false, rt.Value{}, nil
+}
+
+func (it *Interp) branch(f *Frame, in *bc.Instr, taken bool) error {
+	if it.Profile != nil {
+		it.Profile.CountBranch(f.Method, f.PC, taken)
+	}
+	if taken {
+		f.PC = in.Target()
+	} else {
+		f.PC++
+	}
+	return nil
+}
+
+func (it *Interp) invoke(f *Frame, in *bc.Instr) error {
+	callee := in.Method
+	nargs := callee.NumArgs()
+	args := make([]rt.Value, nargs)
+	for i := nargs - 1; i >= 0; i-- {
+		args[i] = f.pop()
+	}
+	if in.Op != bc.OpInvokeStatic {
+		recv := args[0]
+		if recv.Ref == nil {
+			return rt.NewTrap("null receiver calling "+callee.QualifiedName(), f.Method, f.PC)
+		}
+		if in.Op == bc.OpInvokeVirtual {
+			callee = recv.Ref.Class.VTable[callee.VSlot]
+		}
+	}
+	if it.Profile != nil {
+		it.Profile.CountCallSite(f.Method, f.PC, callee)
+	}
+	var ret rt.Value
+	var err error
+	handled := false
+	if it.CallHook != nil {
+		ret, handled, err = it.CallHook(callee, args)
+		if err != nil {
+			return err
+		}
+	}
+	if !handled {
+		ret, err = it.Call(callee, args)
+		if err != nil {
+			return err
+		}
+	}
+	if callee.Ret != bc.KindVoid {
+		f.push(ret)
+	}
+	f.PC++
+	return nil
+}
+
+// EvalArith computes a binary integer arithmetic op, returning an error for
+// division by zero. Shared with the compiled-code executor and the
+// compiler's constant folder so all three agree exactly.
+func EvalArith(op bc.Op, a, b int64) (int64, error) {
+	switch op {
+	case bc.OpAdd:
+		return a + b, nil
+	case bc.OpSub:
+		return a - b, nil
+	case bc.OpMul:
+		return a * b, nil
+	case bc.OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case bc.OpRem:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a % b, nil
+	case bc.OpAnd:
+		return a & b, nil
+	case bc.OpOr:
+		return a | b, nil
+	case bc.OpXor:
+		return a ^ b, nil
+	case bc.OpShl:
+		return a << uint64(b&63), nil
+	case bc.OpShr:
+		return a >> uint64(b&63), nil
+	case bc.OpUShr:
+		return int64(uint64(a) >> uint64(b&63)), nil
+	default:
+		return 0, fmt.Errorf("not an arithmetic op: %s", op)
+	}
+}

@@ -1,0 +1,116 @@
+package interp
+
+import (
+	"pea/internal/bc"
+)
+
+// Profile accumulates execution profiles while interpreting: invocation
+// counts per method, taken/not-taken counts per branch site, and receiver
+// methods observed per virtual call site. The JIT policy uses invocation
+// counts to pick compilation candidates; the compiler uses branch
+// probabilities for block frequencies and call-site receiver profiles for
+// devirtualization and inlining.
+type Profile struct {
+	methods []methodProfile
+}
+
+type methodProfile struct {
+	invocations int64
+	// branches maps branch pc -> [notTaken, taken] counts.
+	branches map[int]*[2]int64
+	// callSites maps invoke pc -> callee method -> count.
+	callSites map[int]map[*bc.Method]int64
+}
+
+// NewProfile creates an empty profile sized for the program.
+func NewProfile(p *bc.Program) *Profile {
+	return &Profile{methods: make([]methodProfile, len(p.Methods))}
+}
+
+func (p *Profile) mp(m *bc.Method) *methodProfile { return &p.methods[m.ID] }
+
+// CountInvocation records one invocation of m.
+func (p *Profile) CountInvocation(m *bc.Method) { p.mp(m).invocations++ }
+
+// Invocations returns the recorded invocation count of m.
+func (p *Profile) Invocations(m *bc.Method) int64 { return p.mp(m).invocations }
+
+// CountBranch records one execution of the branch at (m, pc).
+func (p *Profile) CountBranch(m *bc.Method, pc int, taken bool) {
+	mp := p.mp(m)
+	if mp.branches == nil {
+		mp.branches = make(map[int]*[2]int64)
+	}
+	c := mp.branches[pc]
+	if c == nil {
+		c = new([2]int64)
+		mp.branches[pc] = c
+	}
+	if taken {
+		c[1]++
+	} else {
+		c[0]++
+	}
+}
+
+// BranchProbability returns the observed probability that the branch at
+// (m, pc) is taken, and whether any executions were observed. Unobserved
+// branches report 0.5.
+func (p *Profile) BranchProbability(m *bc.Method, pc int) (prob float64, observed bool) {
+	mp := p.mp(m)
+	c := mp.branches[pc]
+	if c == nil || c[0]+c[1] == 0 {
+		return 0.5, false
+	}
+	return float64(c[1]) / float64(c[0]+c[1]), true
+}
+
+// CountCallSite records that the call at (m, pc) dispatched to callee.
+func (p *Profile) CountCallSite(m *bc.Method, pc int, callee *bc.Method) {
+	mp := p.mp(m)
+	if mp.callSites == nil {
+		mp.callSites = make(map[int]map[*bc.Method]int64)
+	}
+	s := mp.callSites[pc]
+	if s == nil {
+		s = make(map[*bc.Method]int64)
+		mp.callSites[pc] = s
+	}
+	s[callee]++
+}
+
+// MonomorphicTarget returns the single callee observed at (m, pc), or nil
+// if the site is unobserved or polymorphic.
+func (p *Profile) MonomorphicTarget(m *bc.Method, pc int) *bc.Method {
+	mp := p.mp(m)
+	s := mp.callSites[pc]
+	if len(s) != 1 {
+		return nil
+	}
+	for callee := range s {
+		return callee
+	}
+	return nil
+}
+
+// HotMethods returns all methods whose invocation count is at least
+// threshold, in program order.
+func (p *Profile) HotMethods(prog *bc.Program, threshold int64) []*bc.Method {
+	var hot []*bc.Method
+	for _, m := range prog.Methods {
+		if p.Invocations(m) >= threshold {
+			hot = append(hot, m)
+		}
+	}
+	return hot
+}
+
+// BranchCounts returns the raw (notTaken, taken) execution counts of the
+// branch at (m, pc).
+func (p *Profile) BranchCounts(m *bc.Method, pc int) (notTaken, taken int64) {
+	c := p.mp(m).branches[pc]
+	if c == nil {
+		return 0, 0
+	}
+	return c[0], c[1]
+}

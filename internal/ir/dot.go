@@ -1,0 +1,94 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpDot renders the graph in Graphviz DOT format, in the visual style of
+// the paper's Figure 2: control-flow edges are bold and point downward
+// between blocks; data-flow edges are thin and point from user to input.
+// Render with `dot -Tsvg`.
+func DumpDot(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Method.QualifiedName())
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\", fontsize=10];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=9];\n")
+
+	nodeName := func(n *Node) string { return fmt.Sprintf("n%d", n.ID) }
+	label := func(n *Node) string {
+		s := n.String()
+		// Strip the "vN = " prefix and input list for a compact label.
+		if i := strings.Index(s, " = "); i >= 0 {
+			s = s[i+3:]
+		}
+		if i := strings.Index(s, " v"); i >= 0 {
+			// keep operands out of the label; edges carry them
+			s = s[:i]
+		}
+		return fmt.Sprintf("v%d %s", n.ID, s)
+	}
+
+	emitNode := func(n *Node, style string) {
+		fmt.Fprintf(&b, "    %s [label=%q%s];\n", nodeName(n), label(n), style)
+	}
+
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "  subgraph cluster_b%d {\n", blk.ID)
+		fmt.Fprintf(&b, "    label=\"b%d\"; color=gray;\n", blk.ID)
+		for _, n := range blk.Phis {
+			emitNode(n, ", style=rounded")
+		}
+		for _, n := range blk.Nodes {
+			style := ""
+			if n.Op == OpVirtualObject {
+				style = ", style=dashed"
+			}
+			emitNode(n, style)
+		}
+		if blk.Term != nil {
+			emitNode(blk.Term, ", style=bold")
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Control-flow edges: terminator -> first node of the successor (or
+	// its terminator when empty), bold.
+	anchor := func(blk *Block) *Node {
+		if len(blk.Phis) > 0 {
+			return blk.Phis[0]
+		}
+		if len(blk.Nodes) > 0 {
+			return blk.Nodes[0]
+		}
+		return blk.Term
+	}
+	for _, blk := range g.Blocks {
+		if blk.Term == nil {
+			continue
+		}
+		for i, s := range blk.Succs {
+			lbl := ""
+			if blk.Term.Op == OpIf {
+				lbl = []string{" [label=\"true\"]", " [label=\"false\"]"}[i]
+				lbl = strings.Replace(lbl, "]", ", style=bold, weight=10]", 1)
+			} else {
+				lbl = " [style=bold, weight=10]"
+			}
+			fmt.Fprintf(&b, "  %s -> %s%s;\n", nodeName(blk.Term), nodeName(anchor(s)), lbl)
+		}
+	}
+
+	// Data-flow edges: thin, user -> input (arrows point "upward" as in
+	// the paper's rendering convention).
+	g.ForEachNode(func(_ *Block, n *Node) {
+		for _, in := range n.Inputs {
+			if in != nil {
+				fmt.Fprintf(&b, "  %s -> %s [color=gray50, arrowsize=0.6];\n",
+					nodeName(n), nodeName(in))
+			}
+		}
+	})
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the whole graph as text, one block per paragraph, in block
+// order. The format is stable and used by golden tests (regenerating the
+// paper's Figure 2 and Figure 8 for our IR).
+func Dump(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s\n", g.Method.QualifiedName())
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "%s:", blk)
+		if len(blk.Preds) > 0 {
+			b.WriteString(" preds=[")
+			for i, p := range blk.Preds {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				b.WriteString(p.String())
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+		for _, n := range blk.Phis {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&b, "  %s%s\n", n, fsSuffix(n))
+		}
+		if blk.Term != nil {
+			fmt.Fprintf(&b, "  %s%s", blk.Term, fsSuffix(blk.Term))
+			if len(blk.Succs) > 0 {
+				b.WriteString(" ->")
+				for _, s := range blk.Succs {
+					fmt.Fprintf(&b, " %s", s)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func fsSuffix(n *Node) string {
+	if n.FrameState == nil {
+		return ""
+	}
+	return "  {" + n.FrameState.String() + "}"
+}

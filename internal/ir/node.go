@@ -1,0 +1,304 @@
+// Package ir defines the compiler's SSA intermediate representation,
+// modeled on Graal IR as used by the CGO'14 Partial Escape Analysis paper:
+// basic blocks of ordered *fixed* (effectful) nodes ending in a terminator,
+// value nodes (including Phis) in SSA form, and FrameState nodes that map
+// every deoptimization-relevant point back to bytecode-level machine state
+// (method, bci, locals, expression stack), chained across inlined methods.
+//
+// Graal's PEA runs over a schedule of the sea of nodes — cfg blocks visited
+// in reverse postorder with data dependencies resolved — which is exactly
+// the shape this IR keeps at all times. Pure value nodes are placed in the
+// block where the graph builder created them and may be deduplicated across
+// dominating blocks by GVN.
+package ir
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+)
+
+// Op is an IR node operation.
+type Op uint8
+
+// IR operations. Value ops produce a result; fixed ops are ordered in a
+// block's node list; terminator ops end a block.
+const (
+	OpInvalid Op = iota
+
+	// Value ops (pure, no observable effect).
+
+	// OpParam is the i-th incoming argument (AuxInt = index, receiver
+	// first for instance methods).
+	OpParam
+	// OpConst is the integer constant AuxInt.
+	OpConst
+	// OpConstNull is the null reference.
+	OpConstNull
+	// OpPhi merges one value per predecessor of its block.
+	OpPhi
+	// OpArith is a binary integer op; Aux2 (a bc.Op) selects the operator.
+	// Division and remainder can trap and are fixed, not floating, but
+	// share this op code.
+	OpArith
+	// OpNeg is integer negation.
+	OpNeg
+	// OpCmp compares two ints under Cond, yielding 0 or 1.
+	OpCmp
+	// OpRefEq compares two references for identity, yielding 0 or 1.
+	OpRefEq
+	// OpInstanceOf tests whether input 0 is a non-null instance of Class.
+	OpInstanceOf
+	// OpVirtualObject stands for a scalar-replaced allocation inside
+	// FrameStates (AuxInt = object id). It never executes; the
+	// deoptimization runtime materializes it from the VirtualObjectState
+	// attached to the FrameState. Class/ElemKind+AuxArrayLen describe
+	// the allocation.
+	OpVirtualObject
+
+	// Fixed ops (ordered effects within a block).
+
+	// OpNew allocates an instance of Class.
+	OpNew
+	// OpNewArray allocates an array of ElemKind; input 0 is the length.
+	OpNewArray
+	// OpLoadField loads Field from input 0.
+	OpLoadField
+	// OpStoreField stores input 1 into Field of input 0.
+	OpStoreField
+	// OpLoadStatic loads the static Field.
+	OpLoadStatic
+	// OpStoreStatic stores input 0 into the static Field.
+	OpStoreStatic
+	// OpLoadIndexed loads element input 1 of array input 0 (ElemKind).
+	OpLoadIndexed
+	// OpStoreIndexed stores input 2 at element input 1 of array input 0.
+	OpStoreIndexed
+	// OpArrayLength reads the length of array input 0.
+	OpArrayLength
+	// OpMonitorEnter acquires the monitor of input 0.
+	OpMonitorEnter
+	// OpMonitorExit releases the monitor of input 0.
+	OpMonitorExit
+	// OpInvoke calls Method with the inputs as arguments (receiver
+	// first); Aux2 holds the original bc invoke op for dispatch kind.
+	OpInvoke
+	// OpPrint emits input 0 to the program output.
+	OpPrint
+	// OpRand produces the next PRNG value (AuxInt = modulus, 0 = none).
+	OpRand
+	// OpMaterialize allocates an object/array and initializes all fields
+	// from the inputs in one step (PEA's materialization; Graal's
+	// CommitAllocation). Class describes object allocations; for arrays
+	// Class is nil and ElemKind/AuxInt hold element kind and length.
+	// AuxLock holds the lock depth to re-establish on the fresh object.
+	OpMaterialize
+	// OpDeopt transfers execution to the interpreter using FrameState.
+	// Created by speculative branch pruning. Terminates its block.
+	OpDeopt
+
+	// Terminators.
+
+	// OpIf branches on input 0 (an int; nonzero = true) to Succs[0]
+	// (true) or Succs[1] (false).
+	OpIf
+	// OpGoto jumps to Succs[0].
+	OpGoto
+	// OpReturn returns input 0 (or nothing if no inputs).
+	OpReturn
+	// OpThrow aborts execution with the exception object input 0.
+	OpThrow
+)
+
+var opNames = [...]string{
+	OpInvalid:       "invalid",
+	OpParam:         "Param",
+	OpConst:         "Const",
+	OpConstNull:     "ConstNull",
+	OpPhi:           "Phi",
+	OpArith:         "Arith",
+	OpNeg:           "Neg",
+	OpCmp:           "Cmp",
+	OpRefEq:         "RefEq",
+	OpInstanceOf:    "InstanceOf",
+	OpVirtualObject: "VirtualObject",
+	OpNew:           "New",
+	OpNewArray:      "NewArray",
+	OpLoadField:     "LoadField",
+	OpStoreField:    "StoreField",
+	OpLoadStatic:    "LoadStatic",
+	OpStoreStatic:   "StoreStatic",
+	OpLoadIndexed:   "LoadIndexed",
+	OpStoreIndexed:  "StoreIndexed",
+	OpArrayLength:   "ArrayLength",
+	OpMonitorEnter:  "MonitorEnter",
+	OpMonitorExit:   "MonitorExit",
+	OpInvoke:        "Invoke",
+	OpPrint:         "Print",
+	OpRand:          "Rand",
+	OpMaterialize:   "Materialize",
+	OpDeopt:         "Deopt",
+	OpIf:            "If",
+	OpGoto:          "Goto",
+	OpReturn:        "Return",
+	OpThrow:         "Throw",
+}
+
+// String returns the op name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the op ends a block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpIf, OpGoto, OpReturn, OpThrow, OpDeopt:
+		return true
+	}
+	return false
+}
+
+// IsPure reports whether the op has no observable effect and may be
+// deduplicated, reordered or removed when unused. Arith is pure except for
+// div/rem, which is checked on the node (see Node.Pure).
+func (o Op) IsPure() bool {
+	switch o {
+	case OpParam, OpConst, OpConstNull, OpPhi, OpArith, OpNeg, OpCmp,
+		OpRefEq, OpInstanceOf, OpVirtualObject:
+		return true
+	}
+	return false
+}
+
+// HasSideEffect reports whether the op mutates observable state (and hence
+// cannot be removed even if its value is unused, and carries a FrameState).
+func (o Op) HasSideEffect() bool {
+	switch o {
+	case OpStoreField, OpStoreStatic, OpStoreIndexed, OpMonitorEnter,
+		OpMonitorExit, OpInvoke, OpPrint, OpRand:
+		return true
+	}
+	return false
+}
+
+// Node is one IR node.
+type Node struct {
+	ID     int
+	Op     Op
+	Kind   bc.Kind // result kind; KindVoid for non-value nodes
+	Inputs []*Node
+
+	// Block is the block the node is placed in. Phis live in
+	// Block.Phis, terminators in Block.Term, other nodes in Block.Nodes.
+	Block *Block
+
+	// AuxInt holds the constant for OpConst, the parameter index for
+	// OpParam, the modulus for OpRand, the array length for
+	// OpMaterialize arrays, and the virtual object id for
+	// OpVirtualObject.
+	AuxInt int64
+	// AuxLen is the array length for OpVirtualObject arrays (the id
+	// occupies AuxInt there).
+	AuxLen int64
+	// AuxLock is the monitor depth re-established by OpMaterialize (and
+	// recorded on OpVirtualObject for deoptimization).
+	AuxLock int
+	// Aux2 is the original bytecode op for OpArith (the operator) and
+	// OpInvoke (the dispatch kind).
+	Aux2 bc.Op
+	// Cond is the condition for OpCmp and OpRefEq (EQ/NE only for the
+	// latter).
+	Cond     bc.Cond
+	Class    *bc.Class
+	Field    *bc.Field
+	Method   *bc.Method
+	ElemKind bc.Kind
+
+	// FrameState maps this point to bytecode-level state; present on
+	// side-effecting fixed nodes and OpDeopt. For side effects it is the
+	// state *before* the effect with BCI at the effecting instruction —
+	// this VM only transfers to the interpreter at points where no
+	// partial effect has occurred, so re-executing the instruction is
+	// always sound.
+	FrameState *FrameState
+
+	// DeoptReason describes why an OpDeopt was inserted (diagnostics).
+	DeoptReason string
+
+	// BCI is the bytecode index this node originates from (-1 if
+	// synthetic).
+	BCI int
+}
+
+// Pure reports whether this node may be freely deduplicated/removed:
+// the op is pure and, for OpArith, the operator cannot trap.
+func (n *Node) Pure() bool {
+	if !n.Op.IsPure() {
+		return false
+	}
+	if n.Op == OpArith && (n.Aux2 == bc.OpDiv || n.Aux2 == bc.OpRem) {
+		return false
+	}
+	return true
+}
+
+// IsConst reports whether the node is an integer constant.
+func (n *Node) IsConst() bool { return n.Op == OpConst }
+
+// IsNullConst reports whether the node is the null constant.
+func (n *Node) IsNullConst() bool { return n.Op == OpConstNull }
+
+// String renders the node compactly, e.g. "v7 = Arith add v3 v4".
+func (n *Node) String() string {
+	if n == nil {
+		return "nil"
+	}
+	s := fmt.Sprintf("v%d = %s", n.ID, n.Op)
+	switch n.Op {
+	case OpConst, OpParam:
+		s += fmt.Sprintf(" %d", n.AuxInt)
+	case OpArith:
+		s += " " + n.Aux2.String()
+	case OpCmp, OpRefEq:
+		s += " " + n.Cond.String()
+	case OpNew, OpInstanceOf:
+		s += " " + n.Class.Name
+	case OpVirtualObject, OpMaterialize:
+		if n.Class != nil {
+			s += " " + n.Class.Name
+		} else if n.Op == OpMaterialize {
+			s += fmt.Sprintf(" %s[%d]", n.ElemKind, n.AuxInt)
+		} else {
+			s += fmt.Sprintf(" %s[%d]", n.ElemKind, n.AuxLen)
+		}
+		if n.Op == OpVirtualObject {
+			s += fmt.Sprintf(" id=%d", n.AuxInt)
+		}
+		if n.AuxLock > 0 {
+			s += fmt.Sprintf(" locks=%d", n.AuxLock)
+		}
+	case OpLoadField, OpStoreField, OpLoadStatic, OpStoreStatic:
+		s += " " + n.Field.QualifiedName()
+	case OpNewArray, OpLoadIndexed, OpStoreIndexed:
+		s += " " + n.ElemKind.String()
+	case OpInvoke:
+		s += fmt.Sprintf(" %s %s", n.Aux2, n.Method.QualifiedName())
+	case OpRand:
+		if n.AuxInt > 0 {
+			s += fmt.Sprintf(" %%%d", n.AuxInt)
+		}
+	case OpDeopt:
+		s += " [" + n.DeoptReason + "]"
+	}
+	for _, in := range n.Inputs {
+		if in == nil {
+			s += " v?"
+		} else {
+			s += fmt.Sprintf(" v%d", in.ID)
+		}
+	}
+	return s
+}

@@ -1,0 +1,689 @@
+package mj
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+)
+
+// Compile parses, checks and compiles MiniJava source to a linked bytecode
+// program. mainName names the entry point ("Main.main" convention; pass ""
+// for a library without an entry point).
+func Compile(src, mainName string) (*bc.Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := Check(f)
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{
+		ck:      ck,
+		asm:     bc.NewAssembler(),
+		classes: make(map[*classInfo]*bc.ClassAsm),
+		fields:  make(map[*fieldInfo]*bc.Field),
+		methods: make(map[*methodInfo]*bc.MethodAsm),
+	}
+	if err := g.declare(); err != nil {
+		return nil, err
+	}
+	if err := g.bodies(); err != nil {
+		return nil, err
+	}
+	return g.asm.Finish(mainName)
+}
+
+// MustCompile is Compile that panics on error; for tests and examples with
+// static sources.
+func MustCompile(src, mainName string) *bc.Program {
+	p, err := Compile(src, mainName)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func kindOf(t *Type) bc.Kind {
+	switch t.Kind {
+	case TypeVoid:
+		return bc.KindVoid
+	case TypeInt, TypeBool:
+		return bc.KindInt
+	default:
+		return bc.KindRef
+	}
+}
+
+// gen translates the checked AST to bytecode.
+type gen struct {
+	ck      *checker
+	asm     *bc.Assembler
+	classes map[*classInfo]*bc.ClassAsm
+	fields  map[*fieldInfo]*bc.Field
+	methods map[*methodInfo]*bc.MethodAsm
+}
+
+// declare creates all classes, fields and method shells, so bodies can
+// reference any symbol.
+func (g *gen) declare() error {
+	for _, ci := range g.ck.order {
+		ca := g.asm.Class(ci.decl.Name, ci.decl.Extends)
+		g.classes[ci] = ca
+		for _, fd := range ci.decl.Fields {
+			var fi *fieldInfo
+			if fd.Static {
+				fi = ci.statics[fd.Name]
+				g.fields[fi] = ca.Static(fd.Name, kindOf(fd.Type))
+			} else {
+				fi = ci.fields[fd.Name]
+				g.fields[fi] = ca.Field(fd.Name, kindOf(fd.Type))
+			}
+		}
+	}
+	for _, ci := range g.ck.order {
+		ca := g.classes[ci]
+		decl := func(mi *methodInfo) {
+			md := mi.decl
+			params := make([]bc.Kind, len(md.Params))
+			for i, p := range md.Params {
+				params[i] = kindOf(p.Type)
+			}
+			g.methods[mi] = ca.Method(md.Name, params, kindOf(mi.ret()), md.Static)
+		}
+		if ci.ctor != nil {
+			decl(ci.ctor)
+		}
+		for _, md := range ci.decl.Methods {
+			if !md.IsCtor {
+				decl(ci.methods[md.Name])
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gen) bodies() error {
+	for _, ci := range g.ck.order {
+		mis := make([]*methodInfo, 0, len(ci.decl.Methods))
+		if ci.ctor != nil {
+			mis = append(mis, ci.ctor)
+		}
+		for _, md := range ci.decl.Methods {
+			if !md.IsCtor {
+				mis = append(mis, ci.methods[md.Name])
+			}
+		}
+		for _, mi := range mis {
+			fg := &fngen{g: g, mi: mi, ma: g.methods[mi]}
+			if err := fg.run(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loopCtx tracks the labels and synchronized nesting of one loop.
+type loopCtx struct {
+	contLabel  string
+	breakLabel string
+	syncDepth  int
+}
+
+// fngen generates one method body.
+type fngen struct {
+	g  *gen
+	mi *methodInfo
+	ma *bc.MethodAsm
+
+	labelSeq int
+	// syncSlots holds the local slots of lock temporaries for all
+	// currently entered synchronized blocks.
+	syncSlots []int
+	loops     []loopCtx
+}
+
+func (f *fngen) label() string {
+	f.labelSeq++
+	return fmt.Sprintf("L%d", f.labelSeq)
+}
+
+func (f *fngen) run() error {
+	md := f.mi.decl
+	// Parameter slots: receiver is slot 0 for instance methods.
+	base := 0
+	if !md.Static {
+		base = 1
+	}
+	for i, v := range f.mi.paramVars {
+		v.slot = base + i
+	}
+	if err := f.stmts(md.Body); err != nil {
+		return err
+	}
+	// Implicit trailing return for void methods and constructors.
+	if kindOf(f.mi.ret()) == bc.KindVoid && !returnsAll(md.Body) {
+		f.ma.Return()
+	}
+	return nil
+}
+
+func (f *fngen) stmts(body []Stmt) error {
+	for _, s := range body {
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fngen) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		f.ma.SetLine(s.Line)
+		v := s.Binding.(*localVar)
+		v.slot = f.ma.NewLocal(kindOf(v.typ))
+		if err := f.expr(s.Init); err != nil {
+			return err
+		}
+		f.ma.Store(v.slot)
+		return nil
+	case *AssignStmt:
+		f.ma.SetLine(s.Line)
+		return f.assign(s)
+	case *IfStmt:
+		f.ma.SetLine(s.Line)
+		elseL, endL := f.label(), f.label()
+		if err := f.condJump(s.Cond, elseL, false); err != nil {
+			return err
+		}
+		if err := f.stmts(s.Then); err != nil {
+			return err
+		}
+		if len(s.Else) > 0 {
+			f.ma.Goto(endL)
+		}
+		f.ma.Label(elseL)
+		if len(s.Else) > 0 {
+			if err := f.stmts(s.Else); err != nil {
+				return err
+			}
+			f.ma.Label(endL)
+		}
+		return nil
+	case *WhileStmt:
+		f.ma.SetLine(s.Line)
+		head, end := f.label(), f.label()
+		f.ma.Label(head)
+		if err := f.condJump(s.Cond, end, false); err != nil {
+			return err
+		}
+		f.loops = append(f.loops, loopCtx{contLabel: head, breakLabel: end, syncDepth: len(f.syncSlots)})
+		err := f.stmts(s.Body)
+		f.loops = f.loops[:len(f.loops)-1]
+		if err != nil {
+			return err
+		}
+		f.ma.Goto(head)
+		f.ma.Label(end)
+		return nil
+	case *ForStmt:
+		f.ma.SetLine(s.Line)
+		if s.Init != nil {
+			if err := f.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		head, cont, end := f.label(), f.label(), f.label()
+		f.ma.Label(head)
+		if s.Cond != nil {
+			if err := f.condJump(s.Cond, end, false); err != nil {
+				return err
+			}
+		}
+		f.loops = append(f.loops, loopCtx{contLabel: cont, breakLabel: end, syncDepth: len(f.syncSlots)})
+		err := f.stmts(s.Body)
+		f.loops = f.loops[:len(f.loops)-1]
+		if err != nil {
+			return err
+		}
+		f.ma.Label(cont)
+		if s.Post != nil {
+			if err := f.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		f.ma.Goto(head)
+		f.ma.Label(end)
+		return nil
+	case *BreakStmt:
+		l := f.loops[len(f.loops)-1]
+		f.unwindSyncs(l.syncDepth)
+		f.ma.Goto(l.breakLabel)
+		return nil
+	case *ContinueStmt:
+		l := f.loops[len(f.loops)-1]
+		f.unwindSyncs(l.syncDepth)
+		f.ma.Goto(l.contLabel)
+		return nil
+	case *ReturnStmt:
+		f.ma.SetLine(s.Line)
+		if s.Value != nil {
+			if err := f.expr(s.Value); err != nil {
+				return err
+			}
+			f.unwindSyncs(0)
+			f.ma.ReturnValue()
+		} else {
+			f.unwindSyncs(0)
+			f.ma.Return()
+		}
+		return nil
+	case *ExprStmt:
+		f.ma.SetLine(s.Line)
+		call := s.X.(*CallExpr)
+		if err := f.expr(call); err != nil {
+			return err
+		}
+		if kindOf(call.T) != bc.KindVoid {
+			f.ma.Pop()
+		}
+		return nil
+	case *PrintStmt:
+		f.ma.SetLine(s.Line)
+		if err := f.expr(s.X); err != nil {
+			return err
+		}
+		f.ma.Print()
+		return nil
+	case *SyncStmt:
+		f.ma.SetLine(s.Line)
+		if err := f.expr(s.Lock); err != nil {
+			return err
+		}
+		slot := f.ma.NewLocal(bc.KindRef)
+		f.ma.Dup().Store(slot).MonitorEnter()
+		f.syncSlots = append(f.syncSlots, slot)
+		err := f.stmts(s.Body)
+		f.syncSlots = f.syncSlots[:len(f.syncSlots)-1]
+		if err != nil {
+			return err
+		}
+		if !returnsAll(s.Body) {
+			f.ma.Load(slot).MonitorExit()
+		}
+		return nil
+	case *ThrowStmt:
+		f.ma.SetLine(s.Line)
+		if err := f.expr(s.X); err != nil {
+			return err
+		}
+		f.ma.Throw()
+		return nil
+	case *BlockStmt:
+		return f.stmts(s.Body)
+	default:
+		return fmt.Errorf("mj: codegen: unknown statement %T", s)
+	}
+}
+
+// unwindSyncs releases monitors entered above the given depth (for return,
+// break, and continue leaving synchronized regions).
+func (f *fngen) unwindSyncs(depth int) {
+	for i := len(f.syncSlots) - 1; i >= depth; i-- {
+		f.ma.Load(f.syncSlots[i]).MonitorExit()
+	}
+}
+
+func (f *fngen) assign(s *AssignStmt) error {
+	switch t := s.Target.(type) {
+	case *IdentExpr:
+		switch b := t.Binding.(type) {
+		case *localVar:
+			if err := f.expr(s.Value); err != nil {
+				return err
+			}
+			f.ma.Store(b.slot)
+		case *fieldInfo:
+			if b.static {
+				if err := f.expr(s.Value); err != nil {
+					return err
+				}
+				f.ma.PutStatic(f.g.fields[b])
+			} else {
+				f.ma.Load(0)
+				if err := f.expr(s.Value); err != nil {
+					return err
+				}
+				f.ma.PutField(f.g.fields[b])
+			}
+		default:
+			return fmt.Errorf("mj: codegen: unresolved identifier %s", t.Name)
+		}
+		return nil
+	case *FieldExpr:
+		fi := t.Ref.(*fieldInfo)
+		if fi.static {
+			if err := f.expr(s.Value); err != nil {
+				return err
+			}
+			f.ma.PutStatic(f.g.fields[fi])
+			return nil
+		}
+		if err := f.expr(t.Obj); err != nil {
+			return err
+		}
+		if err := f.expr(s.Value); err != nil {
+			return err
+		}
+		f.ma.PutField(f.g.fields[fi])
+		return nil
+	case *IndexExpr:
+		if err := f.expr(t.Arr); err != nil {
+			return err
+		}
+		if err := f.expr(t.Idx); err != nil {
+			return err
+		}
+		if err := f.expr(s.Value); err != nil {
+			return err
+		}
+		f.ma.ArrayStore(kindOf(t.T))
+		return nil
+	default:
+		return fmt.Errorf("mj: codegen: bad assignment target %T", t)
+	}
+}
+
+var arithOps = map[string]bc.Op{
+	"+": bc.OpAdd, "-": bc.OpSub, "*": bc.OpMul, "/": bc.OpDiv, "%": bc.OpRem,
+	"&": bc.OpAnd, "|": bc.OpOr, "^": bc.OpXor,
+	"<<": bc.OpShl, ">>": bc.OpShr, ">>>": bc.OpUShr,
+}
+
+var cmpOps = map[string]bc.Cond{
+	"==": bc.CondEQ, "!=": bc.CondNE,
+	"<": bc.CondLT, "<=": bc.CondLE, ">": bc.CondGT, ">=": bc.CondGE,
+}
+
+// expr generates code leaving the expression's value on the stack.
+func (f *fngen) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		f.ma.Const(e.Val)
+	case *BoolLit:
+		if e.Val {
+			f.ma.Const(1)
+		} else {
+			f.ma.Const(0)
+		}
+	case *NullLit:
+		f.ma.ConstNull()
+	case *ThisExpr:
+		f.ma.Load(0)
+	case *IdentExpr:
+		switch b := e.Binding.(type) {
+		case *localVar:
+			f.ma.Load(b.slot)
+		case *fieldInfo:
+			if b.static {
+				f.ma.GetStatic(f.g.fields[b])
+			} else {
+				f.ma.Load(0).GetField(f.g.fields[b])
+			}
+		default:
+			return fmt.Errorf("mj: codegen: unresolved identifier %s", e.Name)
+		}
+	case *FieldExpr:
+		fi := e.Ref.(*fieldInfo)
+		if fi.static {
+			f.ma.GetStatic(f.g.fields[fi])
+			return nil
+		}
+		if err := f.expr(e.Obj); err != nil {
+			return err
+		}
+		f.ma.GetField(f.g.fields[fi])
+	case *IndexExpr:
+		if err := f.expr(e.Arr); err != nil {
+			return err
+		}
+		if err := f.expr(e.Idx); err != nil {
+			return err
+		}
+		f.ma.ArrayLoad(kindOf(e.T))
+	case *LenExpr:
+		if err := f.expr(e.Arr); err != nil {
+			return err
+		}
+		f.ma.ArrayLen()
+	case *CallExpr:
+		mi := e.Ref.(*methodInfo)
+		if !mi.decl.Static {
+			if e.Obj != nil {
+				if err := f.expr(e.Obj); err != nil {
+					return err
+				}
+			} else {
+				f.ma.Load(0) // implicit this
+			}
+		}
+		for _, a := range e.Args {
+			if err := f.expr(a); err != nil {
+				return err
+			}
+		}
+		if mi.decl.Static {
+			f.ma.InvokeStatic(f.g.methods[mi].Ref())
+		} else {
+			f.ma.InvokeVirtual(f.g.methods[mi].Ref())
+		}
+	case *NewExpr:
+		ci := f.g.ck.classes[e.Class]
+		f.ma.New(f.g.classes[ci].Ref())
+		if ci.ctor != nil {
+			f.ma.Dup()
+			for _, a := range e.Args {
+				if err := f.expr(a); err != nil {
+					return err
+				}
+			}
+			f.ma.InvokeDirect(f.g.methods[ci.ctor].Ref())
+		}
+	case *NewArrayExpr:
+		if err := f.expr(e.Len); err != nil {
+			return err
+		}
+		f.ma.NewArray(kindOf(e.Elem))
+	case *UnaryExpr:
+		switch e.Op {
+		case "-":
+			if err := f.expr(e.X); err != nil {
+				return err
+			}
+			f.ma.Neg()
+		case "~":
+			if err := f.expr(e.X); err != nil {
+				return err
+			}
+			f.ma.Const(-1).Arith(bc.OpXor)
+		case "!":
+			if err := f.expr(e.X); err != nil {
+				return err
+			}
+			f.ma.Const(1).Arith(bc.OpXor)
+		}
+	case *BinaryExpr:
+		switch e.Op {
+		case "&&", "||":
+			return f.boolViaBranches(e)
+		case "==", "!=":
+			if e.L.typ().isRef() {
+				return f.boolViaBranches(e)
+			}
+			if err := f.expr(e.L); err != nil {
+				return err
+			}
+			if err := f.expr(e.R); err != nil {
+				return err
+			}
+			f.ma.Cmp(cmpOps[e.Op])
+		case "<", "<=", ">", ">=":
+			if err := f.expr(e.L); err != nil {
+				return err
+			}
+			if err := f.expr(e.R); err != nil {
+				return err
+			}
+			f.ma.Cmp(cmpOps[e.Op])
+		default:
+			if err := f.expr(e.L); err != nil {
+				return err
+			}
+			if err := f.expr(e.R); err != nil {
+				return err
+			}
+			f.ma.Arith(arithOps[e.Op])
+		}
+	case *InstanceOfExpr:
+		if err := f.expr(e.X); err != nil {
+			return err
+		}
+		f.ma.InstanceOf(f.g.classes[f.g.ck.classes[e.Class]].Ref())
+	case *RandExpr:
+		mod := int64(0)
+		if e.Mod != nil {
+			mod = e.Mod.(*IntLit).Val
+		}
+		f.ma.Rand(mod)
+	default:
+		return fmt.Errorf("mj: codegen: unknown expression %T", e)
+	}
+	return nil
+}
+
+// boolViaBranches materializes a boolean value for expressions that only
+// have branching forms (short-circuit operators, reference comparisons).
+func (f *fngen) boolViaBranches(e Expr) error {
+	trueL, endL := f.label(), f.label()
+	if err := f.condJump(e, trueL, true); err != nil {
+		return err
+	}
+	f.ma.Const(0).Goto(endL)
+	f.ma.Label(trueL).Const(1)
+	f.ma.Label(endL)
+	return nil
+}
+
+// condJump emits a jump to label when e evaluates to whenTrue, falling
+// through otherwise.
+func (f *fngen) condJump(e Expr, label string, whenTrue bool) error {
+	switch e := e.(type) {
+	case *BoolLit:
+		if e.Val == whenTrue {
+			f.ma.Goto(label)
+		}
+		return nil
+	case *UnaryExpr:
+		if e.Op == "!" {
+			return f.condJump(e.X, label, !whenTrue)
+		}
+	case *BinaryExpr:
+		switch e.Op {
+		case "&&":
+			if whenTrue {
+				skip := f.label()
+				if err := f.condJump(e.L, skip, false); err != nil {
+					return err
+				}
+				if err := f.condJump(e.R, label, true); err != nil {
+					return err
+				}
+				f.ma.Label(skip)
+				return nil
+			}
+			if err := f.condJump(e.L, label, false); err != nil {
+				return err
+			}
+			return f.condJump(e.R, label, false)
+		case "||":
+			if whenTrue {
+				if err := f.condJump(e.L, label, true); err != nil {
+					return err
+				}
+				return f.condJump(e.R, label, true)
+			}
+			skip := f.label()
+			if err := f.condJump(e.L, skip, true); err != nil {
+				return err
+			}
+			if err := f.condJump(e.R, label, false); err != nil {
+				return err
+			}
+			f.ma.Label(skip)
+			return nil
+		case "==", "!=":
+			cond := cmpOps[e.Op]
+			if !whenTrue {
+				cond = cond.Negate()
+			}
+			if e.L.typ().isRef() {
+				// Prefer IfNull when one side is the null literal.
+				if _, ok := e.R.(*NullLit); ok {
+					if err := f.expr(e.L); err != nil {
+						return err
+					}
+					f.ma.IfNull(cond, label)
+					return nil
+				}
+				if _, ok := e.L.(*NullLit); ok {
+					if err := f.expr(e.R); err != nil {
+						return err
+					}
+					f.ma.IfNull(cond, label)
+					return nil
+				}
+				if err := f.expr(e.L); err != nil {
+					return err
+				}
+				if err := f.expr(e.R); err != nil {
+					return err
+				}
+				f.ma.IfRef(cond, label)
+				return nil
+			}
+			if err := f.expr(e.L); err != nil {
+				return err
+			}
+			if err := f.expr(e.R); err != nil {
+				return err
+			}
+			f.ma.IfCmp(cond, label)
+			return nil
+		case "<", "<=", ">", ">=":
+			cond := cmpOps[e.Op]
+			if !whenTrue {
+				cond = cond.Negate()
+			}
+			if err := f.expr(e.L); err != nil {
+				return err
+			}
+			if err := f.expr(e.R); err != nil {
+				return err
+			}
+			f.ma.IfCmp(cond, label)
+			return nil
+		}
+	}
+	// Generic boolean value.
+	if err := f.expr(e); err != nil {
+		return err
+	}
+	if whenTrue {
+		f.ma.If(bc.CondNE, label)
+	} else {
+		f.ma.If(bc.CondEQ, label)
+	}
+	return nil
+}

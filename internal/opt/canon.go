@@ -1,0 +1,206 @@
+package opt
+
+import (
+	"pea/internal/bc"
+	"pea/internal/interp"
+	"pea/internal/ir"
+)
+
+// Canonicalize folds constants, applies algebraic identities, simplifies
+// trivial phis, and statically resolves reference equalities and type
+// checks where the IR proves them. It matches the role of Graal's
+// canonicalizer, with which the paper's PEA cooperates (§5: "equality
+// checks on object references... type checks on virtual objects can be
+// performed at compile time" rely on this machinery to clean up).
+type Canonicalize struct{}
+
+// Name implements Phase.
+func (Canonicalize) Name() string { return "canonicalize" }
+
+// Run implements Phase.
+func (Canonicalize) Run(g *ir.Graph) (bool, error) {
+	changed := false
+	for {
+		c := runCanonOnce(g)
+		changed = changed || c
+		if !c {
+			return changed, nil
+		}
+	}
+}
+
+func runCanonOnce(g *ir.Graph) bool {
+	changed := false
+	for _, b := range g.Blocks {
+		// Trivial phis: all inputs identical (ignoring self-references).
+		for _, phi := range append([]*ir.Node(nil), b.Phis...) {
+			if v := trivialPhiValue(phi); v != nil {
+				g.ReplaceAllUsages(phi, v)
+				g.RemovePhi(phi)
+				changed = true
+			}
+		}
+		for _, n := range append([]*ir.Node(nil), b.Nodes...) {
+			if v := canonValue(g, b, n); v != nil && v != n {
+				g.ReplaceAllUsages(n, v)
+				// Division and remainder are not Pure() because they
+				// can trap — but canonValue only rewrites them when
+				// evaluation succeeded (non-zero divisor), so the
+				// original node is removable; leaving it would refold
+				// it forever.
+				if n.Pure() || n.Op == ir.OpArith {
+					g.RemoveNode(n)
+				}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// trivialPhiValue returns the unique non-self input of a phi, or nil if the
+// phi is not trivial.
+func trivialPhiValue(phi *ir.Node) *ir.Node {
+	var v *ir.Node
+	for _, in := range phi.Inputs {
+		if in == phi || in == nil {
+			continue
+		}
+		if v == nil {
+			v = in
+		} else if v != in {
+			return nil
+		}
+	}
+	return v
+}
+
+// canonValue returns a simplified replacement for n, or nil.
+func canonValue(g *ir.Graph, b *ir.Block, n *ir.Node) *ir.Node {
+	mkConst := func(v int64) *ir.Node {
+		c := g.NewNode(ir.OpConst, bc.KindInt)
+		c.AuxInt = v
+		c.BCI = n.BCI
+		g.InsertBefore(b, c, n)
+		return c
+	}
+	switch n.Op {
+	case ir.OpArith:
+		x, y := n.Inputs[0], n.Inputs[1]
+		if x.IsConst() && y.IsConst() {
+			if r, err := interp.EvalArith(n.Aux2, x.AuxInt, y.AuxInt); err == nil {
+				return mkConst(r)
+			}
+			return nil // constant div/rem by zero: keep the trap
+		}
+		switch n.Aux2 {
+		case bc.OpAdd:
+			if x.IsConst() && x.AuxInt == 0 {
+				return y
+			}
+			if y.IsConst() && y.AuxInt == 0 {
+				return x
+			}
+		case bc.OpSub:
+			if y.IsConst() && y.AuxInt == 0 {
+				return x
+			}
+			if x == y {
+				return mkConst(0)
+			}
+		case bc.OpMul:
+			if x.IsConst() && x.AuxInt == 1 {
+				return y
+			}
+			if y.IsConst() && y.AuxInt == 1 {
+				return x
+			}
+			if x.IsConst() && x.AuxInt == 0 || y.IsConst() && y.AuxInt == 0 {
+				return mkConst(0)
+			}
+		case bc.OpDiv:
+			if y.IsConst() && y.AuxInt == 1 {
+				return x
+			}
+		case bc.OpAnd, bc.OpOr:
+			if x == y {
+				return x
+			}
+		case bc.OpXor:
+			if x == y {
+				return mkConst(0)
+			}
+		case bc.OpShl, bc.OpShr, bc.OpUShr:
+			if y.IsConst() && y.AuxInt == 0 {
+				return x
+			}
+		}
+	case ir.OpNeg:
+		if n.Inputs[0].IsConst() {
+			return mkConst(-n.Inputs[0].AuxInt)
+		}
+	case ir.OpCmp:
+		x, y := n.Inputs[0], n.Inputs[1]
+		if x.IsConst() && y.IsConst() {
+			return mkConst(b2i(n.Cond.EvalInt(x.AuxInt, y.AuxInt)))
+		}
+		if x == y {
+			switch n.Cond {
+			case bc.CondEQ, bc.CondLE, bc.CondGE:
+				return mkConst(1)
+			case bc.CondNE, bc.CondLT, bc.CondGT:
+				return mkConst(0)
+			}
+		}
+	case ir.OpRefEq:
+		x, y := n.Inputs[0], n.Inputs[1]
+		eq := -1 // unknown
+		switch {
+		case x == y:
+			eq = 1
+		case x.IsNullConst() && y.IsNullConst():
+			eq = 1
+		case x.Op == ir.OpNew && y.IsNullConst(),
+			y.Op == ir.OpNew && x.IsNullConst(),
+			x.Op == ir.OpMaterialize && y.IsNullConst(),
+			y.Op == ir.OpMaterialize && x.IsNullConst():
+			eq = 0
+		case x.Op == ir.OpNew && y.Op == ir.OpNew && x != y:
+			eq = 0
+		}
+		if eq >= 0 {
+			want := eq == 1
+			if n.Cond == bc.CondNE {
+				want = !want
+			}
+			return mkConst(b2i(want))
+		}
+	case ir.OpInstanceOf:
+		x := n.Inputs[0]
+		if x.IsNullConst() {
+			return mkConst(0)
+		}
+		if x.Op == ir.OpNew || (x.Op == ir.OpMaterialize && x.Class != nil) {
+			return mkConst(b2i(x.Class.IsSubclassOf(n.Class)))
+		}
+		if x.Op == ir.OpNewArray || (x.Op == ir.OpMaterialize && x.Class == nil) {
+			return mkConst(0)
+		}
+	case ir.OpArrayLength:
+		arr := n.Inputs[0]
+		if arr.Op == ir.OpNewArray && arr.Inputs[0].IsConst() && arr.Inputs[0].AuxInt >= 0 {
+			return mkConst(arr.Inputs[0].AuxInt)
+		}
+		if arr.Op == ir.OpMaterialize && arr.Class == nil {
+			return mkConst(arr.AuxInt)
+		}
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+package opt
+
+import (
+	"pea/internal/ir"
+)
+
+// DCE removes pure nodes (and phis) with no remaining usages, iterating to
+// a fixpoint so chains of dead computations disappear. Non-pure nodes —
+// including loads, which can trap on null, and allocations, whose removal
+// is escape analysis's job — are never touched.
+type DCE struct{}
+
+// Name implements Phase.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Phase.
+func (DCE) Run(g *ir.Graph) (bool, error) {
+	changed := false
+	for {
+		counts := g.UsageCounts()
+		removed := false
+		for _, b := range g.Blocks {
+			for _, phi := range append([]*ir.Node(nil), b.Phis...) {
+				if counts[phi] == 0 || onlySelfUse(phi, counts) {
+					g.RemovePhi(phi)
+					removed = true
+				}
+			}
+			for _, n := range append([]*ir.Node(nil), b.Nodes...) {
+				if n.Pure() && counts[n] == 0 {
+					g.RemoveNode(n)
+					removed = true
+				}
+			}
+		}
+		changed = changed || removed
+		if !removed {
+			return changed, nil
+		}
+	}
+}
+
+// onlySelfUse reports whether a phi's only usage is itself (a dead loop
+// phi).
+func onlySelfUse(phi *ir.Node, counts map[*ir.Node]int) bool {
+	if counts[phi] == 0 {
+		return true
+	}
+	self := 0
+	for _, in := range phi.Inputs {
+		if in == phi {
+			self++
+		}
+	}
+	return self > 0 && counts[phi] == self
+}

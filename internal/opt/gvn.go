@@ -1,0 +1,102 @@
+package opt
+
+import (
+	"fmt"
+
+	"pea/internal/ir"
+	"pea/internal/sched"
+)
+
+// GVN performs dominance-based global value numbering over pure nodes: a
+// pure node is replaced by an equivalent node computed in a dominating
+// block (or earlier in the same block).
+type GVN struct{}
+
+// Name implements Phase.
+func (GVN) Name() string { return "gvn" }
+
+// Run implements Phase.
+func (GVN) Run(g *ir.Graph) (bool, error) {
+	g.RemoveDeadBlocks()
+	cfg, err := sched.Compute(g)
+	if err != nil {
+		return false, err
+	}
+	changed := false
+	// Scoped hash table: walk the dominator tree in RPO; since RPO
+	// visits dominators before dominated blocks, a global table keyed by
+	// value signature holding the *representative list* works if we
+	// check dominance before substituting.
+	table := make(map[string][]*ir.Node)
+	for _, b := range cfg.RPO {
+		// Phis are keyed on (block, inputs): identical phis in one
+		// block merge.
+		for _, phi := range append([]*ir.Node(nil), b.Phis...) {
+			key := phiKey(b, phi)
+			dup := findDominating(cfg, table[key], phi)
+			if dup != nil && dup != phi && dup.Block == b {
+				g.ReplaceAllUsages(phi, dup)
+				g.RemovePhi(phi)
+				changed = true
+				continue
+			}
+			table[key] = append(table[key], phi)
+		}
+		for _, n := range append([]*ir.Node(nil), b.Nodes...) {
+			if !n.Pure() || n.Op == ir.OpPhi || n.Op == ir.OpVirtualObject {
+				continue
+			}
+			key := valueKey(n)
+			if dup := findDominating(cfg, table[key], n); dup != nil {
+				g.ReplaceAllUsages(n, dup)
+				g.RemoveNode(n)
+				changed = true
+				continue
+			}
+			table[key] = append(table[key], n)
+		}
+	}
+	return changed, nil
+}
+
+// findDominating returns a candidate from list whose block dominates n's
+// block (same-block candidates were inserted earlier in program order, so
+// they are safe too).
+func findDominating(cfg *sched.CFG, list []*ir.Node, n *ir.Node) *ir.Node {
+	for _, cand := range list {
+		if cand == n {
+			continue
+		}
+		if cand.Block == n.Block || cfg.Dominates(cand.Block, n.Block) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// valueKey builds a structural hash key for a pure node.
+func valueKey(n *ir.Node) string {
+	key := fmt.Sprintf("%d|%d|%d|%d|%d", n.Op, n.Kind, n.AuxInt, n.Aux2, n.Cond)
+	if n.Class != nil {
+		key += "|c" + n.Class.Name
+	}
+	if n.Field != nil {
+		key += "|f" + n.Field.QualifiedName()
+	}
+	for _, in := range n.Inputs {
+		key += fmt.Sprintf("|v%d", in.ID)
+	}
+	return key
+}
+
+func phiKey(b *ir.Block, phi *ir.Node) string {
+	key := fmt.Sprintf("phi|b%d|%d", b.ID, phi.Kind)
+	for _, in := range phi.Inputs {
+		if in == nil {
+			key += "|nil"
+		} else {
+			key += fmt.Sprintf("|v%d", in.ID)
+		}
+	}
+	return key
+}

@@ -1,0 +1,69 @@
+// Package opt implements the optimization phases that Partial Escape
+// Analysis depends on in the paper's system: canonicalization (constant
+// folding and algebraic simplification), control-flow simplification,
+// global value numbering, dead code elimination, inlining with
+// devirtualization, and profile-guided speculative branch pruning (which
+// introduces the deoptimization points that exercise the paper's
+// FrameState machinery, §5.5).
+package opt
+
+import (
+	"fmt"
+
+	"pea/internal/ir"
+)
+
+// Phase is one graph transformation.
+type Phase interface {
+	Name() string
+	// Run transforms g in place and reports whether anything changed.
+	Run(g *ir.Graph) (bool, error)
+}
+
+// Pipeline runs phases in order, iterating the whole sequence until a
+// fixpoint or the iteration cap is reached.
+type Pipeline struct {
+	Phases []Phase
+	// MaxRounds bounds full-pipeline iterations (default 4).
+	MaxRounds int
+	// Validate runs the IR verifier after every phase when set.
+	Validate bool
+}
+
+// Run executes the pipeline on g.
+func (p *Pipeline) Run(g *ir.Graph) error {
+	rounds := p.MaxRounds
+	if rounds == 0 {
+		rounds = 4
+	}
+	for r := 0; r < rounds; r++ {
+		changed := false
+		for _, ph := range p.Phases {
+			c, err := ph.Run(g)
+			if err != nil {
+				return fmt.Errorf("opt: phase %s: %w", ph.Name(), err)
+			}
+			if p.Validate {
+				if err := ir.Verify(g); err != nil {
+					return fmt.Errorf("opt: phase %s broke the graph: %w", ph.Name(), err)
+				}
+			}
+			changed = changed || c
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Standard returns the default non-speculative pipeline: canonicalize,
+// simplify control flow, value-number, and eliminate dead code.
+func Standard() *Pipeline {
+	return &Pipeline{Phases: []Phase{
+		Canonicalize{},
+		SimplifyCFG{},
+		GVN{},
+		DCE{},
+	}}
+}

@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/build"
+	"pea/internal/interp"
+	"pea/internal/ir"
+	"pea/internal/rt"
+)
+
+// profiledProgram builds m(x) { if (x < 100) return 1; return 2; } and
+// interprets it with the given arguments to collect a branch profile.
+func profiledProgram(t *testing.T, args ...int64) (*bc.Program, *ir.Graph, *interp.Profile) {
+	t.Helper()
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	m.Load(0).Const(100).IfCmp(bc.CondLT, "small")
+	m.Const(2).ReturnValue()
+	m.Label("small").Const(1).ReturnValue()
+	prog, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meth := prog.ClassByName("C").MethodByName("m")
+	env := rt.NewEnv(prog, 1)
+	it := interp.New(env)
+	for _, x := range args {
+		if _, err := it.Call(meth, []rt.Value{rt.IntValue(x)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := build.Build(meth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g, it.Profile
+}
+
+func TestPrunesNeverTakenBranch(t *testing.T) {
+	// Only small arguments: the branch is always taken.
+	args := make([]int64, 60)
+	_, g, prof := profiledProgram(t, args...)
+	pr := &BranchPruner{Profile: prof, MinTotal: 50}
+	changed, err := pr.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("nothing pruned")
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatalf("%v\n%s", err, ir.Dump(g))
+	}
+	deopts, returns := 0, 0
+	g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+		switch n.Op {
+		case ir.OpDeopt:
+			deopts++
+			if n.FrameState == nil {
+				t.Fatal("deopt without frame state")
+			}
+		case ir.OpReturn:
+			returns++
+		}
+	})
+	if deopts != 1 || returns != 1 {
+		t.Fatalf("deopts=%d returns=%d, want 1/1\n%s", deopts, returns, ir.Dump(g))
+	}
+}
+
+func TestNoPruningOnBalancedProfile(t *testing.T) {
+	args := []int64{}
+	for i := 0; i < 30; i++ {
+		args = append(args, 5, 500)
+	}
+	_, g, prof := profiledProgram(t, args...)
+	pr := &BranchPruner{Profile: prof, MinTotal: 50}
+	changed, err := pr.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("balanced branch pruned:\n%s", ir.Dump(g))
+	}
+}
+
+func TestNoPruningBelowMinTotal(t *testing.T) {
+	_, g, prof := profiledProgram(t, 1, 2, 3)
+	pr := &BranchPruner{Profile: prof, MinTotal: 50}
+	changed, err := pr.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("pruned on insufficient data")
+	}
+}
+
+func TestNoPruningWithoutProfile(t *testing.T) {
+	_, g, _ := profiledProgram(t, 1)
+	pr := &BranchPruner{}
+	changed, err := pr.Run(g)
+	if err != nil || changed {
+		t.Fatalf("changed=%v err=%v", changed, err)
+	}
+}
+
+func TestMergeBlocksCollapsesChains(t *testing.T) {
+	// if (1) { a } else { b } collapses to a single block after constant
+	// folding and merging.
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	m.Const(1).If(bc.CondNE, "t")
+	m.Load(0).ReturnValue()
+	m.Label("t").Load(0).Const(1).Add().ReturnValue()
+	prog, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := build.Build(prog.ClassByName("C").MethodByName("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Standard().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1 after folding+merging:\n%s", len(g.Blocks), ir.Dump(g))
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyKeepsLoops(t *testing.T) {
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	i := m.NewLocal(bc.KindInt)
+	m.Const(0).Store(i)
+	m.Label("h").Load(i).Load(0).IfCmp(bc.CondGE, "d")
+	m.Load(i).Const(1).Add().Store(i)
+	m.Goto("h")
+	m.Label("d").Load(i).ReturnValue()
+	prog, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := build.Build(prog.ClassByName("C").MethodByName("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := 0
+	g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+		if n.Op == ir.OpIf {
+			before++
+		}
+	})
+	if err := Standard().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	after := 0
+	g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+		if n.Op == ir.OpIf {
+			after++
+		}
+	})
+	if before != 1 || after != 1 {
+		t.Fatalf("loop If count changed: %d -> %d", before, after)
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCEKeepsFrameStateValues(t *testing.T) {
+	// A pure value referenced only by a frame state must survive DCE
+	// (deoptimization needs it).
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	x := m.NewLocal(bc.KindInt)
+	m.Load(0).Const(3).Mul().Store(x)
+	m.Const(0).Print() // frame state holds x if live
+	m.Load(x).ReturnValue()
+	prog, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := build.Build(prog.ClassByName("C").MethodByName("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Standard().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	muls := 0
+	g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+		if n.Op == ir.OpArith && n.Aux2 == bc.OpMul {
+			muls++
+		}
+	})
+	if muls != 1 {
+		t.Fatalf("mul count = %d (DCE must keep the returned value)", muls)
+	}
+}

@@ -1,0 +1,346 @@
+package pea
+
+import (
+	"sort"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+)
+
+// merge implements the paper's MergeProcessor (§5.3, Figure 6). It merges
+// the exit states of b's predecessors into b's entry state:
+//
+//   - only ids live in every available predecessor survive (Figure 6a);
+//   - ids escaped everywhere merge their materialized values, with a phi
+//     when they differ (Figure 6b);
+//   - mixed virtual/escaped ids are materialized at the virtual
+//     predecessors' edges and handled as escaped;
+//   - all-virtual ids merge field-wise, creating phis for differing
+//     values; phi inputs that are virtual are materialized first;
+//   - pre-existing phis at the merge become aliases of an id when all
+//     their inputs alias that id (Figure 6c), otherwise aliased inputs
+//     are replaced with materialized values.
+//
+// The process iterates until no additional materializations occur. During
+// loop analysis, predecessors whose exit state is not yet known (back
+// edges on the first round) are skipped, which makes the first-round entry
+// exactly the paper's "speculative state" (§5.4).
+//
+// In emit mode the same decisions are replayed, and the effects —
+// materializations in predecessor blocks, new phis, substituted phi
+// inputs — are applied to the graph.
+func (a *analyzer) merge(b *ir.Block) *peaState {
+	// Available predecessors (parallel slices). Edge materializations
+	// mutate the working state copies; predecessors of a merge have a
+	// single successor (critical edges are split), so the mutation
+	// scope is exactly the edge.
+	var (
+		pIdx []int
+		pBlk []*ir.Block
+		pSt  []*peaState
+	)
+	for i, p := range b.Preds {
+		if ex := a.exits[p]; ex != nil {
+			pIdx = append(pIdx, i)
+			pBlk = append(pBlk, p)
+			pSt = append(pSt, ex.clone())
+		}
+	}
+	merged := newPeaState()
+	if len(pSt) == 0 {
+		return merged
+	}
+
+	for iter := 0; ; iter++ {
+		merged = newPeaState()
+		materializedSomething := false
+
+		// Figure 6a: intersection of live ids.
+		alive := make(map[objID]int)
+		for _, st := range pSt {
+			for id := range st.objs {
+				alive[id]++
+			}
+		}
+		var ids []objID
+		surviving := make(map[objID]bool)
+		for id, c := range alive {
+			if c == len(pSt) && a.hasFutureRef(b, id) {
+				ids = append(ids, id)
+				surviving[id] = true
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// Survival is closed under field reachability: a virtual object
+		// held in a surviving object's field must survive too, even if
+		// no direct alias of it is live anymore.
+		for w := 0; w < len(ids); w++ {
+			id := ids[w]
+			for _, st := range pSt {
+				os := st.objs[id]
+				if !os.virtual {
+					continue
+				}
+				for _, f := range os.fields {
+					fid, ok := a.aliasIn(st, a.resolveScalar(f))
+					if ok && alive[fid] == len(pSt) && !surviving[fid] {
+						surviving[fid] = true
+						ids = append(ids, fid)
+					}
+				}
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		for _, id := range ids {
+			allVirtual, anyVirtual := true, false
+			for _, st := range pSt {
+				if st.objs[id].virtual {
+					anyVirtual = true
+				} else {
+					allVirtual = false
+				}
+			}
+			if allVirtual && a.lockDepthsAgree(pSt, id) {
+				ns, mat := a.mergeVirtual(b, pBlk, pSt, id)
+				if mat {
+					materializedSomething = true
+				}
+				merged.objs[id] = ns
+				continue
+			}
+			if anyVirtual {
+				// Mixed (or lock-depth conflict): materialize
+				// at the virtual predecessors' edges.
+				for k, st := range pSt {
+					if st.objs[id].virtual {
+						a.materializeAt(st, id, pBlk[k], nil)
+						materializedSomething = true
+					}
+				}
+			}
+			// All escaped now: merge materialized values
+			// (Figure 6b).
+			vals := make([]*ir.Node, len(pSt))
+			same := true
+			for k, st := range pSt {
+				vals[k] = st.objs[id].materialized
+				if vals[k] != vals[0] {
+					same = false
+				}
+			}
+			if same {
+				merged.objs[id] = &objState{materialized: vals[0]}
+			} else {
+				phi := a.mergePhi(b, id, -1, bc.KindRef)
+				a.setPhiInputs(b, phi, pIdx, vals)
+				merged.objs[id] = &objState{materialized: phi}
+			}
+		}
+
+		// Figure 6c: pre-existing phis. During loop analysis the back
+		// edges may be unavailable (paper §5.4: the first pass runs on
+		// the speculative state); aliasing is then decided
+		// optimistically from the available inputs — a loop-carried
+		// object whose back-edge input is the phi itself resolves
+		// through the alias established here in the next round, and a
+		// wrong speculation is corrected when the back-edge states
+		// arrive.
+		for _, phi := range b.Phis {
+			if phi.Kind != bc.KindRef || a.ourPhis[phi] {
+				continue
+			}
+			sameID := objID(-1)
+			allSame := true
+			for k := range pSt {
+				in := a.resolveScalar(phi.Inputs[pIdx[k]])
+				id, ok := a.aliasIn(pSt[k], in)
+				if !ok {
+					allSame = false
+					break
+				}
+				if sameID == -1 {
+					sameID = id
+				} else if sameID != id {
+					allSame = false
+					break
+				}
+			}
+			if allSame && sameID >= 0 {
+				if ms, ok := merged.objs[sameID]; ok && ms.virtual {
+					a.aliases[phi] = sameID
+					continue
+				}
+			}
+			delete(a.aliases, phi)
+			for k := range pSt {
+				in := a.resolveScalar(phi.Inputs[pIdx[k]])
+				if id, ok := a.aliasIn(pSt[k], in); ok {
+					if pSt[k].objs[id].virtual {
+						a.materializeAt(pSt[k], id, pBlk[k], nil)
+						materializedSomething = true
+					}
+					in = pSt[k].objs[id].materialized
+				}
+				if a.emit && in != phi.Inputs[pIdx[k]] {
+					phi.Inputs[pIdx[k]] = in
+				}
+			}
+		}
+
+		if !materializedSomething || iter > 2*len(a.objs)+4 {
+			break
+		}
+	}
+
+	if a.emit {
+		// Drop phis that became pure aliases of virtual objects:
+		// every use has been (or will be) rewritten through the
+		// alias, and the phi's own inputs reference deleted
+		// allocations.
+		for _, phi := range append([]*ir.Node(nil), b.Phis...) {
+			if a.ourPhis[phi] {
+				continue
+			}
+			if id, ok := a.aliases[phi]; ok {
+				if ms, live := merged.objs[id]; live && ms.virtual {
+					a.g.RemovePhi(phi)
+				}
+			}
+		}
+	}
+	return merged
+}
+
+// lockDepthsAgree reports whether the virtual lock depth of id is the same
+// in every state.
+func (a *analyzer) lockDepthsAgree(states []*peaState, id objID) bool {
+	d := -1
+	for _, st := range states {
+		os := st.objs[id]
+		if !os.virtual {
+			continue
+		}
+		if d == -1 {
+			d = os.lockDepth
+		} else if d != os.lockDepth {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeVirtual merges an all-virtual id field-wise. It returns the merged
+// state and whether any field-value materialization was requested (which
+// forces the caller to re-run the merge).
+func (a *analyzer) mergeVirtual(b *ir.Block, pBlk []*ir.Block, pSt []*peaState, id objID) (*objState, bool) {
+	oi := a.objs[id]
+	n := oi.numFields()
+	ns := &objState{virtual: true, fields: make([]*ir.Node, n), lockDepth: pSt[0].objs[id].lockDepth}
+	materialized := false
+	for f := 0; f < n; f++ {
+		vals := make([]*ir.Node, len(pSt))
+		same := true
+		for k, st := range pSt {
+			vals[k] = a.resolveScalar(st.objs[id].fields[f])
+			if vals[k] != vals[0] {
+				same = false
+			}
+		}
+		if same {
+			ns.fields[f] = vals[0]
+			continue
+		}
+		// All values aliasing the same virtual object also merge
+		// ("this applies to Ids as well").
+		sameID := objID(-1)
+		allAlias := true
+		for k, st := range pSt {
+			vid, ok := a.aliasIn(st, vals[k])
+			if !ok || !st.objs[vid].virtual {
+				allAlias = false
+				break
+			}
+			if sameID == -1 {
+				sameID = vid
+			} else if sameID != vid {
+				allAlias = false
+				break
+			}
+		}
+		if allAlias && sameID >= 0 {
+			ns.fields[f] = a.objs[sameID].allocSite
+			continue
+		}
+		// Differing values need a phi; virtual inputs must be
+		// materialized first (paper §5.3).
+		inputs := make([]*ir.Node, len(pSt))
+		for k, st := range pSt {
+			v := vals[k]
+			if vid, ok := a.aliasIn(st, v); ok {
+				if st.objs[vid].virtual {
+					a.materializeAt(st, vid, pBlk[k], nil)
+					materialized = true
+				}
+				v = st.objs[vid].materialized
+			}
+			inputs[k] = v
+		}
+		phi := a.mergePhi(b, id, f, oi.fieldKind(f))
+		a.setPhiInputsDense(b, phi, inputs)
+		ns.fields[f] = phi
+	}
+	return ns, materialized
+}
+
+// mergePhi returns the memoized phi node for (block, id, field).
+func (a *analyzer) mergePhi(b *ir.Block, id objID, field int, kind bc.Kind) *ir.Node {
+	key := phiKey{block: b, id: id, field: field}
+	if phi, ok := a.phiMemo[key]; ok {
+		return phi
+	}
+	phi := a.g.NewNode(ir.OpPhi, kind)
+	a.phiMemo[key] = phi
+	a.ourPhis[phi] = true
+	return phi
+}
+
+// setPhiInputs assigns phi inputs for the available predecessor indices,
+// filling unavailable slots with the first value (they are recomputed once
+// the back-edge states arrive), and attaches the phi in emit mode.
+func (a *analyzer) setPhiInputs(b *ir.Block, phi *ir.Node, idxs []int, vals []*ir.Node) {
+	if len(phi.Inputs) != len(b.Preds) {
+		phi.Inputs = make([]*ir.Node, len(b.Preds))
+	}
+	for i := range phi.Inputs {
+		phi.Inputs[i] = nil
+	}
+	for k, idx := range idxs {
+		phi.Inputs[idx] = vals[k]
+	}
+	for i := range phi.Inputs {
+		if phi.Inputs[i] == nil {
+			phi.Inputs[i] = vals[0]
+		}
+	}
+	a.attachPhi(b, phi)
+}
+
+// setPhiInputsDense is setPhiInputs with dense values over available preds.
+func (a *analyzer) setPhiInputsDense(b *ir.Block, phi *ir.Node, vals []*ir.Node) {
+	idxs := make([]int, 0, len(vals))
+	for i, p := range b.Preds {
+		if a.exits[p] != nil {
+			idxs = append(idxs, i)
+		}
+	}
+	a.setPhiInputs(b, phi, idxs, vals)
+}
+
+func (a *analyzer) attachPhi(b *ir.Block, phi *ir.Node) {
+	if !a.emit || phi.Block != nil {
+		return
+	}
+	phi.Block = b
+	b.Phis = append(b.Phis, phi)
+}

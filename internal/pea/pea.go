@@ -1,0 +1,525 @@
+package pea
+
+import (
+	"fmt"
+	"io"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+	"pea/internal/sched"
+)
+
+// Config tunes the analysis.
+type Config struct {
+	// MaxVirtualArrayLength bounds the constant array lengths that are
+	// scalar-replaced (default 32).
+	MaxVirtualArrayLength int64
+	// MaxRounds bounds whole-graph fixpoint rounds; if the analysis has
+	// not converged it bails out without transforming (default 16).
+	MaxRounds int
+	// AllowAlloc, when non-nil, restricts which allocation sites may be
+	// virtualized. The flow-insensitive baseline (package ea) uses it
+	// to limit scalar replacement to provably never-escaping objects.
+	AllowAlloc func(n *ir.Node) bool
+	// DisableAliasLiveness is an ablation switch: it turns off the
+	// Figure 6a rule that lets dead objects leave the state at merges,
+	// so mixed merges always materialize. Used to quantify how much of
+	// PEA's benefit depends on that rule.
+	DisableAliasLiveness bool
+	// DisableArrays is an ablation switch: constant-length arrays are
+	// never virtualized.
+	DisableArrays bool
+	// Trace, when non-nil, receives a line-oriented log of the
+	// analysis: virtualizations, merges, materializations, and fixpoint
+	// rounds.
+	Trace io.Writer
+}
+
+func (c Config) maxArrayLen() int64 {
+	if c.MaxVirtualArrayLength > 0 {
+		return c.MaxVirtualArrayLength
+	}
+	return 32
+}
+
+func (c Config) maxRounds() int {
+	if c.MaxRounds > 0 {
+		return c.MaxRounds
+	}
+	return 16
+}
+
+// Result reports what the analysis did.
+type Result struct {
+	// Changed is true if the graph was transformed.
+	Changed bool
+	// BailedOut is true if the fixpoint did not converge and the graph
+	// was left untouched.
+	BailedOut bool
+	// Rounds is the number of fixpoint rounds used.
+	Rounds int
+	// VirtualizedAllocs counts allocation sites removed (scalar
+	// replacement).
+	VirtualizedAllocs int
+	// MaterializeSites counts OpMaterialize nodes inserted.
+	MaterializeSites int
+	// ElidedMonitors counts MonitorEnter/Exit nodes removed (lock
+	// elision).
+	ElidedMonitors int
+	// ScalarizedLoads counts loads replaced by known field values.
+	ScalarizedLoads int
+	// FoldedChecks counts reference equalities and type checks resolved
+	// at compile time.
+	FoldedChecks int
+}
+
+// Run performs Partial Escape Analysis with scalar replacement and lock
+// elision on g, transforming it in place. The graph must be verified; the
+// result is verified by the caller's pipeline (tests always do).
+func Run(g *ir.Graph, conf Config) (Result, error) {
+	splitCriticalEdges(g)
+	a := &analyzer{
+		g:         g,
+		conf:      conf,
+		allocIDs:  make(map[*ir.Node]objID),
+		aliases:   make(map[*ir.Node]objID),
+		replaced:  make(map[*ir.Node]*ir.Node),
+		entries:   make(map[*ir.Block]*peaState),
+		exits:     make(map[*ir.Block]*peaState),
+		phiMemo:   make(map[phiKey]*ir.Node),
+		matMemo:   make(map[matKey]*ir.Node),
+		virtMemo:  make(map[objID]*ir.Node),
+		lenMemo:   make(map[objID]*ir.Node),
+		foldMemo:  make(map[*ir.Node]*ir.Node),
+		ourPhis:   make(map[*ir.Node]bool),
+		futureRef: make(map[futKey]bool),
+	}
+	cfg, err := sched.Compute(g)
+	if err != nil {
+		return Result{}, fmt.Errorf("pea: %w", err)
+	}
+	a.cfg = cfg
+	a.buildRefIndex()
+
+	// Phase A: whole-graph fixpoint over block entry states.
+	converged := false
+	for round := 1; round <= conf.maxRounds(); round++ {
+		a.res.Rounds = round
+		a.tracef("round %d", round)
+		changed := false
+		for _, b := range cfg.RPO {
+			entry := a.computeEntry(b)
+			if old := a.entries[b]; old == nil || !old.equal(entry) {
+				changed = true
+				a.tracef("  %s entry changed: %s", b, entry)
+			}
+			a.entries[b] = entry
+			a.exits[b] = a.transferBlock(b, entry.clone())
+		}
+		if !changed {
+			converged = true
+			a.tracef("fixpoint after %d rounds", round)
+			break
+		}
+	}
+	if !converged {
+		return Result{BailedOut: true, Rounds: a.res.Rounds}, nil
+	}
+	if len(a.allocIDs) == 0 {
+		return a.res, nil // nothing to do
+	}
+
+	// Phase B: emit. First replay all merges (edge materializations, new
+	// phis, existing-phi rewiring), then replay all transfers (node
+	// removal, substitutions, frame-state virtualization).
+	a.emit = true
+	for _, b := range cfg.RPO {
+		if len(b.Preds) >= 2 {
+			merged := a.merge(b)
+			if !merged.equal(a.entries[b]) {
+				return Result{}, fmt.Errorf("pea: emit merge diverged at %s:\n fix=%s\n got=%s",
+					b, a.entries[b], merged)
+			}
+		}
+	}
+	for _, b := range cfg.RPO {
+		a.transferBlock(b, a.entries[b].clone())
+	}
+	// Final sweep: phi inputs are not node inputs of any transferred
+	// instruction, so scalar replacements (removed loads, folded checks)
+	// must be substituted into them explicitly. Reference phis that
+	// needed object handling were rewritten (or removed) by the merge
+	// processing above; what remains is plain value substitution.
+	for _, b := range cfg.RPO {
+		for _, phi := range b.Phis {
+			for i, in := range phi.Inputs {
+				if in == nil {
+					continue
+				}
+				if r := a.resolveScalar(in); r != in {
+					phi.Inputs[i] = r
+				}
+			}
+		}
+	}
+	a.res.Changed = a.res.VirtualizedAllocs > 0 || a.res.ElidedMonitors > 0 ||
+		a.res.ScalarizedLoads > 0 || a.res.FoldedChecks > 0
+	return a.res, nil
+}
+
+type phiKey struct {
+	block *ir.Block
+	id    objID
+	field int // -1 for the materialized-value phi
+}
+
+type futKey struct {
+	block *ir.Block
+	id    objID
+}
+
+type matKey struct {
+	// site is the *ir.Node the materialization precedes, or the
+	// predecessor *ir.Block for edge materializations.
+	site any
+	id   objID
+}
+
+type analyzer struct {
+	g    *ir.Graph
+	cfg  *sched.CFG
+	conf Config
+
+	objs     []*objInfo
+	allocIDs map[*ir.Node]objID // allocation site -> id (stable across rounds)
+	aliases  map[*ir.Node]objID // value node -> id it refers to
+	replaced map[*ir.Node]*ir.Node
+
+	entries map[*ir.Block]*peaState
+	exits   map[*ir.Block]*peaState
+
+	phiMemo  map[phiKey]*ir.Node
+	matMemo  map[matKey]*ir.Node
+	virtMemo map[objID]*ir.Node    // OpVirtualObject per id
+	lenMemo  map[objID]*ir.Node    // constant length node per virtual array
+	foldMemo map[*ir.Node]*ir.Node // folded RefEq/InstanceOf -> const node
+	ourPhis  map[*ir.Node]bool     // phis created by this analysis
+
+	// liveIn[b] holds the reference-kind SSA values live at the entry
+	// of b, computed once on the pre-analysis graph. It implements the
+	// paper's Figure 6a condition: an object id survives a merge only
+	// if one of its aliases is still live there — a use in the next
+	// loop iteration refers to the next execution of the allocation,
+	// not to this object, and must not keep it alive.
+	liveIn map[*ir.Block]map[*ir.Node]bool
+	// futureRef freezes hasFutureRef decisions from the analysis phase
+	// for replay during emit.
+	futureRef map[futKey]bool
+
+	zeroInt *ir.Node
+	nullRef *ir.Node
+
+	emit bool
+	res  Result
+}
+
+// splitCriticalEdges inserts an empty block on every edge from a
+// multi-successor block to a multi-predecessor block, so that
+// materializations required "at the corresponding predecessor" of a merge
+// (paper §5.3) have a place to live that executes only on that edge.
+func splitCriticalEdges(g *ir.Graph) {
+	blocks := append([]*ir.Block(nil), g.Blocks...)
+	for _, b := range blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for i, s := range b.Succs {
+			if len(s.Preds) < 2 {
+				continue
+			}
+			e := g.NewBlock()
+			gt := g.NewNode(ir.OpGoto, bc.KindVoid)
+			gt.Block = e
+			e.Term = gt
+			e.Preds = []*ir.Block{b}
+			e.Succs = []*ir.Block{s}
+			b.Succs[i] = e
+			// Replace the matching pred slot. With duplicate edges
+			// (both If arms targeting s), successive splits take
+			// successive occurrences, matching the phi-input order
+			// established by the graph builder.
+			for j, p := range s.Preds {
+				if p == b {
+					s.Preds[j] = e
+					break
+				}
+			}
+		}
+	}
+}
+
+// computeEntry produces the entry state of b during analysis.
+func (a *analyzer) computeEntry(b *ir.Block) *peaState {
+	switch len(b.Preds) {
+	case 0:
+		return newPeaState()
+	case 1:
+		if ex := a.exits[b.Preds[0]]; ex != nil {
+			return ex.clone()
+		}
+		return newPeaState()
+	default:
+		return a.merge(b)
+	}
+}
+
+// idForAlloc assigns (or retrieves) the object id for an allocation site.
+func (a *analyzer) idForAlloc(n *ir.Node) objID {
+	if id, ok := a.allocIDs[n]; ok {
+		return id
+	}
+	id := objID(len(a.objs))
+	oi := &objInfo{id: id, allocSite: n}
+	if n.Op == ir.OpNew {
+		oi.class = n.Class
+	} else {
+		oi.elemKind = n.ElemKind
+		oi.length = n.Inputs[0].AuxInt
+	}
+	a.objs = append(a.objs, oi)
+	a.allocIDs[n] = id
+	a.aliases[n] = id
+	return id
+}
+
+// resolveScalar chases the scalar-replacement map.
+func (a *analyzer) resolveScalar(v *ir.Node) *ir.Node {
+	for {
+		r, ok := a.replaced[v]
+		if !ok {
+			return v
+		}
+		v = r
+	}
+}
+
+// aliasIn resolves v to a live object id in st.
+func (a *analyzer) aliasIn(st *peaState, v *ir.Node) (objID, bool) {
+	if v == nil {
+		return 0, false
+	}
+	id, ok := a.aliases[a.resolveScalar(v)]
+	if !ok {
+		return 0, false
+	}
+	if _, live := st.objs[id]; !live {
+		return 0, false
+	}
+	return id, true
+}
+
+// prependEntry places n at the very top of the entry block, so it
+// dominates (and precedes in execution order) every possible use — the
+// entry block may contain real code when earlier phases merged blocks.
+func (a *analyzer) prependEntry(n *ir.Node) *ir.Node {
+	entry := a.g.Entry()
+	var first *ir.Node
+	if len(entry.Nodes) > 0 {
+		first = entry.Nodes[0]
+	}
+	a.g.InsertBefore(entry, n, first)
+	return n
+}
+
+// defaultValue returns the canonical zero value node for a kind, creating
+// it at the top of the entry block on first use.
+func (a *analyzer) defaultValue(k bc.Kind) *ir.Node {
+	if k == bc.KindRef {
+		if a.nullRef == nil {
+			a.nullRef = a.prependEntry(a.g.NewNode(ir.OpConstNull, bc.KindRef))
+		}
+		return a.nullRef
+	}
+	if a.zeroInt == nil {
+		a.zeroInt = a.prependEntry(a.g.NewNode(ir.OpConst, bc.KindInt))
+	}
+	return a.zeroInt
+}
+
+// constFold returns (creating once) a constant node used to replace the
+// folded check n.
+func (a *analyzer) constFold(n *ir.Node, val int64) *ir.Node {
+	if c, ok := a.foldMemo[n]; ok {
+		c.AuxInt = val
+		return c
+	}
+	c := a.g.NewNode(ir.OpConst, bc.KindInt)
+	c.AuxInt = val
+	c.BCI = n.BCI
+	a.foldMemo[n] = c
+	return c
+}
+
+// virtualNode returns the OpVirtualObject node standing for id inside
+// frame states, placing it in the entry block on first use.
+func (a *analyzer) virtualNode(id objID) *ir.Node {
+	if v, ok := a.virtMemo[id]; ok {
+		return v
+	}
+	oi := a.objs[id]
+	v := a.g.NewNode(ir.OpVirtualObject, bc.KindRef)
+	v.AuxInt = int64(id)
+	v.Class = oi.class
+	v.ElemKind = oi.elemKind
+	v.AuxLen = oi.length
+	a.prependEntry(v)
+	a.virtMemo[id] = v
+	return v
+}
+
+// arrayLenConst returns the constant node for a virtual array's length.
+func (a *analyzer) arrayLenConst(id objID) *ir.Node {
+	if c, ok := a.lenMemo[id]; ok {
+		return c
+	}
+	c := a.g.NewNode(ir.OpConst, bc.KindInt)
+	c.AuxInt = a.objs[id].length
+	a.lenMemo[id] = c
+	return c
+}
+
+// placeFold ensures a memoized replacement const is placed (emit mode).
+func (a *analyzer) placeFold(b *ir.Block, c, before *ir.Node) {
+	if c.Block == nil {
+		a.g.InsertBefore(b, c, before)
+	}
+}
+
+// buildRefIndex computes block-level SSA liveness for reference-kind
+// values on the pre-analysis graph: liveIn[b] contains every ref value
+// defined before b and possibly used at or after b (node inputs,
+// frame-state slots, and phi inputs, the latter counting as uses at the
+// end of the corresponding predecessor). The index is computed once and
+// shared by all rounds and the emit phase so that their decisions agree.
+func (a *analyzer) buildRefIndex() {
+	isRef := func(n *ir.Node) bool { return n != nil && n.Kind == bc.KindRef }
+
+	gen := make(map[*ir.Block]map[*ir.Node]bool, len(a.g.Blocks))
+	defs := make(map[*ir.Block]map[*ir.Node]bool, len(a.g.Blocks))
+	for _, b := range a.g.Blocks {
+		gen[b] = make(map[*ir.Node]bool)
+		defs[b] = make(map[*ir.Node]bool)
+	}
+	for _, b := range a.g.Blocks {
+		use := func(n *ir.Node) {
+			if isRef(n) && !defs[b][n] {
+				gen[b][n] = true
+			}
+		}
+		visit := func(n *ir.Node) {
+			for _, in := range n.Inputs {
+				use(in)
+			}
+			if n.FrameState != nil {
+				n.FrameState.ForEachValue(use)
+			}
+			if isRef(n) {
+				defs[b][n] = true
+			}
+		}
+		for _, phi := range b.Phis {
+			if isRef(phi) {
+				defs[b][phi] = true
+			}
+		}
+		for _, n := range b.Nodes {
+			visit(n)
+		}
+		if b.Term != nil {
+			visit(b.Term)
+		}
+		// Phi inputs at successors are uses at the end of this block.
+		for _, s := range b.Succs {
+			for i, p := range s.Preds {
+				if p != b {
+					continue
+				}
+				for _, phi := range s.Phis {
+					use(phi.Inputs[i])
+				}
+			}
+		}
+	}
+
+	a.liveIn = make(map[*ir.Block]map[*ir.Node]bool, len(a.g.Blocks))
+	for _, b := range a.g.Blocks {
+		set := make(map[*ir.Node]bool, len(gen[b]))
+		for n := range gen[b] {
+			set[n] = true
+		}
+		a.liveIn[b] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(a.cfg.RPO) - 1; i >= 0; i-- {
+			b := a.cfg.RPO[i]
+			in := a.liveIn[b]
+			for _, s := range b.Succs {
+				for n := range a.liveIn[s] {
+					if !defs[b][n] && !in[n] {
+						in[n] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasFutureRef reports whether object id can still be referenced at or
+// after block b: one of its aliases is live at b's entry, or a phi at b
+// merges one of its aliases. Ids without such a reference are dead and
+// leave the state (Figure 6a: "only Ids that ... have at least one common
+// alias will survive the merge") — in particular, a mixed virtual/escaped
+// merge of a dead object must not materialize it.
+func (a *analyzer) hasFutureRef(b *ir.Block, id objID) bool {
+	if a.conf.DisableAliasLiveness {
+		return true
+	}
+	key := futKey{b, id}
+	if a.emit {
+		// The emit phase mutates phi inputs (materialized values are
+		// substituted), so the liveness question must be answered
+		// exactly as the converged analysis answered it.
+		return a.futureRef[key]
+	}
+	r := a.computeFutureRef(b, id)
+	a.futureRef[key] = r
+	return r
+}
+
+func (a *analyzer) computeFutureRef(b *ir.Block, id objID) bool {
+	live := a.liveIn[b]
+	for n, nid := range a.aliases {
+		if nid != id {
+			continue
+		}
+		if live[n] {
+			return true
+		}
+	}
+	for _, phi := range b.Phis {
+		if phi.Kind != bc.KindRef || a.ourPhis[phi] {
+			continue
+		}
+		for _, in := range phi.Inputs {
+			if in == nil {
+				continue
+			}
+			if nid, ok := a.aliases[a.resolveScalar(in)]; ok && nid == id {
+				return true
+			}
+		}
+	}
+	return false
+}

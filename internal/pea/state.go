@@ -1,0 +1,173 @@
+// Package pea implements the paper's contribution: control-flow-sensitive
+// Partial Escape Analysis with Scalar Replacement and Lock Elision on the
+// SSA IR (Stadler, Würthinger, Mössenböck — CGO 2014).
+//
+// The analysis walks the control flow in reverse postorder, maintaining for
+// every allocation an ObjectState that is either *virtual* — the field
+// values and lock depth are compile-time knowledge — or *escaped* — the
+// object was materialized and is represented by the node that (re)creates
+// it (paper §5.1, Listing 7). Node transfer functions implement Figure 4/5;
+// a MergeProcessor implements Figure 6; loops are iterated to a fixpoint as
+// in §5.4 (Figure 7); FrameStates are rewritten to reference virtual object
+// descriptors as in §5.5 (Figure 8).
+package pea
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+)
+
+// objID identifies one analyzed allocation (the paper's "Id").
+type objID int
+
+// objInfo is the flow-invariant description of an allocation.
+type objInfo struct {
+	id        objID
+	class     *bc.Class // nil for arrays
+	elemKind  bc.Kind   // for arrays
+	length    int64     // for arrays
+	allocSite *ir.Node  // the original OpNew / OpNewArray
+}
+
+func (oi *objInfo) numFields() int {
+	if oi.class != nil {
+		return oi.class.NumFields()
+	}
+	return int(oi.length)
+}
+
+func (oi *objInfo) fieldKind(i int) bc.Kind {
+	if oi.class != nil {
+		return oi.class.Fields[i].Kind
+	}
+	return oi.elemKind
+}
+
+// objState is the flow-dependent state of one allocation: the paper's
+// VirtualState (fields + lockCount) or EscapedState (materializedValue).
+type objState struct {
+	virtual bool
+	// fields holds the current field (or array element) values while
+	// virtual. Entries may be nodes that alias other virtual objects.
+	fields []*ir.Node
+	// lockDepth is the number of elided monitor acquisitions held.
+	lockDepth int
+	// materialized is the node producing the object once escaped.
+	materialized *ir.Node
+}
+
+func (os *objState) clone() *objState {
+	c := *os
+	c.fields = append([]*ir.Node(nil), os.fields...)
+	return &c
+}
+
+func (os *objState) equal(o *objState) bool {
+	if os.virtual != o.virtual {
+		return false
+	}
+	if os.virtual {
+		if os.lockDepth != o.lockDepth || len(os.fields) != len(o.fields) {
+			return false
+		}
+		for i := range os.fields {
+			if os.fields[i] != o.fields[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return os.materialized == o.materialized
+}
+
+// peaState is the per-program-point map from live object ids to their
+// states (the paper's `states` map; the alias map is kept globally on the
+// analyzer since SSA values bind to at most one object over their
+// lifetime).
+type peaState struct {
+	objs map[objID]*objState
+}
+
+func newPeaState() *peaState { return &peaState{objs: make(map[objID]*objState)} }
+
+func (s *peaState) clone() *peaState {
+	c := newPeaState()
+	for id, os := range s.objs {
+		c.objs[id] = os.clone()
+	}
+	return c
+}
+
+func (s *peaState) equal(o *peaState) bool {
+	if len(s.objs) != len(o.objs) {
+		return false
+	}
+	for id, os := range s.objs {
+		oo, ok := o.objs[id]
+		if !ok || !os.equal(oo) {
+			return false
+		}
+	}
+	return true
+}
+
+// ids returns the live object ids in ascending order (deterministic
+// iteration).
+func (s *peaState) ids() []objID {
+	out := make([]objID, 0, len(s.objs))
+	for id := range s.objs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the state for debugging.
+func (s *peaState) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, id := range s.ids() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		os := s.objs[id]
+		if os.virtual {
+			fmt.Fprintf(&b, "o%d=virt(locks=%d, fields=%s)", id, os.lockDepth, fmtNodes(os.fields))
+		} else {
+			fmt.Fprintf(&b, "o%d=esc(%s)", id, nodeName(os.materialized))
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func fmtNodes(ns []*ir.Node) string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, n := range ns {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(nodeName(n))
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func nodeName(n *ir.Node) string {
+	if n == nil {
+		return "_"
+	}
+	return fmt.Sprintf("v%d", n.ID)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

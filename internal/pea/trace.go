@@ -1,0 +1,31 @@
+package pea
+
+import "fmt"
+
+// tracef logs one analysis event when Config.Trace is set. The trace shows
+// the decisions the paper's algorithm makes — virtualizations, state
+// merges, materializations and their positions, fixpoint rounds — in the
+// order they are (re)computed, which makes non-obvious outcomes (why did
+// this object materialize here?) inspectable.
+func (a *analyzer) tracef(format string, args ...any) {
+	if a.conf.Trace == nil {
+		return
+	}
+	phase := "analyze"
+	if a.emit {
+		phase = "emit"
+	}
+	fmt.Fprintf(a.conf.Trace, "pea[%s] %s\n", phase, fmt.Sprintf(format, args...))
+}
+
+// traceState renders an object id's state for the trace.
+func (a *analyzer) traceState(st *peaState, id objID) string {
+	os := st.objs[id]
+	if os == nil {
+		return fmt.Sprintf("o%d=dead", id)
+	}
+	if os.virtual {
+		return fmt.Sprintf("o%d=virt(locks=%d fields=%s)", id, os.lockDepth, fmtNodes(os.fields))
+	}
+	return fmt.Sprintf("o%d=esc(%s)", id, nodeName(os.materialized))
+}

@@ -1,0 +1,360 @@
+package pea
+
+import (
+	"pea/internal/bc"
+	"pea/internal/ir"
+)
+
+// transferBlock applies the node transfer functions (paper §5.2, Figures
+// 4 and 5) to every node of b, starting from entry state st, and returns
+// the exit state. In emit mode it additionally performs the rewrites:
+// removing virtualized nodes, substituting scalar values, inserting
+// materializations, and virtualizing frame states.
+func (a *analyzer) transferBlock(b *ir.Block, st *peaState) *peaState {
+	for _, n := range append([]*ir.Node(nil), b.Nodes...) {
+		a.transferNode(b, n, st)
+	}
+	if t := b.Term; t != nil {
+		a.transferNode(b, t, st)
+	}
+	return st
+}
+
+// virtualizableAlloc reports whether n is an allocation PEA can virtualize.
+func (a *analyzer) virtualizableAlloc(n *ir.Node) bool {
+	if a.conf.AllowAlloc != nil && !a.conf.AllowAlloc(n) {
+		return false
+	}
+	switch n.Op {
+	case ir.OpNew:
+		return true
+	case ir.OpNewArray:
+		if a.conf.DisableArrays {
+			return false
+		}
+		ln := n.Inputs[0]
+		return ln.IsConst() && ln.AuxInt >= 0 && ln.AuxInt <= a.conf.maxArrayLen()
+	}
+	return false
+}
+
+func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
+	switch n.Op {
+	case ir.OpMaterialize, ir.OpVirtualObject, ir.OpPhi:
+		// Nodes introduced by this analysis (or phis, handled at
+		// merges) are transparent to the transfer.
+		return
+
+	case ir.OpNew, ir.OpNewArray:
+		if !a.virtualizableAlloc(n) {
+			a.defaultTransfer(b, n, st)
+			return
+		}
+		// Figure 4a: a new virtual object with default field values.
+		id := a.idForAlloc(n)
+		oi := a.objs[id]
+		os := &objState{virtual: true, fields: make([]*ir.Node, oi.numFields())}
+		for i := range os.fields {
+			os.fields[i] = a.defaultValue(oi.fieldKind(i))
+		}
+		st.objs[id] = os
+		a.tracef("  virtualize o%d (%s) at v%d", id, n.Op, n.ID)
+		if a.emit {
+			a.g.RemoveNode(n)
+			a.res.VirtualizedAllocs++
+		}
+
+	case ir.OpLoadField:
+		obj := a.resolveScalar(n.Inputs[0])
+		if id, ok := a.aliasIn(st, obj); ok && st.objs[id].virtual {
+			// Figure 4b/4f: the load is replaced by the known
+			// field value; if that value is itself a virtual
+			// object, the load becomes one of its aliases.
+			val := st.objs[id].fields[n.Field.Offset]
+			a.replaced[n] = val
+			if vid, vok := a.aliasIn(st, val); vok {
+				a.aliases[n] = vid
+			}
+			if a.emit {
+				a.g.RemoveNode(n)
+				a.res.ScalarizedLoads++
+			}
+			return
+		}
+		// A previous round may have scalar-replaced this load under a
+		// speculation that did not hold; retract the stale verdict.
+		delete(a.replaced, n)
+		delete(a.aliases, n)
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpStoreField:
+		obj := a.resolveScalar(n.Inputs[0])
+		if id, ok := a.aliasIn(st, obj); ok && st.objs[id].virtual {
+			val := a.resolveScalar(n.Inputs[1])
+			if vid, vok := a.aliasIn(st, val); vok && st.objs[vid].virtual && a.reaches(st, vid, id) {
+				// Storing val would create a cycle among virtual
+				// objects (x.f = x, or mutual references), which
+				// a single Materialize node cannot express;
+				// materialize the target and fall through to a
+				// real store (Figure 5).
+				a.materializeAt(st, id, b, n)
+			} else {
+				// Figure 4b/4e: remember the store in the state.
+				st.objs[id].fields[n.Field.Offset] = val
+				if a.emit {
+					a.g.RemoveNode(n)
+				}
+				return
+			}
+		}
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpLoadIndexed:
+		arr := a.resolveScalar(n.Inputs[0])
+		idx := a.resolveScalar(n.Inputs[1])
+		if id, ok := a.aliasIn(st, arr); ok && st.objs[id].virtual {
+			if idx.IsConst() && idx.AuxInt >= 0 && idx.AuxInt < a.objs[id].length {
+				val := st.objs[id].fields[idx.AuxInt]
+				a.replaced[n] = val
+				if vid, vok := a.aliasIn(st, val); vok {
+					a.aliases[n] = vid
+				}
+				if a.emit {
+					a.g.RemoveNode(n)
+					a.res.ScalarizedLoads++
+				}
+				return
+			}
+			// Unknown index: the array must exist.
+			a.materializeAt(st, id, b, n)
+		}
+		delete(a.replaced, n)
+		delete(a.aliases, n)
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpStoreIndexed:
+		arr := a.resolveScalar(n.Inputs[0])
+		idx := a.resolveScalar(n.Inputs[1])
+		if id, ok := a.aliasIn(st, arr); ok && st.objs[id].virtual {
+			if idx.IsConst() && idx.AuxInt >= 0 && idx.AuxInt < a.objs[id].length {
+				val := a.resolveScalar(n.Inputs[2])
+				if vid, vok := a.aliasIn(st, val); vok && st.objs[vid].virtual && a.reaches(st, vid, id) {
+					a.materializeAt(st, id, b, n)
+				} else {
+					st.objs[id].fields[idx.AuxInt] = val
+					if a.emit {
+						a.g.RemoveNode(n)
+					}
+					return
+				}
+			} else {
+				a.materializeAt(st, id, b, n)
+			}
+		}
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpArrayLength:
+		arr := a.resolveScalar(n.Inputs[0])
+		if id, ok := a.aliasIn(st, arr); ok && st.objs[id].virtual {
+			c := a.arrayLenConst(id)
+			a.replaced[n] = c
+			if a.emit {
+				a.placeFold(b, c, n)
+				a.g.RemoveNode(n)
+			}
+			return
+		}
+		delete(a.replaced, n)
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpMonitorEnter:
+		obj := a.resolveScalar(n.Inputs[0])
+		if id, ok := a.aliasIn(st, obj); ok && st.objs[id].virtual {
+			// Figure 4c: lock elision on a virtual object.
+			st.objs[id].lockDepth++
+			if a.emit {
+				a.g.RemoveNode(n)
+				a.res.ElidedMonitors++
+			}
+			return
+		}
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpMonitorExit:
+		obj := a.resolveScalar(n.Inputs[0])
+		if id, ok := a.aliasIn(st, obj); ok && st.objs[id].virtual && st.objs[id].lockDepth > 0 {
+			// Figure 4d.
+			st.objs[id].lockDepth--
+			if a.emit {
+				a.g.RemoveNode(n)
+				a.res.ElidedMonitors++
+			}
+			return
+		}
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpRefEq:
+		x := a.resolveScalar(n.Inputs[0])
+		y := a.resolveScalar(n.Inputs[1])
+		xid, xok := a.aliasIn(st, x)
+		yid, yok := a.aliasIn(st, y)
+		xvirt := xok && st.objs[xid].virtual
+		yvirt := yok && st.objs[yid].virtual
+		if xvirt || yvirt {
+			// §5.2: always false when exactly one input is
+			// virtual; identity of ids decides otherwise.
+			eq := xvirt && yvirt && xid == yid
+			// Same id is equality; different virtual ids or a
+			// virtual vs anything else is inequality.
+			val := b2i(eq != (n.Cond == bc.CondNE))
+			c := a.constFold(n, val)
+			a.replaced[n] = c
+			if a.emit {
+				a.placeFold(b, c, n)
+				a.g.RemoveNode(n)
+				a.res.FoldedChecks++
+			}
+			return
+		}
+		delete(a.replaced, n)
+		a.defaultTransfer(b, n, st)
+
+	case ir.OpInstanceOf:
+		x := a.resolveScalar(n.Inputs[0])
+		if id, ok := a.aliasIn(st, x); ok && st.objs[id].virtual {
+			oi := a.objs[id]
+			is := oi.class != nil && oi.class.IsSubclassOf(n.Class)
+			c := a.constFold(n, b2i(is))
+			a.replaced[n] = c
+			if a.emit {
+				a.placeFold(b, c, n)
+				a.g.RemoveNode(n)
+				a.res.FoldedChecks++
+			}
+			return
+		}
+		delete(a.replaced, n)
+		a.defaultTransfer(b, n, st)
+
+	default:
+		a.defaultTransfer(b, n, st)
+	}
+}
+
+// defaultTransfer handles every operation with no special rule: "any
+// virtual object that is referenced from such an operation will be
+// materialized, and the input ... is replaced with the materialized value"
+// (paper §5.2). In emit mode it also substitutes scalar replacements into
+// the inputs and virtualizes the node's frame state.
+func (a *analyzer) defaultTransfer(b *ir.Block, n *ir.Node, st *peaState) {
+	for i, in := range n.Inputs {
+		r := a.resolveScalar(in)
+		if id, ok := a.aliasIn(st, r); ok {
+			if st.objs[id].virtual {
+				a.materializeAt(st, id, b, n)
+			}
+			r = st.objs[id].materialized
+		}
+		if a.emit && r != in {
+			n.Inputs[i] = r
+		}
+	}
+	if a.emit && n.FrameState != nil {
+		n.FrameState = a.rewriteState(n.FrameState, st)
+	}
+}
+
+// reaches reports whether virtual object `from` (transitively) references
+// virtual object `to` through virtual field values.
+func (a *analyzer) reaches(st *peaState, from, to objID) bool {
+	if from == to {
+		return true
+	}
+	seen := make(map[objID]bool)
+	var walk func(id objID) bool
+	walk = func(id objID) bool {
+		if id == to {
+			return true
+		}
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		os := st.objs[id]
+		if os == nil || !os.virtual {
+			return false
+		}
+		for _, f := range os.fields {
+			if fid, ok := a.aliasIn(st, f); ok && walk(fid) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// materializeAt turns a virtual object into an escaped one at the given
+// position, inserting an OpMaterialize node (paper: "the object needs to
+// be created and initialized with the current state of its fields at this
+// point"). before == nil appends at the end of the block (edge
+// materialization in a split predecessor). Referenced virtual objects are
+// materialized first; the virtual reference graph is kept acyclic by the
+// store transfer, so recursion terminates.
+func (a *analyzer) materializeAt(st *peaState, id objID, b *ir.Block, before *ir.Node) *ir.Node {
+	os := st.objs[id]
+	if !os.virtual {
+		return os.materialized
+	}
+	key := matKey{site: siteKey(b, before), id: id}
+	mat, ok := a.matMemo[key]
+	if !ok {
+		oi := a.objs[id]
+		mat = a.g.NewNode(ir.OpMaterialize, bc.KindRef)
+		mat.Class = oi.class
+		mat.ElemKind = oi.elemKind
+		mat.AuxInt = oi.length
+		if before != nil {
+			mat.BCI = before.BCI
+		}
+		a.matMemo[key] = mat
+	}
+	// Mark escaped before resolving fields; the reference graph is
+	// acyclic so no field can (transitively) need this object again,
+	// but self-checks stay cheap this way.
+	os.virtual = false
+	os.materialized = mat
+
+	inputs := make([]*ir.Node, len(os.fields))
+	for i, f := range os.fields {
+		r := a.resolveScalar(f)
+		if fid, ok := a.aliasIn(st, r); ok {
+			if st.objs[fid].virtual {
+				r = a.materializeAt(st, fid, b, before)
+			} else {
+				r = st.objs[fid].materialized
+			}
+		}
+		inputs[i] = r
+	}
+	mat.Inputs = inputs
+	mat.AuxLock = os.lockDepth
+	if before != nil {
+		a.tracef("  materialize o%d before v%d in %s", id, before.ID, b)
+	} else {
+		a.tracef("  materialize o%d at the end of %s (edge)", id, b)
+	}
+	if a.emit && mat.Block == nil {
+		a.g.InsertBefore(b, mat, before)
+		a.res.MaterializeSites++
+	}
+	return mat
+}
+
+// siteKey keys materialization memoization by position.
+func siteKey(b *ir.Block, before *ir.Node) any {
+	if before != nil {
+		return before
+	}
+	return b
+}

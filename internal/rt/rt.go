@@ -1,0 +1,280 @@
+// Package rt provides the runtime data model shared by the bytecode
+// interpreter and the compiled-code executor: tagged values, heap objects
+// and arrays, static fields, monitors, the deterministic PRNG, and the
+// allocation/lock counters that the evaluation harness reports (the paper's
+// "MB / iteration", "MAllocs / iteration" and lock-operation metrics).
+package rt
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+)
+
+// Value is a bytecode-level value: either an integer or a reference.
+// The zero Value is the integer 0.
+type Value struct {
+	I   int64
+	Ref *Object
+	// isRef distinguishes the null reference from the integer 0.
+	isRef bool
+}
+
+// IntValue returns an integer value.
+func IntValue(i int64) Value { return Value{I: i} }
+
+// BoolValue returns 1 for true and 0 for false as an integer value.
+func BoolValue(b bool) Value {
+	if b {
+		return Value{I: 1}
+	}
+	return Value{I: 0}
+}
+
+// RefValue returns a reference value (obj may be nil for null).
+func RefValue(obj *Object) Value { return Value{Ref: obj, isRef: true} }
+
+// Null is the null reference.
+var Null = Value{isRef: true}
+
+// IsRef reports whether the value is a reference (possibly null).
+func (v Value) IsRef() bool { return v.isRef }
+
+// IsNull reports whether the value is the null reference.
+func (v Value) IsNull() bool { return v.isRef && v.Ref == nil }
+
+// Kind returns the bytecode kind of the value.
+func (v Value) Kind() bc.Kind {
+	if v.isRef {
+		return bc.KindRef
+	}
+	return bc.KindInt
+}
+
+// Equal reports bit-level equality (used by differential tests).
+func (v Value) Equal(o Value) bool {
+	if v.isRef != o.isRef {
+		return false
+	}
+	if v.isRef {
+		return v.Ref == o.Ref
+	}
+	return v.I == o.I
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	if !v.isRef {
+		return fmt.Sprintf("%d", v.I)
+	}
+	if v.Ref == nil {
+		return "null"
+	}
+	return v.Ref.String()
+}
+
+// Object is a heap object or array. Class is nil for arrays, in which case
+// ElemKind and the Fields slice (reused as element storage) describe the
+// array.
+type Object struct {
+	Class    *bc.Class
+	ElemKind bc.Kind // element kind if this is an array
+	Fields   []Value // instance fields by offset, or array elements
+	// Serial is a unique allocation number, for deterministic diagnostics.
+	Serial int64
+	// LockDepth is the recursive monitor hold count. The VM is
+	// single-threaded, so a monitor is a counter: the paper's lock
+	// elision removes the counter updates, which we count as the
+	// "monitor operations" metric.
+	LockDepth int
+}
+
+// IsArray reports whether the object is an array.
+func (o *Object) IsArray() bool { return o.Class == nil }
+
+// Len returns the array length (panics for non-arrays).
+func (o *Object) Len() int {
+	if !o.IsArray() {
+		panic("rt: Len on non-array")
+	}
+	return len(o.Fields)
+}
+
+// String renders the object's identity for diagnostics.
+func (o *Object) String() string {
+	if o.IsArray() {
+		return fmt.Sprintf("%s[%d]#%d", o.ElemKind, len(o.Fields), o.Serial)
+	}
+	return fmt.Sprintf("%s#%d", o.Class.Name, o.Serial)
+}
+
+// Stats aggregates the dynamic counters the paper's Table 1 reports.
+type Stats struct {
+	// Allocations is the number of dynamic allocations performed.
+	Allocations int64
+	// AllocatedBytes is the total heap bytes charged for allocations
+	// (JVM-like layout: 16-byte object header + 8 bytes/field,
+	// 24-byte array header + 8 bytes/element).
+	AllocatedBytes int64
+	// MonitorOps counts monitor enter and exit operations executed.
+	MonitorOps int64
+	// FieldLoads / FieldStores count instance field accesses executed.
+	FieldLoads  int64
+	FieldStores int64
+	// Deopts counts deoptimizations taken from compiled code.
+	Deopts int64
+	// Materializations counts virtual objects allocated lazily by
+	// compiled code (PEA materialization sites executed).
+	Materializations int64
+}
+
+// Sub returns s - o, counter-wise.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Allocations:      s.Allocations - o.Allocations,
+		AllocatedBytes:   s.AllocatedBytes - o.AllocatedBytes,
+		MonitorOps:       s.MonitorOps - o.MonitorOps,
+		FieldLoads:       s.FieldLoads - o.FieldLoads,
+		FieldStores:      s.FieldStores - o.FieldStores,
+		Deopts:           s.Deopts - o.Deopts,
+		Materializations: s.Materializations - o.Materializations,
+	}
+}
+
+// Env is the mutable machine state shared by interpreted and compiled code:
+// the heap counters, static fields, PRNG, and program output. A single Env
+// is threaded through one program execution.
+type Env struct {
+	Program *bc.Program
+	Stats   Stats
+
+	// statics[classID][offset] holds static field values.
+	statics [][]Value
+
+	// Output collects values printed by OpPrint.
+	Output []int64
+
+	// rngState is the xorshift64* PRNG state; deterministic so that all
+	// compiler configurations see identical program behaviour.
+	rngState uint64
+
+	serial int64
+
+	// Cycles is the simulated execution time in cost-model cycles,
+	// advanced by whoever executes code (interpreter or executor).
+	Cycles int64
+}
+
+// NewEnv creates an execution environment for the program with the given
+// PRNG seed (0 is replaced by 1, as xorshift has no zero state).
+func NewEnv(p *bc.Program, seed uint64) *Env {
+	if seed == 0 {
+		seed = 1
+	}
+	e := &Env{Program: p, rngState: seed}
+	e.statics = make([][]Value, len(p.Classes))
+	for _, c := range p.Classes {
+		slots := make([]Value, len(c.Statics))
+		for _, f := range c.Statics {
+			if f.Kind == bc.KindRef {
+				slots[f.Offset] = Null
+			}
+		}
+		e.statics[c.ID] = slots
+	}
+	return e
+}
+
+// Rand returns the next deterministic pseudo-random value; if mod > 0 the
+// result is reduced to [0, mod).
+func (e *Env) Rand(mod int64) int64 {
+	// xorshift64* (Vigna): good enough distribution, fully deterministic.
+	x := e.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.rngState = x
+	r := int64((x * 2685821657736338717) >> 1)
+	if mod > 0 {
+		return r % mod
+	}
+	return r
+}
+
+// GetStatic reads a static field.
+func (e *Env) GetStatic(f *bc.Field) Value { return e.statics[f.Class.ID][f.Offset] }
+
+// SetStatic writes a static field.
+func (e *Env) SetStatic(f *bc.Field, v Value) { e.statics[f.Class.ID][f.Offset] = v }
+
+// AllocObject allocates a class instance with zeroed fields and charges the
+// allocation counters.
+func (e *Env) AllocObject(c *bc.Class) *Object {
+	e.serial++
+	o := &Object{Class: c, Fields: make([]Value, c.NumFields()), Serial: e.serial}
+	for _, f := range c.Fields {
+		if f.Kind == bc.KindRef {
+			o.Fields[f.Offset] = Null
+		}
+	}
+	e.Stats.Allocations++
+	e.Stats.AllocatedBytes += c.InstanceSize()
+	return o
+}
+
+// AllocArray allocates an array of n elements and charges the counters.
+// n must be non-negative (callers raise a trap otherwise).
+func (e *Env) AllocArray(kind bc.Kind, n int64) *Object {
+	e.serial++
+	o := &Object{ElemKind: kind, Fields: make([]Value, n), Serial: e.serial}
+	if kind == bc.KindRef {
+		for i := range o.Fields {
+			o.Fields[i] = Null
+		}
+	}
+	e.Stats.Allocations++
+	e.Stats.AllocatedBytes += bc.ArraySize(n)
+	return o
+}
+
+// MonitorEnter acquires obj's monitor (recursive) and counts the operation.
+func (e *Env) MonitorEnter(obj *Object) {
+	obj.LockDepth++
+	e.Stats.MonitorOps++
+}
+
+// MonitorExit releases obj's monitor and counts the operation. It returns
+// an error if the monitor is not held (structural bug in generated code).
+func (e *Env) MonitorExit(obj *Object) error {
+	if obj.LockDepth <= 0 {
+		return fmt.Errorf("rt: monitor exit on unlocked %s", obj)
+	}
+	obj.LockDepth--
+	e.Stats.MonitorOps++
+	return nil
+}
+
+// Print appends v to the program output.
+func (e *Env) Print(v int64) { e.Output = append(e.Output, v) }
+
+// Trap is a runtime error raised by executing code (null dereference,
+// division by zero, array bounds, explicit throw). The VM has no exception
+// handlers, so a trap aborts execution.
+type Trap struct {
+	Reason string
+	Method *bc.Method
+	PC     int
+}
+
+// Error implements the error interface.
+func (t *Trap) Error() string {
+	if t.Method != nil {
+		return fmt.Sprintf("trap: %s at %s pc=%d", t.Reason, t.Method.QualifiedName(), t.PC)
+	}
+	return "trap: " + t.Reason
+}
+
+// NewTrap builds a trap error.
+func NewTrap(reason string, m *bc.Method, pc int) *Trap {
+	return &Trap{Reason: reason, Method: m, PC: pc}
+}

@@ -1,0 +1,156 @@
+package rt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pea/internal/bc"
+)
+
+func prog(t *testing.T) *bc.Program {
+	t.Helper()
+	a := bc.NewAssembler()
+	box := a.Class("Box", "")
+	box.Field("v", bc.KindInt)
+	box.Field("r", bc.KindRef)
+	box.Static("g", bc.KindRef)
+	box.Static("n", bc.KindInt)
+	c := a.Class("C", "")
+	c.Method("m", nil, bc.KindVoid, true).Return()
+	p, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValueBasics(t *testing.T) {
+	i := IntValue(42)
+	if i.IsRef() || i.IsNull() || i.Kind() != bc.KindInt || i.I != 42 {
+		t.Fatalf("int value wrong: %+v", i)
+	}
+	if !Null.IsRef() || !Null.IsNull() || Null.Kind() != bc.KindRef {
+		t.Fatalf("null wrong: %+v", Null)
+	}
+	if !BoolValue(true).Equal(IntValue(1)) || !BoolValue(false).Equal(IntValue(0)) {
+		t.Fatal("bool encoding wrong")
+	}
+	if IntValue(0).Equal(Null) {
+		t.Fatal("int 0 must differ from null")
+	}
+	if IntValue(5).String() != "5" || Null.String() != "null" {
+		t.Fatal("String() wrong")
+	}
+}
+
+func TestAllocationAccounting(t *testing.T) {
+	p := prog(t)
+	env := NewEnv(p, 1)
+	box := p.ClassByName("Box")
+	o := env.AllocObject(box)
+	if o.IsArray() || len(o.Fields) != 2 {
+		t.Fatalf("object wrong: %+v", o)
+	}
+	if !o.Fields[1].IsNull() || !o.Fields[0].Equal(IntValue(0)) {
+		t.Fatal("fields not default-initialized")
+	}
+	arr := env.AllocArray(bc.KindRef, 5)
+	if !arr.IsArray() || arr.Len() != 5 || !arr.Fields[3].IsNull() {
+		t.Fatalf("array wrong: %+v", arr)
+	}
+	if env.Stats.Allocations != 2 {
+		t.Fatalf("allocations = %d", env.Stats.Allocations)
+	}
+	wantBytes := box.InstanceSize() + bc.ArraySize(5)
+	if env.Stats.AllocatedBytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", env.Stats.AllocatedBytes, wantBytes)
+	}
+	if o.Serial == arr.Serial {
+		t.Fatal("serials must be unique")
+	}
+}
+
+func TestMonitorSemantics(t *testing.T) {
+	p := prog(t)
+	env := NewEnv(p, 1)
+	o := env.AllocObject(p.ClassByName("Box"))
+	env.MonitorEnter(o)
+	env.MonitorEnter(o)
+	if o.LockDepth != 2 {
+		t.Fatalf("lock depth = %d", o.LockDepth)
+	}
+	if err := env.MonitorExit(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.MonitorExit(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.MonitorExit(o); err == nil {
+		t.Fatal("unbalanced exit must fail")
+	}
+	if env.Stats.MonitorOps != 4 {
+		t.Fatalf("monitor ops = %d (failed exit must not count)", env.Stats.MonitorOps)
+	}
+}
+
+func TestStatics(t *testing.T) {
+	p := prog(t)
+	env := NewEnv(p, 1)
+	g := p.ClassByName("Box").StaticByName("g")
+	n := p.ClassByName("Box").StaticByName("n")
+	if !env.GetStatic(g).IsNull() {
+		t.Fatal("ref static must start null")
+	}
+	if env.GetStatic(n).I != 0 {
+		t.Fatal("int static must start 0")
+	}
+	o := env.AllocObject(p.ClassByName("Box"))
+	env.SetStatic(g, RefValue(o))
+	if env.GetStatic(g).Ref != o {
+		t.Fatal("static write lost")
+	}
+}
+
+func TestRandProperties(t *testing.T) {
+	p := prog(t)
+	if err := quick.Check(func(seed uint64, mod uint16) bool {
+		m := int64(mod%1000) + 1
+		e1 := NewEnv(p, seed)
+		e2 := NewEnv(p, seed)
+		for i := 0; i < 20; i++ {
+			r1, r2 := e1.Rand(m), e2.Rand(m)
+			if r1 != r2 || r1 < 0 || r1 >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Seed 0 must still work (xorshift has no zero state).
+	e := NewEnv(p, 0)
+	if r := e.Rand(100); r < 0 || r >= 100 {
+		t.Fatalf("seed-0 rand = %d", r)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Allocations: 10, AllocatedBytes: 100, MonitorOps: 5, Deopts: 2, Materializations: 1}
+	b := Stats{Allocations: 4, AllocatedBytes: 40, MonitorOps: 1}
+	d := a.Sub(b)
+	if d.Allocations != 6 || d.AllocatedBytes != 60 || d.MonitorOps != 4 || d.Deopts != 2 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+}
+
+func TestTrapError(t *testing.T) {
+	p := prog(t)
+	m := p.ClassByName("C").MethodByName("m")
+	err := NewTrap("boom", m, 3)
+	if got := err.Error(); got != "trap: boom at C.m pc=3" {
+		t.Fatalf("trap format: %q", got)
+	}
+	if got := NewTrap("x", nil, 0).Error(); got != "trap: x" {
+		t.Fatalf("trap format: %q", got)
+	}
+}

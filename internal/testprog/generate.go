@@ -1,0 +1,256 @@
+package testprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pea/internal/bc"
+)
+
+// Generate builds a pseudo-random but well-formed bytecode program from a
+// seed, for differential fuzzing: every compiler configuration must behave
+// exactly like the interpreter on it. The generator covers the operations
+// Partial Escape Analysis cares about — allocations whose references flow
+// through locals, fields, branches and loops; partial and full escapes
+// through statics; balanced synchronized regions; helper calls (inlining
+// fodder) — while keeping programs terminating (bounded loops) and
+// deterministic (the VM PRNG is seeded by the harness).
+func Generate(seed int64) Program {
+	r := rand.New(rand.NewSource(seed))
+	g := &generator{r: r, asm: bc.NewAssembler()}
+	g.build()
+	prog, err := g.asm.Finish("")
+	if err != nil {
+		// Generator bugs surface immediately in the fuzz tests.
+		panic(fmt.Sprintf("testprog: generated invalid program (seed %d): %v", seed, err))
+	}
+	name := fmt.Sprintf("fuzz-%d", seed)
+	return Program{
+		Name:    name,
+		Prog:    prog,
+		Entry:   prog.ClassByName("F").MethodByName("entry"),
+		ArgSets: [][]int64{{0, 0}, {1, 7}, {13, -5}, {100, 3}},
+	}
+}
+
+type generator struct {
+	r   *rand.Rand
+	asm *bc.Assembler
+
+	box  *bc.ClassAsm
+	v    *bc.Field // Box.v int
+	next *bc.Field // Box.next ref
+	sink *bc.Field // static Box sink
+	gint *bc.Field // static int acc
+
+	m      *bc.MethodAsm
+	helper *bc.MethodAsm // int helper(int)
+	take   *bc.MethodAsm // int take(ref, int): escapes its argument
+
+	intLocals []int
+	refLocals []int
+
+	labelSeq int
+	budget   int
+}
+
+func (g *generator) label() string {
+	g.labelSeq++
+	return fmt.Sprintf("G%d", g.labelSeq)
+}
+
+func (g *generator) build() {
+	g.box = g.asm.Class("Box", "")
+	g.v = g.box.Field("v", bc.KindInt)
+	g.next = g.box.Field("next", bc.KindRef)
+	g.sink = g.box.Static("sink", bc.KindRef)
+	g.gint = g.box.Static("acc", bc.KindInt)
+
+	f := g.asm.Class("F", "")
+
+	// helper(x) = x*3 + 1  — a small leaf the inliner will absorb.
+	g.helper = f.Method("helper", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	g.helper.Load(0).Const(3).Mul().Const(1).Add().ReturnValue()
+
+	// take(o, x): stores o into the sink when x is odd, returns o.v + x.
+	// A callee that sometimes escapes its argument.
+	g.take = f.Method("take", []bc.Kind{bc.KindRef, bc.KindInt}, bc.KindInt, true)
+	g.take.Load(1).Const(1).Arith(bc.OpAnd).If(bc.CondEQ, "skip")
+	g.take.Load(0).PutStatic(g.sink)
+	g.take.Label("skip").Load(0).GetField(g.v).Load(1).Add().ReturnValue()
+
+	g.m = f.Method("entry", []bc.Kind{bc.KindInt, bc.KindInt}, bc.KindInt, true)
+	g.intLocals = []int{0, 1}
+	for i := 0; i < 2+g.r.Intn(3); i++ {
+		s := g.m.NewLocal(bc.KindInt)
+		g.m.Const(int64(g.r.Intn(20))).Store(s)
+		g.intLocals = append(g.intLocals, s)
+	}
+	for i := 0; i < 2+g.r.Intn(2); i++ {
+		s := g.m.NewLocal(bc.KindRef)
+		g.newBox()
+		g.m.Store(s)
+		g.refLocals = append(g.refLocals, s)
+	}
+
+	g.budget = 20 + g.r.Intn(25)
+	g.stmts(3)
+
+	// Deterministic result: fold the locals, the static accumulator, and
+	// every reachable object field into the return value.
+	g.m.GetStatic(g.gint)
+	for _, s := range g.intLocals {
+		g.m.Load(s).Add()
+	}
+	for _, s := range g.refLocals {
+		g.m.Load(s).GetField(g.v).Add()
+	}
+	g.m.GetStatic(g.sink).IfNull(bc.CondEQ, "nosink")
+	g.m.GetStatic(g.sink).GetField(g.v).Add()
+	g.m.Label("nosink").ReturnValue()
+}
+
+// newBox pushes a fresh Box with a small deterministic field value.
+func (g *generator) newBox() {
+	g.m.New(g.box.Ref())
+	g.m.Dup().Const(int64(g.r.Intn(50))).PutField(g.v)
+}
+
+func (g *generator) intLocal() int { return g.intLocals[g.r.Intn(len(g.intLocals))] }
+func (g *generator) refLocal() int { return g.refLocals[g.r.Intn(len(g.refLocals))] }
+
+// intExpr pushes an int expression of the given depth.
+func (g *generator) intExpr(depth int) {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			g.m.Const(int64(g.r.Intn(100) - 20))
+		case 1, 2:
+			g.m.Load(g.intLocal())
+		default:
+			g.m.Load(g.refLocal()).GetField(g.v)
+		}
+		return
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		g.intExpr(depth - 1)
+		g.intExpr(depth - 1)
+		ops := []bc.Op{bc.OpAdd, bc.OpSub, bc.OpMul, bc.OpAnd, bc.OpOr, bc.OpXor}
+		g.m.Arith(ops[g.r.Intn(len(ops))])
+	case 1:
+		// Guarded division: |rhs|+1 is never zero.
+		g.intExpr(depth - 1)
+		g.intExpr(depth - 1)
+		g.m.Const(63).Arith(bc.OpAnd).Const(1).Add()
+		if g.r.Intn(2) == 0 {
+			g.m.Div()
+		} else {
+			g.m.Rem()
+		}
+	case 2:
+		g.intExpr(depth - 1)
+		g.m.Neg()
+	case 3:
+		g.intExpr(depth - 1)
+		g.m.InvokeStatic(g.helper.Ref())
+	case 4:
+		g.intExpr(depth - 1)
+		g.intExpr(depth - 1)
+		conds := []bc.Cond{bc.CondEQ, bc.CondNE, bc.CondLT, bc.CondLE, bc.CondGT, bc.CondGE}
+		g.m.Cmp(conds[g.r.Intn(len(conds))])
+	default:
+		g.m.Rand(int64(g.r.Intn(40) + 2))
+	}
+}
+
+// stmts emits a random statement sequence within the budget.
+func (g *generator) stmts(depth int) {
+	n := 1 + g.r.Intn(4)
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.budget--
+		g.stmt(depth)
+	}
+}
+
+func (g *generator) stmt(depth int) {
+	choice := g.r.Intn(14)
+	if depth <= 0 && choice >= 9 {
+		choice = g.r.Intn(9)
+	}
+	switch choice {
+	case 0, 1: // int assignment
+		g.intExpr(2)
+		g.m.Store(g.intLocal())
+	case 2: // fresh object into a ref local
+		g.newBox()
+		g.m.Store(g.refLocal())
+	case 3: // field store through a ref local
+		g.m.Load(g.refLocal())
+		g.intExpr(1)
+		g.m.PutField(g.v)
+	case 4: // object-graph edge: a.next = b (possibly a == b -> cycle probe)
+		g.m.Load(g.refLocal()).Load(g.refLocal()).PutField(g.next)
+	case 5: // copy a ref local (aliasing)
+		g.m.Load(g.refLocal()).Store(g.refLocal())
+	case 6: // accumulate into the static int
+		g.m.GetStatic(g.gint)
+		g.intExpr(1)
+		g.m.Add().PutStatic(g.gint)
+	case 7: // full escape
+		g.m.Load(g.refLocal()).PutStatic(g.sink)
+	case 8: // call the escaping callee
+		g.m.Load(g.refLocal())
+		g.intExpr(1)
+		g.m.InvokeStatic(g.take.Ref())
+		g.m.Store(g.intLocal())
+	case 9: // if/else
+		elseL, endL := g.label(), g.label()
+		g.intExpr(1)
+		g.intExpr(1)
+		conds := []bc.Cond{bc.CondEQ, bc.CondNE, bc.CondLT, bc.CondGE}
+		g.m.IfCmp(conds[g.r.Intn(len(conds))], elseL)
+		g.stmts(depth - 1)
+		g.m.Goto(endL)
+		g.m.Label(elseL)
+		if g.r.Intn(2) == 0 {
+			g.stmts(depth - 1)
+		}
+		g.m.Label(endL)
+	case 10: // bounded loop (the counter stays private so no nested
+		// statement can reset it and break termination)
+		i := g.m.NewLocal(bc.KindInt)
+		head, done := g.label(), g.label()
+		bound := int64(2 + g.r.Intn(6))
+		g.m.Const(0).Store(i)
+		g.m.Label(head).Load(i).Const(bound).IfCmp(bc.CondGE, done)
+		g.stmts(depth - 1)
+		g.m.Load(i).Const(1).Add().Store(i)
+		g.m.Goto(head)
+		g.m.Label(done)
+	case 11: // synchronized region on a ref local
+		lock := g.m.NewLocal(bc.KindRef)
+		g.m.Load(g.refLocal()).Store(lock)
+		g.m.Load(lock).MonitorEnter()
+		g.stmts(depth - 1)
+		g.m.Load(lock).MonitorExit()
+	case 12: // partial escape: escape only on a data-dependent branch
+		skip := g.label()
+		obj := g.m.NewLocal(bc.KindRef)
+		g.refLocals = append(g.refLocals, obj)
+		g.newBox()
+		g.m.Store(obj)
+		g.intExpr(1)
+		g.m.Const(3).Arith(bc.OpAnd).If(bc.CondNE, skip)
+		g.m.Load(obj).PutStatic(g.sink)
+		g.m.Label(skip)
+	default: // ref-equality driven branch
+		endL, eqL := g.label(), g.label()
+		g.m.Load(g.refLocal()).Load(g.refLocal()).IfRef(bc.CondEQ, eqL)
+		g.m.GetStatic(g.gint).Const(7).Add().PutStatic(g.gint)
+		g.m.Goto(endL)
+		g.m.Label(eqL)
+		g.m.GetStatic(g.gint).Const(13).Arith(bc.OpXor).PutStatic(g.gint)
+		g.m.Label(endL)
+	}
+}

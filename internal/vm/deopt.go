@@ -1,0 +1,163 @@
+package vm
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+	"pea/internal/interp"
+	"pea/internal/ir"
+	"pea/internal/rt"
+)
+
+// deopt transfers execution from compiled code to the interpreter at the
+// given frame state (paper §2, §5.5). It materializes every virtual object
+// recorded in the state chain — allocating it, filling its fields
+// (following references between virtual objects), and re-acquiring elided
+// locks — then builds one interpreter frame per chained FrameState and
+// resumes them innermost-first, completing each outer invoke with the
+// inner frame's return value.
+func (vm *VM) deopt(fs *ir.FrameState, eval func(n *ir.Node) (rt.Value, bool)) (rt.Value, error) {
+	// Collect virtual object descriptors from the whole chain.
+	descs := make(map[*ir.Node]*ir.VirtualObjectState)
+	for s := fs; s != nil; s = s.Outer {
+		for _, vo := range s.VirtualObjects {
+			descs[vo.Object] = vo
+		}
+	}
+
+	// The method that triggered the deopt is recompiled without
+	// speculation next time it becomes hot.
+	outermost := fs
+	for outermost.Outer != nil {
+		outermost = outermost.Outer
+	}
+	vm.Invalidate(outermost.Method)
+
+	materialized := make(map[*ir.Node]*rt.Object)
+	var valueOf func(n *ir.Node, kind bc.Kind) (rt.Value, error)
+	var materializeVO func(n *ir.Node) (*rt.Object, error)
+
+	materializeVO = func(n *ir.Node) (*rt.Object, error) {
+		if obj, ok := materialized[n]; ok {
+			return obj, nil
+		}
+		vo, ok := descs[n]
+		if !ok {
+			return nil, fmt.Errorf("vm: deopt: no descriptor for %s", n)
+		}
+		var obj *rt.Object
+		if n.Class != nil {
+			obj = vm.Env.AllocObject(n.Class)
+		} else {
+			obj = vm.Env.AllocArray(n.ElemKind, n.AuxLen)
+		}
+		// Register before filling fields: virtual object graphs are
+		// acyclic by construction, but self-maps stay cheap this way.
+		materialized[n] = obj
+		for i, v := range vo.Values {
+			kind := bc.KindInt
+			if n.Class != nil {
+				kind = n.Class.Fields[i].Kind
+			} else {
+				kind = n.ElemKind
+			}
+			fv, err := valueOf(v, kind)
+			if err != nil {
+				return nil, err
+			}
+			obj.Fields[i] = fv
+		}
+		for k := 0; k < vo.LockDepth; k++ {
+			vm.Env.MonitorEnter(obj)
+		}
+		vm.Env.Stats.Materializations++
+		return obj, nil
+	}
+
+	valueOf = func(n *ir.Node, kind bc.Kind) (rt.Value, error) {
+		if n == nil {
+			// Dead slot: the interpreter never reads it; restore
+			// the kind's default.
+			if kind == bc.KindRef {
+				return rt.Null, nil
+			}
+			return rt.IntValue(0), nil
+		}
+		if n.Op == ir.OpVirtualObject {
+			obj, err := materializeVO(n)
+			if err != nil {
+				return rt.Value{}, err
+			}
+			return rt.RefValue(obj), nil
+		}
+		v, ok := eval(n)
+		if !ok {
+			return rt.Value{}, fmt.Errorf("vm: deopt: %s has no runtime value", n)
+		}
+		return v, nil
+	}
+
+	// Build and run frames innermost-first.
+	buildFrame := func(s *ir.FrameState) (*interp.Frame, error) {
+		f := &interp.Frame{
+			Method: s.Method,
+			PC:     s.BCI,
+			Locals: make([]rt.Value, len(s.Locals)),
+			Stack:  make([]rt.Value, 0, len(s.Stack)),
+		}
+		for i, n := range s.Locals {
+			v, err := valueOf(n, s.Method.LocalKinds[i])
+			if err != nil {
+				return nil, err
+			}
+			f.Locals[i] = v
+		}
+		for _, n := range s.Stack {
+			// Stack slots are never nil; their kind is recovered
+			// from the node itself.
+			kind := bc.KindInt
+			if n != nil {
+				kind = n.Kind
+			}
+			v, err := valueOf(n, kind)
+			if err != nil {
+				return nil, err
+			}
+			f.Stack = append(f.Stack, v)
+		}
+		return f, nil
+	}
+
+	inner, err := buildFrame(fs)
+	if err != nil {
+		return rt.Value{}, err
+	}
+	ret, err := vm.Interp.Resume(inner)
+	if err != nil {
+		return rt.Value{}, err
+	}
+	retKind := fs.Method.Ret
+	for s := fs.Outer; s != nil; s = s.Outer {
+		f, err := buildFrame(s)
+		if err != nil {
+			return rt.Value{}, err
+		}
+		// s.BCI is the invoke instruction whose callee just returned;
+		// complete it: push the result and continue after the call.
+		in := &s.Method.Code[s.BCI]
+		if !in.Op.IsInvoke() {
+			return rt.Value{}, fmt.Errorf("vm: deopt: outer state at %s:%d is not an invoke",
+				s.Method.QualifiedName(), s.BCI)
+		}
+		if retKind != bc.KindVoid {
+			f.Stack = append(f.Stack, ret)
+		}
+		f.PC = s.BCI + 1
+		ret, err = vm.Interp.Resume(f)
+		if err != nil {
+			return rt.Value{}, err
+		}
+		retKind = s.Method.Ret
+	}
+	return ret, nil
+}

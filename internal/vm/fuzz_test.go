@@ -1,0 +1,129 @@
+package vm
+
+import (
+	"testing"
+
+	"pea/internal/rt"
+	"pea/internal/testprog"
+)
+
+// fuzzOutcome captures everything observable about one configuration's run
+// over the full argument sequence of a generated program.
+type fuzzOutcome struct {
+	results []rt.Value
+	errs    []bool
+	out     []int64
+	allocs  int64
+	monOps  int64
+	sinkSet bool
+	sinkV   int64
+	acc     int64
+}
+
+// runFuzzConfig executes every argument set several times in one VM (so
+// the JIT warms up and compiled code runs) and returns the observation.
+func runFuzzConfig(t *testing.T, p testprog.Program, opts Options) fuzzOutcome {
+	t.Helper()
+	opts.MaxSteps = 50_000_000
+	opts.CompileThreshold = 4
+	machine := New(p.Prog, opts)
+	var o fuzzOutcome
+	for round := 0; round < 7; round++ {
+		for _, args := range p.ArgSets {
+			vals := []rt.Value{rt.IntValue(args[0]), rt.IntValue(args[1])}
+			v, err := machine.Call(p.Entry, vals)
+			if round == 6 {
+				o.results = append(o.results, v)
+				o.errs = append(o.errs, err != nil)
+			}
+			if err != nil {
+				// Traps abort only this call; state may diverge
+				// afterwards, so stop the sequence deterministically.
+				break
+			}
+		}
+	}
+	for m, cerr := range machine.FailedCompilations() {
+		t.Fatalf("%s: compiling %s: %v", p.Name, m.QualifiedName(), cerr)
+	}
+	sink := p.Prog.ClassByName("Box").StaticByName("sink")
+	acc := p.Prog.ClassByName("Box").StaticByName("acc")
+	o.out = machine.Env.Output
+	o.allocs = machine.Env.Stats.Allocations
+	o.monOps = machine.Env.Stats.MonitorOps
+	o.acc = machine.Env.GetStatic(acc).I
+	if sv := machine.Env.GetStatic(sink); sv.Ref != nil {
+		o.sinkSet = true
+		o.sinkV = sv.Ref.Fields[0].I
+	}
+	return o
+}
+
+// TestFuzzedProgramsAgreeAcrossModes generates pseudo-random programs and
+// runs each under every VM configuration: all must produce identical
+// per-call results, outputs and final statics, and the escape-analysis
+// modes must never allocate or lock more than the baseline. This is the
+// system-level differential fuzzer; any miscompilation in the builder, the
+// optimizer, EA, PEA, speculation, or the deoptimization runtime shows up
+// here.
+func TestFuzzedProgramsAgreeAcrossModes(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 30
+	}
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"interp", Options{Interpret: true}},
+		{"jit", Options{EA: EAOff, Validate: true}},
+		{"jit-ea", Options{EA: EAFlowInsensitive, Validate: true}},
+		{"jit-pea", Options{EA: EAPartial, Validate: true}},
+		{"jit-pea-spec", Options{EA: EAPartial, Speculate: true, Validate: true}},
+	}
+	for seed := 0; seed < seeds; seed++ {
+		p := testprog.Generate(int64(seed))
+		ref := runFuzzConfig(t, p, configs[0].opts)
+		for _, cfg := range configs[1:] {
+			o := runFuzzConfig(t, p, cfg.opts)
+			if len(o.results) != len(ref.results) {
+				t.Fatalf("seed %d %s: %d final-round calls vs %d",
+					seed, cfg.name, len(o.results), len(ref.results))
+			}
+			for i := range ref.results {
+				if o.errs[i] != ref.errs[i] {
+					t.Fatalf("seed %d %s call %d: trap divergence", seed, cfg.name, i)
+				}
+				if !o.errs[i] && !o.results[i].Equal(ref.results[i]) {
+					t.Fatalf("seed %d %s call %d: result %v, interp %v",
+						seed, cfg.name, i, o.results[i], ref.results[i])
+				}
+			}
+			if o.acc != ref.acc {
+				t.Fatalf("seed %d %s: acc %d, interp %d", seed, cfg.name, o.acc, ref.acc)
+			}
+			if o.sinkSet != ref.sinkSet || (o.sinkSet && o.sinkV != ref.sinkV) {
+				t.Fatalf("seed %d %s: sink (%v,%d), interp (%v,%d)",
+					seed, cfg.name, o.sinkSet, o.sinkV, ref.sinkSet, ref.sinkV)
+			}
+			if len(o.out) != len(ref.out) {
+				t.Fatalf("seed %d %s: output length %d vs %d",
+					seed, cfg.name, len(o.out), len(ref.out))
+			}
+			for i := range ref.out {
+				if o.out[i] != ref.out[i] {
+					t.Fatalf("seed %d %s: output[%d] %d vs %d",
+						seed, cfg.name, i, o.out[i], ref.out[i])
+				}
+			}
+			if o.allocs > ref.allocs {
+				t.Fatalf("seed %d %s: %d allocations vs interp %d",
+					seed, cfg.name, o.allocs, ref.allocs)
+			}
+			if o.monOps > ref.monOps {
+				t.Fatalf("seed %d %s: %d monitor ops vs interp %d",
+					seed, cfg.name, o.monOps, ref.monOps)
+			}
+		}
+	}
+}

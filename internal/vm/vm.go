@@ -1,0 +1,277 @@
+// Package vm assembles the whole system the paper describes: a bytecode
+// interpreter that profiles the running program, a just-in-time compiler
+// policy that compiles hot methods through a configurable optimization
+// pipeline (no escape analysis / flow-insensitive EA / Partial Escape
+// Analysis, optionally with speculative branch pruning), a compiled-code
+// executor, and the deoptimization runtime that transfers execution back
+// to the interpreter — materializing scalar-replaced objects from the
+// VirtualObjectStates recorded in FrameStates (paper §5.5).
+package vm
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+	"pea/internal/build"
+	"pea/internal/ea"
+	"pea/internal/exec"
+	"pea/internal/interp"
+	"pea/internal/ir"
+	"pea/internal/opt"
+	"pea/internal/pea"
+	"pea/internal/rt"
+)
+
+// EAMode selects the escape analysis configuration of the JIT.
+type EAMode int
+
+const (
+	// EAOff performs no escape analysis (the paper's "without" column).
+	EAOff EAMode = iota
+	// EAFlowInsensitive runs the equi-escape-sets baseline (§6.2, the
+	// HotSpot-server-compiler-style analysis).
+	EAFlowInsensitive
+	// EAPartial runs the paper's Partial Escape Analysis.
+	EAPartial
+)
+
+// String names the mode.
+func (m EAMode) String() string {
+	switch m {
+	case EAOff:
+		return "no-ea"
+	case EAFlowInsensitive:
+		return "ea"
+	case EAPartial:
+		return "pea"
+	default:
+		return fmt.Sprintf("EAMode(%d)", int(m))
+	}
+}
+
+// Options configures a VM.
+type Options struct {
+	EA EAMode
+	// Interpret disables the JIT entirely.
+	Interpret bool
+	// CompileThreshold is the invocation count that triggers
+	// compilation (default 20).
+	CompileThreshold int64
+	// Speculate enables profile-guided branch pruning with
+	// deoptimization.
+	Speculate bool
+	// Seed seeds the deterministic PRNG (default 1).
+	Seed uint64
+	// MaxSteps bounds interpreted+compiled steps (0 = unbounded).
+	MaxSteps int64
+	// Validate verifies the IR after each phase (slower; used in tests).
+	Validate bool
+}
+
+func (o Options) threshold() int64 {
+	if o.CompileThreshold > 0 {
+		return o.CompileThreshold
+	}
+	return 20
+}
+
+// Stats reports VM-level counters on top of rt.Stats.
+type Stats struct {
+	CompiledMethods    int64
+	Recompilations     int64
+	InvalidatedMethods int64
+}
+
+// VM runs one program.
+type VM struct {
+	Prog *bc.Program
+	Env  *rt.Env
+	Opts Options
+
+	Interp *interp.Interp
+	Engine *exec.Engine
+
+	graphs map[*bc.Method]*ir.Graph
+	// noSpec marks methods whose speculative code deoptimized; they are
+	// recompiled without speculation.
+	noSpec map[*bc.Method]bool
+	// failed marks methods whose compilation failed permanently (they
+	// stay interpreted). Compilation failures are programming errors in
+	// the compiler and surface in tests; in benchmarks they degrade to
+	// interpretation.
+	failed map[*bc.Method]error
+
+	VMStats Stats
+}
+
+// New creates a VM for the program.
+func New(prog *bc.Program, opts Options) *VM {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	vm := &VM{
+		Prog:   prog,
+		Env:    rt.NewEnv(prog, opts.Seed),
+		Opts:   opts,
+		graphs: make(map[*bc.Method]*ir.Graph),
+		noSpec: make(map[*bc.Method]bool),
+		failed: make(map[*bc.Method]error),
+	}
+	vm.Interp = interp.New(vm.Env)
+	vm.Interp.MaxSteps = opts.MaxSteps
+	vm.Interp.CallHook = vm.interpCallHook
+	vm.Engine = &exec.Engine{Env: vm.Env, MaxSteps: opts.MaxSteps}
+	vm.Engine.Invoke = vm.engineInvoke
+	vm.Engine.Deopt = vm.deopt
+	return vm
+}
+
+// Run executes the program's entry point.
+func (vm *VM) Run() (rt.Value, error) {
+	if vm.Prog.Main == nil {
+		return rt.Value{}, fmt.Errorf("vm: program has no entry point")
+	}
+	return vm.Call(vm.Prog.Main, nil)
+}
+
+// Call invokes m with args under the VM's execution policy.
+func (vm *VM) Call(m *bc.Method, args []rt.Value) (rt.Value, error) {
+	if g := vm.maybeCompiled(m); g != nil {
+		return vm.Engine.Run(g, args)
+	}
+	return vm.Interp.Call(m, args)
+}
+
+// interpCallHook diverts interpreted calls to compiled code when available.
+func (vm *VM) interpCallHook(m *bc.Method, args []rt.Value) (rt.Value, bool, error) {
+	if g := vm.maybeCompiled(m); g != nil {
+		v, err := vm.Engine.Run(g, args)
+		return v, true, err
+	}
+	return rt.Value{}, false, nil
+}
+
+// engineInvoke handles calls made from compiled code.
+func (vm *VM) engineInvoke(m *bc.Method, args []rt.Value) (rt.Value, error) {
+	if g := vm.maybeCompiled(m); g != nil {
+		return vm.Engine.Run(g, args)
+	}
+	return vm.Interp.Call(m, args)
+}
+
+// maybeCompiled returns the compiled graph for m, compiling it if it just
+// became hot.
+func (vm *VM) maybeCompiled(m *bc.Method) *ir.Graph {
+	if vm.Opts.Interpret {
+		return nil
+	}
+	if g, ok := vm.graphs[m]; ok {
+		return g
+	}
+	if _, bad := vm.failed[m]; bad {
+		return nil
+	}
+	if vm.Interp.Profile.Invocations(m) < vm.Opts.threshold() {
+		return nil
+	}
+	g, err := vm.Compile(m)
+	if err != nil {
+		vm.failed[m] = err
+		return nil
+	}
+	vm.graphs[m] = g
+	vm.VMStats.CompiledMethods++
+	if vm.noSpec[m] {
+		vm.VMStats.Recompilations++
+	}
+	return g
+}
+
+// Compile builds and optimizes the IR for m under the VM's configuration.
+func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
+	g, err := build.Build(m)
+	if err != nil {
+		return nil, err
+	}
+	phases := []opt.Phase{
+		&opt.Inliner{BuildGraph: build.Build, Program: vm.Prog, Profile: vm.Interp.Profile},
+		opt.Canonicalize{},
+		opt.SimplifyCFG{},
+		opt.GVN{},
+		opt.DCE{},
+	}
+	pipe := &opt.Pipeline{Phases: phases, Validate: vm.Opts.Validate}
+	if err := pipe.Run(g); err != nil {
+		return nil, err
+	}
+	if vm.Opts.Speculate && !vm.noSpec[m] {
+		// A branch is prunable once it has been observed throughout
+		// the interpreted warmup (threshold-1 invocations precede the
+		// compilation).
+		minTotal := vm.Opts.threshold() - 1
+		if minTotal < 1 {
+			minTotal = 1
+		}
+		pr := &opt.BranchPruner{Profile: vm.Interp.Profile, MinTotal: minTotal}
+		changed, err := pr.Run(g)
+		if err != nil {
+			return nil, err
+		}
+		if vm.Opts.Validate {
+			if err := ir.Verify(g); err != nil {
+				return nil, fmt.Errorf("vm: branch pruning broke %s: %w", m.QualifiedName(), err)
+			}
+		}
+		if changed {
+			// Pruning leaves single-input phis and straight-line
+			// chains behind; normalize before escape analysis.
+			clean := opt.Standard()
+			clean.Validate = vm.Opts.Validate
+			if err := clean.Run(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	switch vm.Opts.EA {
+	case EAOff:
+	case EAFlowInsensitive:
+		if _, err := ea.Run(g, pea.Config{}); err != nil {
+			return nil, err
+		}
+	case EAPartial:
+		if _, err := pea.Run(g, pea.Config{}); err != nil {
+			return nil, err
+		}
+	}
+	if vm.Opts.Validate {
+		if err := ir.Verify(g); err != nil {
+			return nil, fmt.Errorf("vm: %s after %v: %w", m.QualifiedName(), vm.Opts.EA, err)
+		}
+	}
+	post := opt.Standard()
+	post.Validate = vm.Opts.Validate
+	if err := post.Run(g); err != nil {
+		return nil, err
+	}
+	// Per-invocation instruction-fetch charge proportional to compiled
+	// code size (see ir.Graph.CodeCycles).
+	g.CodeCycles = int64(g.NumNodes()) / 3
+	return g, nil
+}
+
+// Invalidate drops m's compiled code; the next hot call recompiles it
+// without speculation.
+func (vm *VM) Invalidate(m *bc.Method) {
+	if _, ok := vm.graphs[m]; ok {
+		delete(vm.graphs, m)
+		vm.noSpec[m] = true
+		vm.VMStats.InvalidatedMethods++
+	}
+}
+
+// CompileError returns the recorded compilation failure for m, if any.
+// Used by tests to assert that nothing failed silently.
+func (vm *VM) CompileError(m *bc.Method) error { return vm.failed[m] }
+
+// FailedCompilations returns all recorded compile failures.
+func (vm *VM) FailedCompilations() map[*bc.Method]error { return vm.failed }
