@@ -7,6 +7,12 @@
 //
 //	irdump [-example cachekey|framestate] [-phase built|inlined|pea|final] [-method Class.method]
 //	irdump -file prog.mj -method Class.method [-phase ...]
+//
+// Dumping is driven by the obs package's per-phase IR-snapshot hooks: the
+// command registers one snapshot consumer on an event sink and the
+// pipeline stages publish their IR through it. Besides the four named
+// stages, -phase also accepts any optimization phase name (for example
+// gvn or dce) to print the IR each time that phase changes the graph.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"pea/internal/build"
 	"pea/internal/ir"
 	"pea/internal/mj"
+	"pea/internal/obs"
 	"pea/internal/opt"
 	"pea/internal/pea"
 )
@@ -79,7 +86,7 @@ func main() {
 	example := flag.String("example", "cachekey", "built-in example: cachekey (Figure 2) or framestate (Figure 8)")
 	file := flag.String("file", "", "MiniJava source file to dump instead of a built-in example")
 	method := flag.String("method", "", "method to dump as Class.method (defaults per example)")
-	phase := flag.String("phase", "pea", "pipeline stage: built, inlined, pea, or final")
+	phase := flag.String("phase", "pea", "pipeline stage: built, inlined, pea, final, or any optimization phase name")
 	dotOut := flag.Bool("dot", false, "emit Graphviz DOT instead of text (Figure 2 as a drawing)")
 	trace := flag.Bool("trace", false, "log the escape analysis decisions to stderr")
 	flag.Parse()
@@ -123,36 +130,53 @@ func main() {
 		fatal(fmt.Errorf("no method %q", *method))
 	}
 
-	g, err := build.Build(m)
+	// All dumping goes through the obs snapshot hooks: the named stages
+	// below and every optimization phase publish their IR to the sink,
+	// and the single consumer registered here prints whichever snapshots
+	// match the selected -phase.
+	sink := obs.NewSink()
+	shown := false
+	sink.OnSnapshot(func(ph, _ string, render func() string) {
+		if ph != *phase {
+			return
+		}
+		shown = true
+		fmt.Print(render())
+	})
+
+	var g *ir.Graph
+	snap := func(name, banner string) {
+		sink.Snapshot(name, *method, func() string {
+			if *dotOut {
+				return ir.DumpDot(g)
+			}
+			return fmt.Sprintf("=== %s (%s) ===\n%s\n", *method, banner, ir.Dump(g))
+		})
+	}
+
+	g, err = build.BuildWith(m, sink)
 	if err != nil {
 		fatal(err)
 	}
-	stage := func(name string) {
-		if *dotOut {
-			fmt.Print(ir.DumpDot(g))
-			return
-		}
-		fmt.Printf("=== %s (%s) ===\n%s\n", *method, name, ir.Dump(g))
-	}
+	snap("built", "as built from bytecode")
 	if *phase == "built" {
-		stage("as built from bytecode")
 		return
 	}
 	pipe := &opt.Pipeline{Phases: []opt.Phase{
-		&opt.Inliner{BuildGraph: build.Build, Program: prog},
+		&opt.Inliner{BuildGraph: build.Build, Program: prog, Sink: sink},
 		opt.Canonicalize{},
 		opt.SimplifyCFG{},
 		opt.GVN{},
 		opt.DCE{},
-	}}
+	}, Sink: sink}
 	if err := pipe.Run(g); err != nil {
 		fatal(err)
 	}
+	snap("inlined", "after inlining and canonicalization — paper Figure 2 / Listing 5")
 	if *phase == "inlined" {
-		stage("after inlining and canonicalization — paper Figure 2 / Listing 5")
 		return
 	}
-	conf := pea.Config{}
+	conf := pea.Config{Sink: sink}
 	if *trace {
 		conf.Trace = os.Stderr
 	}
@@ -163,17 +187,21 @@ func main() {
 	if err := ir.Verify(g); err != nil {
 		fatal(fmt.Errorf("PEA produced invalid IR: %w", err))
 	}
+	snap("pea", fmt.Sprintf("after Partial Escape Analysis — paper Listing 6 / Figure 8 "+
+		"(virtualized %d allocs, %d monitors; %d materialization sites)",
+		res.VirtualizedAllocs, res.ElidedMonitors, res.MaterializeSites))
 	if *phase == "pea" {
-		stage(fmt.Sprintf("after Partial Escape Analysis — paper Listing 6 / Figure 8 "+
-			"(virtualized %d allocs, %d monitors; %d materialization sites)",
-			res.VirtualizedAllocs, res.ElidedMonitors, res.MaterializeSites))
 		return
 	}
 	post := opt.Standard()
+	post.Sink = sink
 	if err := post.Run(g); err != nil {
 		fatal(err)
 	}
-	stage("final")
+	snap("final", "final")
+	if !shown {
+		fatal(fmt.Errorf("no snapshot for -phase %q (no such stage, or the phase never changed the IR)", *phase))
+	}
 }
 
 func fatal(err error) {

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	peabench [-suite dacapo|scaladacapo|specjbb|all] [-mode pea|ea]
-//	         [-compare] [-locks] [-full] [-warmup N] [-iters N]
+//	         [-compare] [-locks] [-compiler] [-full] [-warmup N] [-iters N]
+//
+// With -compiler each Table 1 block is followed by a per-benchmark
+// compiler-metrics table (virtualized allocations, materialization sites,
+// elided locks, deopts, escape-analysis phase time) with a compact JSON
+// column for machine consumption.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	compare := flag.Bool("compare", false, "run the section-6.2 EA vs PEA comparison instead of Table 1")
 	ablate := flag.Bool("ablate", false, "run the ablation study over PEA's design choices")
 	locks := flag.Bool("locks", false, "also print monitor-operation changes (section 6.1)")
+	compiler := flag.Bool("compiler", false, "also print per-benchmark compiler metrics (decision counters, phase times, JSON)")
 	full := flag.Bool("full", false, "include the DaCapo rows the paper omits from Table 1")
 	warmup := flag.Int("warmup", bench.DefaultRuns.Warmup, "warmup iterations per benchmark")
 	iters := flag.Int("iters", bench.DefaultRuns.Iters, "measured iterations per benchmark")
@@ -74,6 +80,11 @@ func main() {
 		if *locks {
 			fmt.Println()
 			fmt.Print(bench.FormatLockTable(rows))
+		}
+		if *compiler {
+			fmt.Println()
+			fmt.Print(bench.FormatCompilerTable(
+				fmt.Sprintf("Compiler metrics (%s, %s configuration)", s, *mode), rows, !*full))
 		}
 		fmt.Println()
 	}

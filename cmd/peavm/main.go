@@ -5,19 +5,26 @@
 //
 // Usage:
 //
-//	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S] prog.mj
+//	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S]
+//	      [-trace-events out.jsonl] [-metrics] prog.mj
 //
 // The program must define a static Main.main method. Printed values go to
 // stdout, one per line. With -stats the VM reports allocation, monitor,
-// compilation and deoptimization counters to stderr.
+// compilation and deoptimization counters to stderr. With -trace-events
+// the full structured event stream of the compiler and VM (phase timings,
+// inlining and PEA decisions, deopts, rematerializations) is written as
+// JSON lines; with -metrics the compiler metrics registry is printed as a
+// table to stderr after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pea/internal/mj"
+	"pea/internal/obs"
 	"pea/internal/vm"
 )
 
@@ -29,6 +36,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print VM statistics to stderr")
 	seed := flag.Uint64("seed", 1, "PRNG seed for the rand() intrinsic")
 	threshold := flag.Int64("threshold", 20, "JIT compile threshold (invocations)")
+	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
+	traceText := flag.Bool("trace-text", false, "also render events human-readably to stderr")
+	metrics := flag.Bool("metrics", false, "print the compiler metrics table to stderr after the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -62,6 +72,31 @@ func main() {
 		fatal(fmt.Errorf("unknown -ea mode %q", *eaMode))
 	}
 
+	// Observability: events to JSONL and/or text, metrics registry.
+	var met *obs.Metrics
+	if *traceEvents != "" || *traceText || *metrics {
+		var backends []obs.Backend
+		if *traceEvents != "" {
+			var w io.Writer = os.Stderr
+			if *traceEvents != "-" {
+				f, err := os.Create(*traceEvents)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			backends = append(backends, obs.NewJSONBackend(w))
+		}
+		if *traceText {
+			backends = append(backends, obs.NewTextBackend(os.Stderr))
+		}
+		opts.Sink = obs.NewSink(backends...)
+		met = obs.NewMetrics()
+		met.PublishExpvar()
+		opts.Metrics = met
+	}
+
 	machine := vm.New(prog, opts)
 	for i := 0; i < *runs; i++ {
 		if _, err := machine.Run(); err != nil {
@@ -84,6 +119,9 @@ func main() {
 		for m, cerr := range machine.FailedCompilations() {
 			fmt.Fprintf(os.Stderr, "compile failure:  %s: %v\n", m.QualifiedName(), cerr)
 		}
+	}
+	if *metrics {
+		fmt.Fprint(os.Stderr, met.Snapshot().Table())
 	}
 }
 

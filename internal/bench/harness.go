@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"time"
 
 	"pea/internal/cost"
 	"pea/internal/mj"
+	"pea/internal/obs"
 	"pea/internal/vm"
 )
 
@@ -22,6 +25,61 @@ type Metrics struct {
 	// ItersPerMin derives from the deterministic cycle model at the
 	// paper's 2.9 GHz clock.
 	ItersPerMin float64
+	// Compiler summarizes the JIT's decision counters and per-phase
+	// compile time for the whole run (warmup included: compilation
+	// happens during warmup).
+	Compiler CompilerStats
+}
+
+// CompilerStats condenses the obs.Metrics registry of one measurement run
+// into the columns reported next to Table 1: how many methods were
+// compiled, what the escape analysis decided, and where compile time went.
+type CompilerStats struct {
+	Compiles     int64 `json:"compiles"`
+	Recompiles   int64 `json:"recompiles,omitempty"`
+	Inlines      int64 `json:"inlines,omitempty"`
+	Virtualized  int64 `json:"virt"`
+	Materialized int64 `json:"mat"`
+	LocksElided  int64 `json:"locks"`
+	Deopts       int64 `json:"deopts,omitempty"`
+	// PhaseMS maps compiler phase name to total wall time in
+	// milliseconds across all compiles of the run.
+	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// JSON renders the stats as one compact JSON object.
+func (cs CompilerStats) JSON() string {
+	b, err := json.Marshal(cs)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// EAMillis returns the total time spent in the escape-analysis phase
+// proper (either the "ea" or the "pea" timer, whichever ran).
+func (cs CompilerStats) EAMillis() float64 {
+	return cs.PhaseMS["ea"] + cs.PhaseMS["pea"]
+}
+
+// compilerStats extracts the well-known counters from a registry snapshot.
+func compilerStats(s obs.Snapshot) CompilerStats {
+	cs := CompilerStats{
+		Compiles:     s.Counters[obs.MetricVMCompiles],
+		Recompiles:   s.Counters[obs.MetricVMRecompiles],
+		Inlines:      s.Counters[obs.MetricInlines],
+		Virtualized:  s.Counters[obs.MetricVirtualized],
+		Materialized: s.Counters[obs.MetricMaterialized],
+		LocksElided:  s.Counters[obs.MetricLocksElided],
+		Deopts:       s.Counters[obs.MetricVMDeopts],
+	}
+	if len(s.Phases) > 0 {
+		cs.PhaseMS = make(map[string]float64, len(s.Phases))
+		for name, st := range s.Phases {
+			cs.PhaseMS[name] = float64(st.Total) / float64(time.Millisecond)
+		}
+	}
+	return cs
 }
 
 // Row is one benchmark's result under two configurations.
@@ -63,12 +121,14 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
+	met := obs.NewMetrics()
 	machine := vm.New(prog, vm.Options{
 		EA:               rc.Mode,
 		CompileThreshold: 10,
 		Speculate:        rc.Speculate,
 		Seed:             uint64(len(w.Name))*2654435761 + 7,
 		MaxSteps:         2_000_000_000,
+		Metrics:          met,
 	})
 	setup := prog.ClassByName("Store").MethodByName("setup")
 	iter := prog.ClassByName("Bench").MethodByName("iteration")
@@ -101,6 +161,7 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 	if cycles > 0 {
 		m.ItersPerMin = cost.CyclesPerMinute / (float64(cycles) / n)
 	}
+	m.Compiler = compilerStats(met.Snapshot())
 	return m, nil
 }
 

@@ -31,6 +31,29 @@ func FormatTable1(title string, rows []Row, onlyShown bool) string {
 	return b.String()
 }
 
+// FormatCompilerTable renders the per-benchmark compiler decision
+// counters of the measured ("with") configuration — how many methods the
+// JIT compiled, how many allocations it virtualized, how many
+// materialization sites and elided lock operations it emitted, and how
+// long the escape-analysis phase ran — followed by the full metric set as
+// one compact JSON object per row (machine-readable column of Table 1).
+func FormatCompilerTable(title string, rows []Row, onlyShown bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %8s %6s %6s %6s %6s %8s  %s\n",
+		"benchmark", "compiles", "virt", "mat", "locks", "deopts", "ea-ms", "metrics-json")
+	for _, r := range rows {
+		if onlyShown && !ShownInTable1(r.Spec.Name) {
+			continue
+		}
+		c := r.With.Compiler
+		fmt.Fprintf(&b, "%-14s %8d %6d %6d %6d %6d %8.2f  %s\n",
+			r.Spec.Name, c.Compiles, c.Virtualized, c.Materialized,
+			c.LocksElided, c.Deopts, c.EAMillis(), c.JSON())
+	}
+	return b.String()
+}
+
 // FormatLockTable renders the monitor-operation changes (paper §6.1,
 // "Number of Locks": tomcat -4%, SPECjbb2005 -3.8%).
 func FormatLockTable(rows []Row) string {

@@ -1,0 +1,757 @@
+// Package build translates bytecode methods into the SSA IR by abstract
+// interpretation over the operand stack and local variables, exactly as
+// Graal's bytecode parser does for the CGO'14 Partial Escape Analysis
+// paper's system: basic blocks are discovered from branch targets, phi
+// nodes are inserted at control-flow merges (including loop headers, whose
+// back-edge inputs are filled in once the loop body has been translated),
+// and every deoptimization-relevant instruction captures a FrameState whose
+// local slots are pruned by liveness.
+//
+// Liveness pruning is load-bearing for the paper's headline pattern (see
+// DESIGN.md): without it, dead locals pin loop temporaries into merge
+// states and FrameStates, and Partial Escape Analysis would be forced to
+// materialize objects that the program can never observe again.
+package build
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+	"pea/internal/obs"
+)
+
+// Build translates m into a fresh IR graph. The method must have passed
+// bc.Verify (the assembler and the MiniJava front end both guarantee it);
+// inconsistent bytecode is reported as an error rather than a panic.
+func Build(m *bc.Method) (*ir.Graph, error) {
+	return BuildWith(m, nil)
+}
+
+// BuildWith is Build with an observability sink receiving a phase event
+// describing the translation (node/block counts). A nil sink is free.
+func BuildWith(m *bc.Method, sink *obs.Sink) (g *ir.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("build: %s: internal error: %v", m.QualifiedName(), r)
+		}
+	}()
+	var span obs.PhaseSpan
+	if sink != nil {
+		// QualifiedName allocates; compute it only when observing.
+		span = obs.StartPhase(sink, "build", m.QualifiedName(), 0, 0)
+	}
+	b := &builder{m: m}
+	g, err = b.build()
+	if err != nil {
+		return nil, err
+	}
+	span.End(g.NumNodes(), len(g.Blocks))
+	return g, nil
+}
+
+// builder holds the per-method translation state.
+type builder struct {
+	m *bc.Method
+	g *ir.Graph
+
+	// leaders[pc] is true if pc starts a basic block.
+	leaders []bool
+	// reach[pc] is true if pc is reachable from the entry.
+	reach []bool
+	// blockAt maps a leader pc to its IR block.
+	blockAt map[int]*ir.Block
+	// succs lists, per leader pc, the successor leader pcs in edge order
+	// (taken target first for conditional branches).
+	succs map[int][]int
+	// liveAt[pc] has one bool per local slot: live before executing pc.
+	liveAt [][]bool
+
+	// exit holds the abstract state at the end of each processed block.
+	exit map[*ir.Block]*absState
+	// pendingPhis records merge-block phis whose inputs are filled once
+	// every predecessor's exit state exists.
+	pendingPhis []pendingPhi
+	// zeroOf lazily caches per-block default-value constants used to
+	// complete phi inputs for locals that are live-in at a merge but
+	// undefined on some path (the interpreter zero-initializes locals).
+	zeroOf map[zeroKey]*ir.Node
+
+	params []*ir.Node
+}
+
+type zeroKey struct {
+	b *ir.Block
+	k bc.Kind
+}
+
+// pendingPhi describes one phi awaiting predecessor inputs: either a local
+// slot (slot >= 0) or an operand stack position (slot < 0, depth = ^slot).
+type pendingPhi struct {
+	block *ir.Block
+	phi   *ir.Node
+	slot  int
+}
+
+// absState is the abstract machine state: one IR value (or nil =
+// dead/undefined) per local slot, plus the operand stack.
+type absState struct {
+	locals []*ir.Node
+	stack  []*ir.Node
+}
+
+func (s *absState) clone() *absState {
+	return &absState{
+		locals: append([]*ir.Node(nil), s.locals...),
+		stack:  append([]*ir.Node(nil), s.stack...),
+	}
+}
+
+func (s *absState) push(n *ir.Node) { s.stack = append(s.stack, n) }
+
+func (s *absState) pop() *ir.Node {
+	n := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return n
+}
+
+func (b *builder) build() (*ir.Graph, error) {
+	m := b.m
+	if len(m.Code) == 0 {
+		return nil, fmt.Errorf("build: %s has no code", m.QualifiedName())
+	}
+	b.findBlocks()
+	b.computeLiveness()
+
+	b.g = ir.NewGraph(m)
+	b.blockAt = make(map[int]*ir.Block)
+	b.exit = make(map[*ir.Block]*absState)
+	b.zeroOf = make(map[zeroKey]*ir.Node)
+
+	// Create IR blocks for every reachable leader. The graph's entry block
+	// is reused for pc 0 unless pc 0 is itself a branch target (a loop
+	// back to the method head), in which case a preamble block holding the
+	// parameters is kept as the entry, since the IR entry block must have
+	// no predecessors.
+	leaderPCs := []int{}
+	for pc := range m.Code {
+		if b.reach[pc] && b.leaders[pc] {
+			leaderPCs = append(leaderPCs, pc)
+		}
+	}
+	entryIsTarget := false
+	for _, ss := range b.succs {
+		for _, s := range ss {
+			if s == 0 {
+				entryIsTarget = true
+			}
+		}
+	}
+	var preamble *ir.Block
+	if entryIsTarget {
+		preamble = b.g.Entry()
+		for _, pc := range leaderPCs {
+			b.blockAt[pc] = b.g.NewBlock()
+		}
+	} else {
+		b.blockAt[0] = b.g.Entry()
+		for _, pc := range leaderPCs {
+			if pc != 0 {
+				b.blockAt[pc] = b.g.NewBlock()
+			}
+		}
+	}
+
+	// Wire predecessor lists up front, in deterministic (pc, edge) order,
+	// so that merge-block phi inputs have a fixed correspondence.
+	for _, pc := range leaderPCs {
+		from := b.blockAt[pc]
+		for _, s := range b.succs[pc] {
+			b.blockAt[s].Preds = append(b.blockAt[s].Preds, from)
+		}
+	}
+	if preamble != nil {
+		b.blockAt[0].Preds = append([]*ir.Block{preamble}, b.blockAt[0].Preds...)
+		// Keep edge-order bookkeeping consistent: the preamble edge is
+		// predecessor 0 of block 0.
+	}
+
+	// Place parameters (and the preamble jump) in the entry block.
+	paramBlock := b.g.Entry()
+	b.params = make([]*ir.Node, m.NumArgs())
+	for i := 0; i < m.NumArgs(); i++ {
+		kind := m.LocalKinds[i]
+		p := b.g.NewNode(ir.OpParam, kind)
+		p.AuxInt = int64(i)
+		b.g.Append(paramBlock, p)
+		b.params[i] = p
+	}
+	if preamble != nil {
+		gt := b.g.NewNode(ir.OpGoto, bc.KindVoid)
+		gt.Block = preamble
+		preamble.Term = gt
+		preamble.Succs = []*ir.Block{b.blockAt[0]}
+		// The preamble's exit state is the method-entry state: parameters
+		// in the argument slots, other locals undefined. Recording it here
+		// lets block 0 (a loop header) be handled by the ordinary merge
+		// path in entryState.
+		initial := &absState{locals: make([]*ir.Node, m.NumLocals())}
+		copy(initial.locals, b.params)
+		b.exit[preamble] = initial
+	}
+
+	// Translate blocks in reverse postorder so every forward predecessor
+	// is processed before its successors; back-edge phi inputs are filled
+	// afterwards.
+	rpo := b.reversePostorder(leaderPCs)
+	for _, pc := range rpo {
+		if err := b.translateBlock(pc); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.fillPhis(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// findBlocks discovers reachable instructions, block leaders, and the
+// block-level successor edges.
+func (b *builder) findBlocks() {
+	code := b.m.Code
+	b.reach = make([]bool, len(code))
+	b.leaders = make([]bool, len(code))
+	b.leaders[0] = true
+
+	// Reachability + leader discovery over instruction successors.
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if pc < 0 || pc >= len(code) || b.reach[pc] {
+			continue
+		}
+		b.reach[pc] = true
+		in := &code[pc]
+		switch {
+		case in.Op == bc.OpGoto:
+			b.leaders[in.Target()] = true
+			work = append(work, in.Target())
+		case in.Op.IsBranch():
+			b.leaders[in.Target()] = true
+			if pc+1 < len(code) {
+				b.leaders[pc+1] = true
+			}
+			work = append(work, in.Target(), pc+1)
+		case in.Op.IsTerminator(): // return/returnvalue/throw
+		default:
+			work = append(work, pc+1)
+		}
+	}
+
+	// Block successor edges, per leader.
+	b.succs = make(map[int][]int)
+	for pc := 0; pc < len(code); pc++ {
+		if !b.reach[pc] || !b.leaders[pc] {
+			continue
+		}
+		end := pc
+		for !code[end].Op.IsTerminator() && !code[end].Op.IsBranch() {
+			if end+1 < len(code) && b.reach[end+1] && b.leaders[end+1] {
+				// Falls through into the next block.
+				b.succs[pc] = []int{end + 1}
+				break
+			}
+			end++
+		}
+		if len(b.succs[pc]) > 0 {
+			continue
+		}
+		in := &code[end]
+		switch {
+		case in.Op == bc.OpGoto:
+			b.succs[pc] = []int{in.Target()}
+		case in.Op.IsBranch():
+			b.succs[pc] = []int{in.Target(), end + 1}
+		default: // return/returnvalue/throw
+			b.succs[pc] = nil
+		}
+	}
+}
+
+// blockEnd returns the pc one past the last instruction belonging to the
+// block led by pc (exclusive bound).
+func (b *builder) blockEnd(leader int) int {
+	code := b.m.Code
+	pc := leader
+	for {
+		in := &code[pc]
+		if in.Op.IsTerminator() || in.Op.IsBranch() {
+			return pc + 1
+		}
+		if pc+1 < len(code) && b.reach[pc+1] && b.leaders[pc+1] {
+			return pc + 1
+		}
+		pc++
+	}
+}
+
+// reversePostorder orders reachable leader pcs so that every block precedes
+// its successors except along back edges.
+func (b *builder) reversePostorder(leaders []int) []int {
+	visited := make(map[int]bool, len(leaders))
+	post := make([]int, 0, len(leaders))
+	var dfs func(pc int)
+	dfs = func(pc int) {
+		if visited[pc] {
+			return
+		}
+		visited[pc] = true
+		for _, s := range b.succs[pc] {
+			dfs(s)
+		}
+		post = append(post, pc)
+	}
+	dfs(0)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// computeLiveness computes, for every reachable pc, which local slots are
+// live immediately before executing it (classic backward dataflow at block
+// granularity, then a backward sweep within each block). FrameStates use
+// this to nil out dead slots.
+func (b *builder) computeLiveness() {
+	code := b.m.Code
+	nLocals := b.m.NumLocals()
+	b.liveAt = make([][]bool, len(code))
+
+	type blockInfo struct {
+		leader, end int
+		use, def    []bool
+		liveOut     []bool
+	}
+	var blocks []*blockInfo
+	byLeader := make(map[int]*blockInfo)
+	for pc := 0; pc < len(code); pc++ {
+		if b.reach[pc] && b.leaders[pc] {
+			bi := &blockInfo{
+				leader:  pc,
+				end:     b.blockEnd(pc),
+				use:     make([]bool, nLocals),
+				def:     make([]bool, nLocals),
+				liveOut: make([]bool, nLocals),
+			}
+			for i := pc; i < bi.end; i++ {
+				in := &code[i]
+				switch in.Op {
+				case bc.OpLoad:
+					if !bi.def[in.A] {
+						bi.use[in.A] = true
+					}
+				case bc.OpStore:
+					bi.def[in.A] = true
+				}
+			}
+			blocks = append(blocks, bi)
+			byLeader[pc] = bi
+		}
+	}
+	liveIn := func(bi *blockInfo) []bool {
+		in := make([]bool, nLocals)
+		for s := 0; s < nLocals; s++ {
+			in[s] = bi.use[s] || (bi.liveOut[s] && !bi.def[s])
+		}
+		return in
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			bi := blocks[i]
+			for _, s := range b.succs[bi.leader] {
+				sin := liveIn(byLeader[s])
+				for k, v := range sin {
+					if v && !bi.liveOut[k] {
+						bi.liveOut[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Per-pc backward sweep.
+	for _, bi := range blocks {
+		live := append([]bool(nil), bi.liveOut...)
+		for pc := bi.end - 1; pc >= bi.leader; pc-- {
+			in := &code[pc]
+			switch in.Op {
+			case bc.OpStore:
+				live[in.A] = false
+			case bc.OpLoad:
+				live[in.A] = true
+			}
+			b.liveAt[pc] = append([]bool(nil), live...)
+		}
+	}
+}
+
+// entryState computes the abstract state at a block's entry, inserting
+// phis for merges.
+func (b *builder) entryState(leader int, blk *ir.Block) (*absState, error) {
+	nLocals := b.m.NumLocals()
+	switch {
+	case len(blk.Preds) == 0:
+		// Method entry: parameters fill the argument slots, other locals
+		// start undefined (the interpreter zero-fills them; loads of
+		// undefined slots synthesize the zero constant lazily). When pc 0
+		// is a branch target, the entry block is a preamble whose exit was
+		// recorded in build(), so this case never sees a loop header.
+		st := &absState{locals: make([]*ir.Node, nLocals)}
+		copy(st.locals, b.params)
+		return st, nil
+	case len(blk.Preds) == 1:
+		ex := b.exit[blk.Preds[0]]
+		if ex == nil {
+			return nil, fmt.Errorf("build: %s: predecessor of block at pc %d not translated", b.m.QualifiedName(), leader)
+		}
+		return ex.clone(), nil
+	}
+
+	// Merge: one phi per live-in local slot and per operand stack slot.
+	// Inputs are filled in fillPhis once all predecessor exits exist; at
+	// least one predecessor (a forward edge) is already translated and
+	// provides the stack depth and kinds.
+	var model *absState
+	for _, p := range blk.Preds {
+		if ex := b.exit[p]; ex != nil {
+			model = ex
+			break
+		}
+	}
+	if model == nil {
+		return nil, fmt.Errorf("build: %s: merge at pc %d has no translated predecessor", b.m.QualifiedName(), leader)
+	}
+	live := b.liveAt[leader]
+	st := &absState{locals: make([]*ir.Node, nLocals)}
+	for s := 0; s < nLocals; s++ {
+		if !live[s] {
+			continue
+		}
+		phi := b.g.AddPhi(blk, b.m.LocalKinds[s])
+		phi.BCI = leader
+		b.pendingPhis = append(b.pendingPhis, pendingPhi{block: blk, phi: phi, slot: s})
+		st.locals[s] = phi
+	}
+	for d, v := range model.stack {
+		phi := b.g.AddPhi(blk, v.Kind)
+		phi.BCI = leader
+		b.pendingPhis = append(b.pendingPhis, pendingPhi{block: blk, phi: phi, slot: ^d})
+		st.push(phi)
+	}
+	return st, nil
+}
+
+// fillPhis completes merge phis with one input per predecessor, in
+// predecessor order.
+func (b *builder) fillPhis() error {
+	for _, pp := range b.pendingPhis {
+		blk, phi := pp.block, pp.phi
+		phi.Inputs = make([]*ir.Node, len(blk.Preds))
+		for i, pred := range blk.Preds {
+			ex := b.exit[pred]
+			if ex == nil {
+				return fmt.Errorf("build: %s: phi v%d input from untranslated %s", b.m.QualifiedName(), phi.ID, pred)
+			}
+			var v *ir.Node
+			if pp.slot >= 0 {
+				v = ex.locals[pp.slot]
+				if v == nil {
+					// Live at the merge but undefined along this
+					// path: the interpreter zero-initializes
+					// locals, so complete the phi with the kind's
+					// default constant, placed in the predecessor.
+					v = b.zeroIn(pred, phi.Kind)
+				}
+			} else {
+				d := ^pp.slot
+				if d >= len(ex.stack) {
+					return fmt.Errorf("build: %s: inconsistent stack depth at merge %s", b.m.QualifiedName(), blk)
+				}
+				v = ex.stack[d]
+			}
+			phi.Inputs[i] = v
+		}
+		// Multiplicity: a conditional branch whose target equals its
+		// fallthrough produces the same predecessor twice; both edges
+		// carry the same exit state, which the loop above already
+		// handles per-slot.
+	}
+	return nil
+}
+
+// zeroIn returns a default-value constant for kind placed at the end of
+// pred (before its terminator), creating it on first use.
+func (b *builder) zeroIn(pred *ir.Block, kind bc.Kind) *ir.Node {
+	key := zeroKey{pred, kind}
+	if n, ok := b.zeroOf[key]; ok {
+		return n
+	}
+	var n *ir.Node
+	if kind == bc.KindRef {
+		n = b.g.NewNode(ir.OpConstNull, bc.KindRef)
+	} else {
+		n = b.g.NewNode(ir.OpConst, bc.KindInt)
+	}
+	b.g.Append(pred, n)
+	b.zeroOf[key] = n
+	return n
+}
+
+// frameState captures the bytecode-level state before executing pc: the
+// full operand stack (the instruction at pc is re-executed after
+// deoptimization, so its operands must be present) and the local slots
+// pruned to those live at pc.
+func (b *builder) frameState(pc int, st *absState) *ir.FrameState {
+	fs := &ir.FrameState{
+		Method: b.m,
+		BCI:    pc,
+		Locals: make([]*ir.Node, len(st.locals)),
+		Stack:  append([]*ir.Node(nil), st.stack...),
+	}
+	live := b.liveAt[pc]
+	for i, v := range st.locals {
+		if live != nil && live[i] {
+			fs.Locals[i] = v
+		}
+	}
+	return fs
+}
+
+// translateBlock translates the instructions of the block led by leader.
+func (b *builder) translateBlock(leader int) error {
+	blk := b.blockAt[leader]
+	st, err := b.entryState(leader, blk)
+	if err != nil {
+		return err
+	}
+	code := b.m.Code
+	end := b.blockEnd(leader)
+
+	// newNode creates, places and tags a node for the instruction at pc.
+	newNode := func(pc int, op ir.Op, kind bc.Kind, inputs ...*ir.Node) *ir.Node {
+		n := b.g.NewNode(op, kind, inputs...)
+		n.BCI = pc
+		b.g.Append(blk, n)
+		return n
+	}
+	setTerm := func(pc int, n *ir.Node, succPCs ...int) {
+		n.BCI = pc
+		n.Block = blk
+		blk.Term = n
+		blk.Succs = make([]*ir.Block, len(succPCs))
+		for i, s := range succPCs {
+			blk.Succs[i] = b.blockAt[s]
+		}
+	}
+	loadLocal := func(pc, slot int) *ir.Node {
+		if v := st.locals[slot]; v != nil {
+			return v
+		}
+		// Undefined slot: the interpreter sees the kind's zero value.
+		var v *ir.Node
+		if b.m.LocalKinds[slot] == bc.KindRef {
+			v = newNode(pc, ir.OpConstNull, bc.KindRef)
+		} else {
+			v = newNode(pc, ir.OpConst, bc.KindInt)
+		}
+		st.locals[slot] = v
+		return v
+	}
+
+	for pc := leader; pc < end; pc++ {
+		in := &code[pc]
+		switch in.Op {
+		case bc.OpNop:
+
+		case bc.OpConst:
+			n := newNode(pc, ir.OpConst, bc.KindInt)
+			n.AuxInt = in.A
+			st.push(n)
+		case bc.OpConstNull:
+			st.push(newNode(pc, ir.OpConstNull, bc.KindRef))
+		case bc.OpLoad:
+			st.push(loadLocal(pc, int(in.A)))
+		case bc.OpStore:
+			st.locals[in.A] = st.pop()
+		case bc.OpPop:
+			st.pop()
+		case bc.OpDup:
+			st.push(st.stack[len(st.stack)-1])
+		case bc.OpSwap:
+			n := len(st.stack)
+			st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
+
+		case bc.OpAdd, bc.OpSub, bc.OpMul, bc.OpDiv, bc.OpRem,
+			bc.OpAnd, bc.OpOr, bc.OpXor, bc.OpShl, bc.OpShr, bc.OpUShr:
+			y := st.pop()
+			x := st.pop()
+			n := newNode(pc, ir.OpArith, bc.KindInt, x, y)
+			n.Aux2 = in.Op
+			st.push(n)
+		case bc.OpNeg:
+			st.push(newNode(pc, ir.OpNeg, bc.KindInt, st.pop()))
+		case bc.OpCmp:
+			y := st.pop()
+			x := st.pop()
+			n := newNode(pc, ir.OpCmp, bc.KindInt, x, y)
+			n.Cond = in.Cond
+			st.push(n)
+
+		case bc.OpGoto:
+			setTerm(pc, b.g.NewNode(ir.OpGoto, bc.KindVoid), in.Target())
+		case bc.OpIfCmp, bc.OpIf, bc.OpIfRef, bc.OpIfNull:
+			fs := b.frameState(pc, st)
+			var cond *ir.Node
+			switch in.Op {
+			case bc.OpIfCmp:
+				y := st.pop()
+				x := st.pop()
+				cond = newNode(pc, ir.OpCmp, bc.KindInt, x, y)
+				cond.Cond = in.Cond
+			case bc.OpIf:
+				x := st.pop()
+				zero := newNode(pc, ir.OpConst, bc.KindInt)
+				cond = newNode(pc, ir.OpCmp, bc.KindInt, x, zero)
+				cond.Cond = in.Cond
+			case bc.OpIfRef:
+				y := st.pop()
+				x := st.pop()
+				cond = newNode(pc, ir.OpRefEq, bc.KindInt, x, y)
+				cond.Cond = in.Cond
+			case bc.OpIfNull:
+				x := st.pop()
+				null := newNode(pc, ir.OpConstNull, bc.KindRef)
+				cond = newNode(pc, ir.OpRefEq, bc.KindInt, x, null)
+				cond.Cond = in.Cond
+			}
+			t := b.g.NewNode(ir.OpIf, bc.KindVoid, cond)
+			t.FrameState = fs
+			setTerm(pc, t, in.Target(), pc+1)
+
+		case bc.OpNew:
+			n := newNode(pc, ir.OpNew, bc.KindRef)
+			n.Class = in.Class
+			st.push(n)
+		case bc.OpNewArray:
+			ln := st.pop()
+			n := newNode(pc, ir.OpNewArray, bc.KindRef, ln)
+			n.ElemKind = in.Kind
+			st.push(n)
+		case bc.OpGetField:
+			recv := st.pop()
+			n := newNode(pc, ir.OpLoadField, in.Field.Kind, recv)
+			n.Field = in.Field
+			st.push(n)
+		case bc.OpPutField:
+			fs := b.frameState(pc, st)
+			v := st.pop()
+			recv := st.pop()
+			n := newNode(pc, ir.OpStoreField, bc.KindVoid, recv, v)
+			n.Field = in.Field
+			n.FrameState = fs
+		case bc.OpGetStatic:
+			n := newNode(pc, ir.OpLoadStatic, in.Field.Kind)
+			n.Field = in.Field
+			st.push(n)
+		case bc.OpPutStatic:
+			fs := b.frameState(pc, st)
+			n := newNode(pc, ir.OpStoreStatic, bc.KindVoid, st.pop())
+			n.Field = in.Field
+			n.FrameState = fs
+		case bc.OpArrayLoad:
+			idx := st.pop()
+			arr := st.pop()
+			n := newNode(pc, ir.OpLoadIndexed, in.Kind, arr, idx)
+			n.ElemKind = in.Kind
+			st.push(n)
+		case bc.OpArrayStore:
+			fs := b.frameState(pc, st)
+			v := st.pop()
+			idx := st.pop()
+			arr := st.pop()
+			n := newNode(pc, ir.OpStoreIndexed, bc.KindVoid, arr, idx, v)
+			n.ElemKind = in.Kind
+			n.FrameState = fs
+		case bc.OpArrayLen:
+			st.push(newNode(pc, ir.OpArrayLength, bc.KindInt, st.pop()))
+		case bc.OpInstanceOf:
+			n := newNode(pc, ir.OpInstanceOf, bc.KindInt, st.pop())
+			n.Class = in.Class
+			st.push(n)
+
+		case bc.OpInvokeStatic, bc.OpInvokeDirect, bc.OpInvokeVirtual:
+			fs := b.frameState(pc, st)
+			callee := in.Method
+			nargs := callee.NumArgs()
+			args := make([]*ir.Node, nargs)
+			for i := nargs - 1; i >= 0; i-- {
+				args[i] = st.pop()
+			}
+			n := newNode(pc, ir.OpInvoke, callee.Ret, args...)
+			n.Aux2 = in.Op
+			n.Method = callee
+			n.FrameState = fs
+			if callee.Ret != bc.KindVoid {
+				st.push(n)
+			}
+
+		case bc.OpMonitorEnter:
+			fs := b.frameState(pc, st)
+			n := newNode(pc, ir.OpMonitorEnter, bc.KindVoid, st.pop())
+			n.FrameState = fs
+		case bc.OpMonitorExit:
+			fs := b.frameState(pc, st)
+			n := newNode(pc, ir.OpMonitorExit, bc.KindVoid, st.pop())
+			n.FrameState = fs
+
+		case bc.OpReturn:
+			t := b.g.NewNode(ir.OpReturn, bc.KindVoid)
+			t.FrameState = b.frameState(pc, st)
+			setTerm(pc, t)
+		case bc.OpReturnValue:
+			fs := b.frameState(pc, st)
+			t := b.g.NewNode(ir.OpReturn, bc.KindVoid, st.pop())
+			t.FrameState = fs
+			setTerm(pc, t)
+		case bc.OpThrow:
+			fs := b.frameState(pc, st)
+			t := b.g.NewNode(ir.OpThrow, bc.KindVoid, st.pop())
+			t.FrameState = fs
+			setTerm(pc, t)
+
+		case bc.OpPrint:
+			fs := b.frameState(pc, st)
+			n := newNode(pc, ir.OpPrint, bc.KindVoid, st.pop())
+			n.FrameState = fs
+		case bc.OpRand:
+			fs := b.frameState(pc, st)
+			n := newNode(pc, ir.OpRand, bc.KindInt)
+			n.AuxInt = in.A
+			n.FrameState = fs
+			st.push(n)
+
+		default:
+			return fmt.Errorf("build: %s: pc %d: unsupported opcode %s", b.m.QualifiedName(), pc, in.Op)
+		}
+	}
+
+	// A block that neither branches nor returns falls through into the
+	// next leader.
+	if blk.Term == nil {
+		setTerm(end-1, b.g.NewNode(ir.OpGoto, bc.KindVoid), b.succs[leader][0])
+	}
+	b.exit[blk] = st
+	return nil
+}

@@ -16,19 +16,60 @@
 package ea
 
 import (
+	"fmt"
+
 	"pea/internal/bc"
 	"pea/internal/ir"
+	"pea/internal/obs"
 	"pea/internal/pea"
+)
+
+// Escape reasons recorded on equi-escape sets and reported in ea_verdict
+// events.
+const (
+	reasonUnknownSource = "unknown-source" // merged with a param or static load
+	reasonCallArgument  = "call-argument"
+	reasonCallResult    = "call-result"
+	reasonReturned      = "returned"
+	reasonThrown        = "thrown"
+	reasonStoredStatic  = "stored-to-static"
 )
 
 // Analyze computes the set of allocation nodes (OpNew / OpNewArray) that
 // never escape the graph under equi-escape-set rules.
 func Analyze(g *ir.Graph) map[*ir.Node]bool {
+	nonEscaping, _ := analyze(g)
+	return nonEscaping
+}
+
+// AnalyzeWith is Analyze with an observability sink receiving one
+// ea_verdict event per allocation site: verdict "captured" for allocations
+// whose set never escapes, "escapes" with the recorded reason otherwise.
+func AnalyzeWith(g *ir.Graph, sink *obs.Sink) map[*ir.Node]bool {
+	nonEscaping, u := analyze(g)
+	if sink != nil {
+		method := g.Method.QualifiedName()
+		g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+			if n.Op != ir.OpNew && n.Op != ir.OpNewArray {
+				return
+			}
+			node := fmt.Sprintf("v%d", n.ID)
+			if nonEscaping[n] {
+				sink.EAVerdict(method, node, "captured", "")
+			} else {
+				sink.EAVerdict(method, node, "escapes", u.escapeReason(n))
+			}
+		})
+	}
+	return nonEscaping
+}
+
+func analyze(g *ir.Graph) (map[*ir.Node]bool, *unionFind) {
 	u := newUnionFind()
 
-	escape := func(n *ir.Node) {
+	escape := func(n *ir.Node, reason string) {
 		if n != nil && n.Kind == bc.KindRef {
-			u.markEscaped(n)
+			u.markEscaped(n, reason)
 		}
 	}
 	unionRef := func(x, y *ir.Node) {
@@ -47,20 +88,24 @@ func Analyze(g *ir.Graph) map[*ir.Node]bool {
 		switch n.Op {
 		case ir.OpParam, ir.OpLoadStatic:
 			// Unknown sources: anything merged with them escapes.
-			escape(n)
+			escape(n, reasonUnknownSource)
 		case ir.OpInvoke:
 			// Arguments escape into the callee; the result is an
 			// unknown object.
 			for _, in := range n.Inputs {
-				escape(in)
+				escape(in, reasonCallArgument)
 			}
-			escape(n)
-		case ir.OpReturn, ir.OpThrow:
+			escape(n, reasonCallResult)
+		case ir.OpReturn:
 			for _, in := range n.Inputs {
-				escape(in)
+				escape(in, reasonReturned)
+			}
+		case ir.OpThrow:
+			for _, in := range n.Inputs {
+				escape(in, reasonThrown)
 			}
 		case ir.OpStoreStatic:
-			escape(n.Inputs[0])
+			escape(n.Inputs[0], reasonStoredStatic)
 		case ir.OpStoreField:
 			// The stored value shares the fate of the object it is
 			// stored into.
@@ -91,13 +136,14 @@ func Analyze(g *ir.Graph) map[*ir.Node]bool {
 			nonEscaping[n] = true
 		}
 	})
-	return nonEscaping
+	return nonEscaping, u
 }
 
 // Run performs flow-insensitive escape analysis and scalar replacement on
 // g. It returns the transformation result (same shape as pea.Result).
+// Verdict events are emitted to conf.Sink when set.
 func Run(g *ir.Graph, conf pea.Config) (pea.Result, error) {
-	allowed := Analyze(g)
+	allowed := AnalyzeWith(g, conf.Sink)
 	if len(allowed) == 0 {
 		return pea.Result{}, nil
 	}
@@ -105,14 +151,16 @@ func Run(g *ir.Graph, conf pea.Config) (pea.Result, error) {
 	return pea.Run(g, conf)
 }
 
-// unionFind is a union-find over nodes with an "escaped" flag per set.
+// unionFind is a union-find over nodes with an "escaped" reason per set.
 type unionFind struct {
 	parent map[*ir.Node]*ir.Node
-	esc    map[*ir.Node]bool // valid on set representatives
+	// esc records, on set representatives, the first escape reason; a
+	// missing entry means the set does not escape.
+	esc map[*ir.Node]string
 }
 
 func newUnionFind() *unionFind {
-	return &unionFind{parent: make(map[*ir.Node]*ir.Node), esc: make(map[*ir.Node]bool)}
+	return &unionFind{parent: make(map[*ir.Node]*ir.Node), esc: make(map[*ir.Node]string)}
 }
 
 func (u *unionFind) find(n *ir.Node) *ir.Node {
@@ -132,11 +180,27 @@ func (u *unionFind) union(a, b *ir.Node) {
 		return
 	}
 	u.parent[rb] = ra
-	if u.esc[rb] {
-		u.esc[ra] = true
+	if r, ok := u.esc[rb]; ok {
+		if _, already := u.esc[ra]; !already {
+			u.esc[ra] = r
+		}
 	}
 }
 
-func (u *unionFind) markEscaped(n *ir.Node) { u.esc[u.find(n)] = true }
+func (u *unionFind) markEscaped(n *ir.Node, reason string) {
+	r := u.find(n)
+	if _, ok := u.esc[r]; !ok {
+		u.esc[r] = reason
+	}
+}
 
-func (u *unionFind) escaped(n *ir.Node) bool { return u.esc[u.find(n)] }
+func (u *unionFind) escaped(n *ir.Node) bool {
+	_, ok := u.esc[u.find(n)]
+	return ok
+}
+
+// escapeReason returns the recorded reason for an escaping set ("" if the
+// set does not escape).
+func (u *unionFind) escapeReason(n *ir.Node) string {
+	return u.esc[u.find(n)]
+}

@@ -14,6 +14,7 @@ import (
 	"pea/internal/cost"
 	"pea/internal/interp"
 	"pea/internal/ir"
+	"pea/internal/obs"
 	"pea/internal/rt"
 )
 
@@ -32,6 +33,10 @@ type Engine struct {
 	// value is the result of the whole compiled method. If nil, reaching
 	// a deopt traps.
 	Deopt func(fs *ir.FrameState, eval func(n *ir.Node) (rt.Value, bool)) (rt.Value, error)
+
+	// Sink, when non-nil, receives a vm_deopt event (with the node's
+	// recorded deopt reason) each time compiled code deoptimizes.
+	Sink *obs.Sink
 
 	// MaxSteps bounds executed nodes (0 = unbounded).
 	MaxSteps int64
@@ -322,6 +327,9 @@ func (e *Engine) materializeNode(f *frame, n *ir.Node) (rt.Value, error) {
 func (e *Engine) deopt(g *ir.Graph, f *frame, n *ir.Node) (rt.Value, error) {
 	if e.Deopt == nil {
 		return rt.Value{}, e.trap(g, n, "deopt without handler: "+n.DeoptReason)
+	}
+	if e.Sink != nil {
+		e.Sink.VMDeopt(g.Method.QualifiedName(), fmt.Sprintf("v%d", n.ID), n.DeoptReason)
 	}
 	e.Env.Stats.Deopts++
 	e.Env.Cycles += cost.DeoptPenalty

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a clock frozen at the unix epoch, so sequence numbers
+// are the only thing distinguishing events.
+func fixedClock() func() time.Time {
+	t0 := time.Unix(0, 0)
+	return func() time.Time { return t0 }
+}
+
+// TestNilSinkNoAllocs enforces the package's core contract: with
+// observability disabled (nil sink, nil metrics) every emit helper is
+// allocation-free. The compile hot path relies on this.
+func TestNilSinkNoAllocs(t *testing.T) {
+	var s *Sink
+	var m *Metrics
+	allocs := testing.AllocsPerRun(200, func() {
+		s.PhaseStart("pea", "M.m", 10, 2)
+		s.PhaseEnd("pea", "M.m", 10, 2, 8, 2, time.Millisecond)
+		s.Inline("M.m", "M.callee", "v3")
+		s.Virtualize("M.m", "o0", "Key", "v1")
+		s.Materialize("M.m", "o0", "v9", "b2", "StoreStatic")
+		s.MergeMaterialize("M.m", "o0", "b4", "merge-mixed")
+		s.LockElide("M.m", "o0", "v5", "monitorenter")
+		s.PEARound("M.m", 1)
+		s.PEAFixpoint("M.m", 2)
+		s.PEABailout("M.m", "no fixpoint")
+		s.PEAState("M.m", "b1", "state")
+		s.EAVerdict("M.m", "v1", "captured", "")
+		s.VMCompile("M.m", 20)
+		s.VMDeopt("M.m", "v7", "branch-mispredict")
+		s.VMRematerialize("M.m", "vobj0", "Key")
+		s.VMInvalidate("M.m", "deopt")
+		s.VMRecompile("M.m", 1)
+		s.Snapshot("pea", "M.m", nil)
+		if s.WantSnapshots() {
+			t.Fatal("nil sink wants snapshots")
+		}
+		span := StartPhase(s, "pea", "M.m", 10, 2)
+		span.End(8, 2)
+		m.Add(MetricVirtualized, 1)
+		m.SetGauge("g", 3)
+		m.ObservePhase("pea", time.Millisecond, -2)
+		_ = m.Counter(MetricVirtualized)
+		_ = m.Gauge("g")
+		_ = m.Phase("pea")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestJSONBackendJSONL checks the JSONL backend: one valid JSON object per
+// line, monotonically increasing sequence numbers, deterministic
+// timestamps under a test clock, and stable kind strings.
+func TestJSONBackendJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(NewJSONBackend(&buf))
+	s.SetClock(fixedClock())
+
+	s.PhaseStart("pea", "Main.getValue", 40, 8)
+	s.Virtualize("Main.getValue", "o0", "Key", "v1")
+	s.LockElide("Main.getValue", "o0", "v5", "monitorenter")
+	s.Materialize("Main.getValue", "o0", "v10", "b2", "StoreStatic")
+	s.PhaseEnd("pea", "Main.getValue", 40, 8, 36, 8, 0)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	wantKinds := []Kind{KindPhaseStart, KindVirtualize, KindLockElide, KindMaterialize, KindPhaseEnd}
+	for i, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, ln)
+		}
+		if e.Seq != int64(i+1) {
+			t.Errorf("line %d: seq = %d, want %d", i+1, e.Seq, i+1)
+		}
+		if e.TNS != 0 {
+			t.Errorf("line %d: t_ns = %d, want 0 under fixed clock", i+1, e.TNS)
+		}
+		if e.Kind != wantKinds[i] {
+			t.Errorf("line %d: kind = %q, want %q", i+1, e.Kind, wantKinds[i])
+		}
+	}
+}
+
+// TestSinkMetricsAgreement checks that decision events bump the attached
+// registry exactly once each, and that merge materializations count as
+// materializations too.
+func TestSinkMetricsAgreement(t *testing.T) {
+	m := NewMetrics()
+	s := NewSink()
+	s.SetMetrics(m)
+
+	s.Inline("M.m", "M.c", "v1")
+	s.Virtualize("M.m", "o0", "Key", "v1")
+	s.Materialize("M.m", "o0", "v9", "b2", "StoreStatic")
+	s.Materialize("M.m", "o1", "v11", "b3", "Invoke")
+	s.MergeMaterialize("M.m", "o0", "b4", "merge-mixed")
+	s.LockElide("M.m", "o0", "v5", "monitorenter")
+	s.LockElide("M.m", "o0", "v6", "monitorexit")
+	s.PEABailout("M.m", "no fixpoint")
+	s.EAVerdict("M.m", "v1", "captured", "")
+	s.EAVerdict("M.m", "v2", "escapes", "returned")
+	s.VMCompile("M.m", 20)
+	s.VMDeopt("M.m", "v7", "speculation-failed")
+	s.VMRematerialize("M.m", "vobj0", "Key")
+	s.VMInvalidate("M.m", "deopt")
+	s.VMRecompile("M.m", 1)
+
+	want := map[string]int64{
+		MetricInlines:           1,
+		MetricVirtualized:       1,
+		MetricMaterialized:      3, // 2 in-block + 1 merge
+		MetricMergeMaterialized: 1,
+		MetricLocksElided:       2,
+		MetricPEABailouts:       1,
+		MetricEACaptured:        1,
+		MetricEAEscaped:         1,
+		MetricVMCompiles:        1,
+		MetricVMDeopts:          1,
+		MetricVMRemats:          1,
+		MetricVMInvalidations:   1,
+		MetricVMRecompiles:      1,
+	}
+	for name, v := range want {
+		if got := m.Counter(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}
+
+// TestPhaseTimers checks ObservePhase aggregation via PhaseEnd and the
+// table rendering.
+func TestPhaseTimers(t *testing.T) {
+	m := NewMetrics()
+	s := NewSink()
+	s.SetMetrics(m)
+
+	s.PhaseEnd("gvn", "M.m", 40, 8, 36, 8, 2*time.Millisecond)
+	s.PhaseEnd("gvn", "M.n", 10, 2, 10, 2, time.Millisecond)
+
+	st := m.Phase("gvn")
+	if st.Count != 2 {
+		t.Errorf("gvn count = %d, want 2", st.Count)
+	}
+	if st.Total != 3*time.Millisecond {
+		t.Errorf("gvn total = %v, want 3ms", st.Total)
+	}
+	if st.NodeDelta != -4 {
+		t.Errorf("gvn node delta = %d, want -4", st.NodeDelta)
+	}
+	table := m.Snapshot().Table()
+	if !strings.Contains(table, "gvn") {
+		t.Errorf("table does not mention the gvn phase:\n%s", table)
+	}
+}
+
+// TestSnapshotLazyRender checks that the IR renderer only runs when a
+// consumer is registered.
+func TestSnapshotLazyRender(t *testing.T) {
+	s := NewSink()
+	rendered := 0
+	render := func() string { rendered++; return "IR" }
+
+	s.Snapshot("pea", "M.m", render)
+	if rendered != 0 {
+		t.Fatalf("render ran with no consumer registered")
+	}
+	if s.WantSnapshots() {
+		t.Fatalf("WantSnapshots true with no consumer")
+	}
+
+	var got []string
+	s.OnSnapshot(func(phase, method string, render func() string) {
+		got = append(got, phase+"/"+method+"/"+render())
+	})
+	if !s.WantSnapshots() {
+		t.Fatalf("WantSnapshots false with a consumer registered")
+	}
+	s.Snapshot("pea", "M.m", render)
+	if rendered != 1 || len(got) != 1 || got[0] != "pea/M.m/IR" {
+		t.Fatalf("snapshot delivery wrong: rendered=%d got=%v", rendered, got)
+	}
+}
+
+// TestBackendAddRemove checks the dynamic backend list used by the legacy
+// trace compatibility shim.
+func TestBackendAddRemove(t *testing.T) {
+	var events []Kind
+	fb := FuncBackend(func(e *Event) { events = append(events, e.Kind) })
+	s := NewSink()
+	s.AddBackend(fb)
+	s.PEARound("M.m", 1)
+	s.RemoveBackend(fb)
+	s.PEARound("M.m", 2)
+	if len(events) != 1 || events[0] != KindPEARound {
+		t.Fatalf("events = %v, want one pea_round", events)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"pea/internal/bc"
 	"pea/internal/interp"
 	"pea/internal/ir"
+	"pea/internal/obs"
 )
 
 // Inliner replaces call sites with callee bodies. Static and direct calls
@@ -33,6 +34,8 @@ type Inliner struct {
 	// MaxDepth bounds the inlining depth via frame-state chain length
 	// (default 6).
 	MaxDepth int
+	// Sink, when non-nil, receives an inline event per inlined call site.
+	Sink *obs.Sink
 }
 
 // Name implements Phase.
@@ -176,6 +179,10 @@ func (in *Inliner) inlineSite(g *ir.Graph, invoke *ir.Node) error {
 	cg, err := in.BuildGraph(callee)
 	if err != nil {
 		return fmt.Errorf("inline: building %s: %w", callee.QualifiedName(), err)
+	}
+	if in.Sink != nil {
+		in.Sink.Inline(g.Method.QualifiedName(), callee.QualifiedName(),
+			fmt.Sprintf("v%d", invoke.ID))
 	}
 
 	// The caller's state during the call: the invoke's before-state with

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pea/internal/ir"
+	"pea/internal/obs"
 )
 
 // Phase is one graph transformation.
@@ -28,6 +29,12 @@ type Pipeline struct {
 	MaxRounds int
 	// Validate runs the IR verifier after every phase when set.
 	Validate bool
+	// Sink, when non-nil, receives phase_start/phase_end events with
+	// node/block counts, feeds per-phase wall-time and node-delta timers
+	// into the sink's attached metrics registry, and delivers per-phase IR
+	// snapshots to registered snapshot consumers. A nil sink adds no
+	// allocations to the compile path.
+	Sink *obs.Sink
 }
 
 // Run executes the pipeline on g.
@@ -36,12 +43,26 @@ func (p *Pipeline) Run(g *ir.Graph) error {
 	if rounds == 0 {
 		rounds = 4
 	}
+	var method string
+	if p.Sink != nil {
+		method = g.Method.QualifiedName()
+	}
 	for r := 0; r < rounds; r++ {
 		changed := false
 		for _, ph := range p.Phases {
+			var span obs.PhaseSpan
+			if p.Sink != nil {
+				span = obs.StartPhase(p.Sink, ph.Name(), method, g.NumNodes(), len(g.Blocks))
+			}
 			c, err := ph.Run(g)
 			if err != nil {
 				return fmt.Errorf("opt: phase %s: %w", ph.Name(), err)
+			}
+			if p.Sink != nil {
+				span.End(g.NumNodes(), len(g.Blocks))
+				if c && p.Sink.WantSnapshots() {
+					p.Sink.Snapshot(ph.Name(), method, func() string { return ir.Dump(g) })
+				}
 			}
 			if p.Validate {
 				if err := ir.Verify(g); err != nil {

@@ -1,0 +1,126 @@
+package pea
+
+import (
+	"fmt"
+	"io"
+
+	"pea/internal/obs"
+)
+
+// This file connects the analysis to the observability layer. All PEA
+// decisions — virtualizations, materializations with their cause and
+// position, merge materializations, lock elisions, fixpoint rounds,
+// bailouts — are emitted as typed obs events; the legacy Config.Trace
+// io.Writer is served by LegacyTraceBackend, which renders those events in
+// the historical "pea[phase] ..." line format.
+//
+// Decision events (virtualize/materialize/lock_elide) are emitted only
+// during the emit phase, exactly once per transformation, so that the
+// obs metrics counters always equal the Result counters. Fixpoint progress
+// events (rounds, state changes, convergence) are emitted during analysis.
+
+// Materialization reason strings carried in obs events.
+const (
+	// reasonMergeMixed: the object is virtual on some predecessors of a
+	// merge and escaped on others (Figure 6b).
+	reasonMergeMixed = "merge-mixed"
+	// reasonMergePhi: a pre-existing reference phi merges aliases of
+	// different objects, so the virtual inputs must exist (Figure 6c).
+	reasonMergePhi = "merge-phi"
+	// reasonMergeField: field values of an all-virtual object differ
+	// between predecessors and the phi's virtual inputs must exist
+	// (paper §5.3).
+	reasonMergeField = "merge-field-phi"
+	// reasonStoreCycle: the store would create a cycle among virtual
+	// objects, which a Materialize node cannot express (Figure 5).
+	reasonStoreCycle = "store-cycle"
+	// reasonNonConstIndex: an array access with a non-constant index
+	// forces the array to exist.
+	reasonNonConstIndex = "non-const-index"
+)
+
+// method returns the analyzed method's qualified name for events. It is
+// only called on paths already guarded by a.sink != nil.
+func (a *analyzer) methodName() string { return a.method }
+
+// eventVirtualize emits the scalar-replacement decision for one allocation
+// (emit phase only; called exactly when Result.VirtualizedAllocs counts it).
+func (a *analyzer) eventVirtualize(id objID, nodeID int) {
+	if a.sink == nil {
+		return
+	}
+	a.sink.Virtualize(a.methodName(), fmt.Sprintf("o%d", id),
+		a.allocDesc(id), fmt.Sprintf("v%d", nodeID))
+}
+
+// eventMaterialize emits a materialization with reason and position (emit
+// phase only; called exactly when Result.MaterializeSites counts it).
+// before == nil marks an edge materialization at the end of b, which is
+// always merge-induced and reported as merge_materialize.
+func (a *analyzer) eventMaterialize(id objID, b fmt.Stringer, beforeID int, reason string) {
+	if a.sink == nil {
+		return
+	}
+	if beforeID >= 0 {
+		a.sink.Materialize(a.methodName(), fmt.Sprintf("o%d", id),
+			fmt.Sprintf("v%d", beforeID), b.String(), reason)
+		return
+	}
+	a.sink.MergeMaterialize(a.methodName(), fmt.Sprintf("o%d", id), b.String(), reason)
+}
+
+// eventLockElide emits one elided monitor operation (emit phase only).
+func (a *analyzer) eventLockElide(id objID, nodeID int, op string) {
+	if a.sink == nil {
+		return
+	}
+	a.sink.LockElide(a.methodName(), fmt.Sprintf("o%d", id),
+		fmt.Sprintf("v%d", nodeID), op)
+}
+
+// allocDesc names the allocated type: class name, or "kind[len]" for arrays.
+func (a *analyzer) allocDesc(id objID) string {
+	oi := a.objs[id]
+	if oi.class != nil {
+		return oi.class.Name
+	}
+	return fmt.Sprintf("%s[%d]", oi.elemKind, oi.length)
+}
+
+// LegacyTraceBackend renders pea obs events in the historical line format
+// that Config.Trace consumers (and TestTraceOutput) expect:
+//
+//	pea[analyze] round 1
+//	pea[analyze]   b3 entry changed: {o0=virt(locks=0, fields=[v4])}
+//	pea[analyze] fixpoint after 2 rounds
+//	pea[emit]   virtualize o0 (Key) at v5
+//	pea[emit]   materialize o0 before v9 in b2
+//	pea[emit]   materialize o1 at the end of b4 (edge)
+//
+// Fixpoint progress is an analysis-phase concern and decision events fire
+// during emit, so the phase tag is derived from the event kind.
+type LegacyTraceBackend struct {
+	W io.Writer
+}
+
+// Write implements obs.Backend.
+func (l *LegacyTraceBackend) Write(e *obs.Event) {
+	switch e.Kind {
+	case obs.KindPEARound:
+		fmt.Fprintf(l.W, "pea[analyze] round %d\n", e.Round)
+	case obs.KindPEAState:
+		fmt.Fprintf(l.W, "pea[analyze]   %s entry changed: %s\n", e.Block, e.Detail)
+	case obs.KindPEAFixpoint:
+		fmt.Fprintf(l.W, "pea[analyze] fixpoint after %d rounds\n", e.Round)
+	case obs.KindPEABailout:
+		fmt.Fprintf(l.W, "pea[analyze] bailout: %s\n", e.Reason)
+	case obs.KindVirtualize:
+		fmt.Fprintf(l.W, "pea[emit]   virtualize %s (%s) at %s\n", e.Obj, e.Detail, e.Node)
+	case obs.KindMaterialize:
+		fmt.Fprintf(l.W, "pea[emit]   materialize %s before %s in %s (%s)\n", e.Obj, e.Node, e.Block, e.Reason)
+	case obs.KindMergeMaterialize:
+		fmt.Fprintf(l.W, "pea[emit]   materialize %s at the end of %s (edge, %s)\n", e.Obj, e.Block, e.Reason)
+	case obs.KindLockElide:
+		fmt.Fprintf(l.W, "pea[emit]   elide %s on %s at %s\n", e.Detail, e.Obj, e.Node)
+	}
+}

@@ -114,7 +114,7 @@ func (a *analyzer) merge(b *ir.Block) *peaState {
 				// at the virtual predecessors' edges.
 				for k, st := range pSt {
 					if st.objs[id].virtual {
-						a.materializeAt(st, id, pBlk[k], nil)
+						a.materializeAt(st, id, pBlk[k], nil, reasonMergeMixed)
 						materializedSomething = true
 					}
 				}
@@ -177,7 +177,7 @@ func (a *analyzer) merge(b *ir.Block) *peaState {
 				in := a.resolveScalar(phi.Inputs[pIdx[k]])
 				if id, ok := a.aliasIn(pSt[k], in); ok {
 					if pSt[k].objs[id].virtual {
-						a.materializeAt(pSt[k], id, pBlk[k], nil)
+						a.materializeAt(pSt[k], id, pBlk[k], nil, reasonMergePhi)
 						materializedSomething = true
 					}
 					in = pSt[k].objs[id].materialized
@@ -279,7 +279,7 @@ func (a *analyzer) mergeVirtual(b *ir.Block, pBlk []*ir.Block, pSt []*peaState, 
 			v := vals[k]
 			if vid, ok := a.aliasIn(st, v); ok {
 				if st.objs[vid].virtual {
-					a.materializeAt(st, vid, pBlk[k], nil)
+					a.materializeAt(st, vid, pBlk[k], nil, reasonMergeField)
 					materialized = true
 				}
 				v = st.objs[vid].materialized

@@ -6,6 +6,7 @@ import (
 
 	"pea/internal/bc"
 	"pea/internal/ir"
+	"pea/internal/obs"
 	"pea/internal/sched"
 )
 
@@ -29,9 +30,13 @@ type Config struct {
 	// DisableArrays is an ablation switch: constant-length arrays are
 	// never virtualized.
 	DisableArrays bool
-	// Trace, when non-nil, receives a line-oriented log of the
-	// analysis: virtualizations, merges, materializations, and fixpoint
-	// rounds.
+	// Sink, when non-nil, receives structured analysis events:
+	// virtualizations, materializations with reason and position, merge
+	// materializations, lock elisions, fixpoint rounds, and bailouts.
+	Sink *obs.Sink
+	// Trace, when non-nil, receives the same events rendered as a
+	// line-oriented log (compatibility shim over the event sink; see
+	// LegacyTraceBackend).
 	Trace io.Writer
 }
 
@@ -77,10 +82,21 @@ type Result struct {
 // elision on g, transforming it in place. The graph must be verified; the
 // result is verified by the caller's pipeline (tests always do).
 func Run(g *ir.Graph, conf Config) (Result, error) {
+	sink := conf.Sink
+	if conf.Trace != nil {
+		lb := &LegacyTraceBackend{W: conf.Trace}
+		if sink == nil {
+			sink = obs.NewSink(lb)
+		} else {
+			sink.AddBackend(lb)
+			defer sink.RemoveBackend(lb)
+		}
+	}
 	splitCriticalEdges(g)
 	a := &analyzer{
 		g:         g,
 		conf:      conf,
+		sink:      sink,
 		allocIDs:  make(map[*ir.Node]objID),
 		aliases:   make(map[*ir.Node]objID),
 		replaced:  make(map[*ir.Node]*ir.Node),
@@ -94,6 +110,9 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 		ourPhis:   make(map[*ir.Node]bool),
 		futureRef: make(map[futKey]bool),
 	}
+	if sink != nil {
+		a.method = g.Method.QualifiedName()
+	}
 	cfg, err := sched.Compute(g)
 	if err != nil {
 		return Result{}, fmt.Errorf("pea: %w", err)
@@ -105,24 +124,29 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 	converged := false
 	for round := 1; round <= conf.maxRounds(); round++ {
 		a.res.Rounds = round
-		a.tracef("round %d", round)
+		a.sink.PEARound(a.method, round)
 		changed := false
 		for _, b := range cfg.RPO {
 			entry := a.computeEntry(b)
 			if old := a.entries[b]; old == nil || !old.equal(entry) {
 				changed = true
-				a.tracef("  %s entry changed: %s", b, entry)
+				if a.sink != nil {
+					a.sink.PEAState(a.method, b.String(), entry.String())
+				}
 			}
 			a.entries[b] = entry
 			a.exits[b] = a.transferBlock(b, entry.clone())
 		}
 		if !changed {
 			converged = true
-			a.tracef("fixpoint after %d rounds", round)
+			a.sink.PEAFixpoint(a.method, round)
 			break
 		}
 	}
 	if !converged {
+		if a.sink != nil {
+			a.sink.PEABailout(a.method, fmt.Sprintf("no fixpoint after %d rounds", a.res.Rounds))
+		}
 		return Result{BailedOut: true, Rounds: a.res.Rounds}, nil
 	}
 	if len(a.allocIDs) == 0 {
@@ -189,6 +213,11 @@ type analyzer struct {
 	g    *ir.Graph
 	cfg  *sched.CFG
 	conf Config
+
+	// sink receives structured analysis events (nil-safe); method is the
+	// analyzed method's qualified name, computed once when sink != nil.
+	sink   *obs.Sink
+	method string
 
 	objs     []*objInfo
 	allocIDs map[*ir.Node]objID // allocation site -> id (stable across rounds)

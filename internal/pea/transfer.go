@@ -58,8 +58,8 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 			os.fields[i] = a.defaultValue(oi.fieldKind(i))
 		}
 		st.objs[id] = os
-		a.tracef("  virtualize o%d (%s) at v%d", id, n.Op, n.ID)
 		if a.emit {
+			a.eventVirtualize(id, n.ID)
 			a.g.RemoveNode(n)
 			a.res.VirtualizedAllocs++
 		}
@@ -97,7 +97,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 				// a single Materialize node cannot express;
 				// materialize the target and fall through to a
 				// real store (Figure 5).
-				a.materializeAt(st, id, b, n)
+				a.materializeAt(st, id, b, n, reasonStoreCycle)
 			} else {
 				// Figure 4b/4e: remember the store in the state.
 				st.objs[id].fields[n.Field.Offset] = val
@@ -126,7 +126,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 				return
 			}
 			// Unknown index: the array must exist.
-			a.materializeAt(st, id, b, n)
+			a.materializeAt(st, id, b, n, reasonNonConstIndex)
 		}
 		delete(a.replaced, n)
 		delete(a.aliases, n)
@@ -139,7 +139,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 			if idx.IsConst() && idx.AuxInt >= 0 && idx.AuxInt < a.objs[id].length {
 				val := a.resolveScalar(n.Inputs[2])
 				if vid, vok := a.aliasIn(st, val); vok && st.objs[vid].virtual && a.reaches(st, vid, id) {
-					a.materializeAt(st, id, b, n)
+					a.materializeAt(st, id, b, n, reasonStoreCycle)
 				} else {
 					st.objs[id].fields[idx.AuxInt] = val
 					if a.emit {
@@ -148,7 +148,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 					return
 				}
 			} else {
-				a.materializeAt(st, id, b, n)
+				a.materializeAt(st, id, b, n, reasonNonConstIndex)
 			}
 		}
 		a.defaultTransfer(b, n, st)
@@ -173,6 +173,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 			// Figure 4c: lock elision on a virtual object.
 			st.objs[id].lockDepth++
 			if a.emit {
+				a.eventLockElide(id, n.ID, "monitorenter")
 				a.g.RemoveNode(n)
 				a.res.ElidedMonitors++
 			}
@@ -186,6 +187,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 			// Figure 4d.
 			st.objs[id].lockDepth--
 			if a.emit {
+				a.eventLockElide(id, n.ID, "monitorexit")
 				a.g.RemoveNode(n)
 				a.res.ElidedMonitors++
 			}
@@ -251,7 +253,11 @@ func (a *analyzer) defaultTransfer(b *ir.Block, n *ir.Node, st *peaState) {
 		r := a.resolveScalar(in)
 		if id, ok := a.aliasIn(st, r); ok {
 			if st.objs[id].virtual {
-				a.materializeAt(st, id, b, n)
+				// The reason is the consuming operation: the paper's
+				// "any virtual object referenced from such an
+				// operation will be materialized". Op.String returns
+				// a static name, so this stays allocation-free.
+				a.materializeAt(st, id, b, n, n.Op.String())
 			}
 			r = st.objs[id].materialized
 		}
@@ -300,8 +306,9 @@ func (a *analyzer) reaches(st *peaState, from, to objID) bool {
 // point"). before == nil appends at the end of the block (edge
 // materialization in a split predecessor). Referenced virtual objects are
 // materialized first; the virtual reference graph is kept acyclic by the
-// store transfer, so recursion terminates.
-func (a *analyzer) materializeAt(st *peaState, id objID, b *ir.Block, before *ir.Node) *ir.Node {
+// store transfer, so recursion terminates. reason names the cause for the
+// observability event (see the reason* constants and defaultTransfer).
+func (a *analyzer) materializeAt(st *peaState, id objID, b *ir.Block, before *ir.Node, reason string) *ir.Node {
 	os := st.objs[id]
 	if !os.virtual {
 		return os.materialized
@@ -330,7 +337,7 @@ func (a *analyzer) materializeAt(st *peaState, id objID, b *ir.Block, before *ir
 		r := a.resolveScalar(f)
 		if fid, ok := a.aliasIn(st, r); ok {
 			if st.objs[fid].virtual {
-				r = a.materializeAt(st, fid, b, before)
+				r = a.materializeAt(st, fid, b, before, reason)
 			} else {
 				r = st.objs[fid].materialized
 			}
@@ -339,12 +346,12 @@ func (a *analyzer) materializeAt(st *peaState, id objID, b *ir.Block, before *ir
 	}
 	mat.Inputs = inputs
 	mat.AuxLock = os.lockDepth
-	if before != nil {
-		a.tracef("  materialize o%d before v%d in %s", id, before.ID, b)
-	} else {
-		a.tracef("  materialize o%d at the end of %s (edge)", id, b)
-	}
 	if a.emit && mat.Block == nil {
+		beforeID := -1
+		if before != nil {
+			beforeID = before.ID
+		}
+		a.eventMaterialize(id, b, beforeID, reason)
 		a.g.InsertBefore(b, mat, before)
 		a.res.MaterializeSites++
 	}

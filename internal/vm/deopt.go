@@ -71,6 +71,16 @@ func (vm *VM) deopt(fs *ir.FrameState, eval func(n *ir.Node) (rt.Value, bool)) (
 			vm.Env.MonitorEnter(obj)
 		}
 		vm.Env.Stats.Materializations++
+		if s := vm.Opts.Sink; s != nil {
+			desc := ""
+			if n.Class != nil {
+				desc = n.Class.Name
+			} else {
+				desc = fmt.Sprintf("%s[%d]", n.ElemKind, n.AuxLen)
+			}
+			s.VMRematerialize(fs.Method.QualifiedName(),
+				fmt.Sprintf("vobj%d", n.AuxInt), desc)
+		}
 		return obj, nil
 	}
 

@@ -17,6 +17,7 @@ import (
 	"pea/internal/exec"
 	"pea/internal/interp"
 	"pea/internal/ir"
+	"pea/internal/obs"
 	"pea/internal/opt"
 	"pea/internal/pea"
 	"pea/internal/rt"
@@ -66,6 +67,15 @@ type Options struct {
 	MaxSteps int64
 	// Validate verifies the IR after each phase (slower; used in tests).
 	Validate bool
+	// Sink, when non-nil, receives structured observability events from
+	// the whole pipeline: per-phase compile timing, inlining and PEA/EA
+	// decisions, tier-up compiles, deopts with reasons, virtual-object
+	// rematerializations, invalidations, and recompiles. nil (the
+	// default) adds no allocations to the compile or execution path.
+	Sink *obs.Sink
+	// Metrics, when non-nil, is attached to the sink (one is created if
+	// Sink is nil) so decision events bump counters and per-phase timers.
+	Metrics *obs.Metrics
 }
 
 func (o Options) threshold() int64 {
@@ -109,6 +119,12 @@ func New(prog *bc.Program, opts Options) *VM {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Metrics != nil {
+		if opts.Sink == nil {
+			opts.Sink = obs.NewSink()
+		}
+		opts.Sink.SetMetrics(opts.Metrics)
+	}
 	vm := &VM{
 		Prog:   prog,
 		Env:    rt.NewEnv(prog, opts.Seed),
@@ -120,7 +136,7 @@ func New(prog *bc.Program, opts Options) *VM {
 	vm.Interp = interp.New(vm.Env)
 	vm.Interp.MaxSteps = opts.MaxSteps
 	vm.Interp.CallHook = vm.interpCallHook
-	vm.Engine = &exec.Engine{Env: vm.Env, MaxSteps: opts.MaxSteps}
+	vm.Engine = &exec.Engine{Env: vm.Env, MaxSteps: opts.MaxSteps, Sink: opts.Sink}
 	vm.Engine.Invoke = vm.engineInvoke
 	vm.Engine.Deopt = vm.deopt
 	return vm
@@ -181,26 +197,33 @@ func (vm *VM) maybeCompiled(m *bc.Method) *ir.Graph {
 	}
 	vm.graphs[m] = g
 	vm.VMStats.CompiledMethods++
+	if s := vm.Opts.Sink; s != nil {
+		s.VMCompile(m.QualifiedName(), int(vm.Interp.Profile.Invocations(m)))
+	}
 	if vm.noSpec[m] {
 		vm.VMStats.Recompilations++
+		if s := vm.Opts.Sink; s != nil {
+			s.VMRecompile(m.QualifiedName(), int(vm.VMStats.Recompilations))
+		}
 	}
 	return g
 }
 
 // Compile builds and optimizes the IR for m under the VM's configuration.
 func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
-	g, err := build.Build(m)
+	sink := vm.Opts.Sink
+	g, err := build.BuildWith(m, sink)
 	if err != nil {
 		return nil, err
 	}
 	phases := []opt.Phase{
-		&opt.Inliner{BuildGraph: build.Build, Program: vm.Prog, Profile: vm.Interp.Profile},
+		&opt.Inliner{BuildGraph: build.Build, Program: vm.Prog, Profile: vm.Interp.Profile, Sink: sink},
 		opt.Canonicalize{},
 		opt.SimplifyCFG{},
 		opt.GVN{},
 		opt.DCE{},
 	}
-	pipe := &opt.Pipeline{Phases: phases, Validate: vm.Opts.Validate}
+	pipe := &opt.Pipeline{Phases: phases, Validate: vm.Opts.Validate, Sink: sink}
 	if err := pipe.Run(g); err != nil {
 		return nil, err
 	}
@@ -213,10 +236,15 @@ func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
 			minTotal = 1
 		}
 		pr := &opt.BranchPruner{Profile: vm.Interp.Profile, MinTotal: minTotal}
+		var span obs.PhaseSpan
+		if sink != nil {
+			span = obs.StartPhase(sink, "prune", m.QualifiedName(), g.NumNodes(), len(g.Blocks))
+		}
 		changed, err := pr.Run(g)
 		if err != nil {
 			return nil, err
 		}
+		span.End(g.NumNodes(), len(g.Blocks))
 		if vm.Opts.Validate {
 			if err := ir.Verify(g); err != nil {
 				return nil, fmt.Errorf("vm: branch pruning broke %s: %w", m.QualifiedName(), err)
@@ -227,20 +255,32 @@ func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
 			// chains behind; normalize before escape analysis.
 			clean := opt.Standard()
 			clean.Validate = vm.Opts.Validate
+			clean.Sink = sink
 			if err := clean.Run(g); err != nil {
 				return nil, err
 			}
 		}
 	}
-	switch vm.Opts.EA {
-	case EAOff:
-	case EAFlowInsensitive:
-		if _, err := ea.Run(g, pea.Config{}); err != nil {
-			return nil, err
+	if vm.Opts.EA != EAOff {
+		var span obs.PhaseSpan
+		if sink != nil {
+			span = obs.StartPhase(sink, vm.Opts.EA.String(), m.QualifiedName(),
+				g.NumNodes(), len(g.Blocks))
 		}
-	case EAPartial:
-		if _, err := pea.Run(g, pea.Config{}); err != nil {
-			return nil, err
+		var eaErr error
+		switch vm.Opts.EA {
+		case EAFlowInsensitive:
+			_, eaErr = ea.Run(g, pea.Config{Sink: sink})
+		case EAPartial:
+			_, eaErr = pea.Run(g, pea.Config{Sink: sink})
+		}
+		if eaErr != nil {
+			return nil, eaErr
+		}
+		span.End(g.NumNodes(), len(g.Blocks))
+		if sink != nil && sink.WantSnapshots() {
+			sink.Snapshot(vm.Opts.EA.String(), m.QualifiedName(),
+				func() string { return ir.Dump(g) })
 		}
 	}
 	if vm.Opts.Validate {
@@ -250,6 +290,7 @@ func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
 	}
 	post := opt.Standard()
 	post.Validate = vm.Opts.Validate
+	post.Sink = sink
 	if err := post.Run(g); err != nil {
 		return nil, err
 	}
@@ -266,6 +307,9 @@ func (vm *VM) Invalidate(m *bc.Method) {
 		delete(vm.graphs, m)
 		vm.noSpec[m] = true
 		vm.VMStats.InvalidatedMethods++
+		if s := vm.Opts.Sink; s != nil {
+			s.VMInvalidate(m.QualifiedName(), "deopt")
+		}
 	}
 }
 
