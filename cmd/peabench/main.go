@@ -7,11 +7,19 @@
 //
 //	peabench [-suite dacapo|scaladacapo|specjbb|all] [-mode pea|ea]
 //	         [-compare] [-locks] [-compiler] [-full] [-warmup N] [-iters N]
+//	         [-j N] [-jit-async] [-jit-workers N] [-out FILE]
 //
 // With -compiler each Table 1 block is followed by a per-benchmark
 // compiler-metrics table (virtualized allocations, materialization sites,
 // elided locks, deopts, escape-analysis phase time) with a compact JSON
 // column for machine consumption.
+//
+// -j N measures N workloads concurrently (each workload still runs its
+// warmup and measured iterations on one goroutine, so per-workload numbers
+// are unchanged). -jit-async compiles hot methods on background broker
+// workers instead of synchronously on the execution thread. -out writes the
+// full result set as JSON, including the compiled-code-cache outcome of the
+// run's shared artifact store.
 package main
 
 import (
@@ -33,9 +41,20 @@ func main() {
 	full := flag.Bool("full", false, "include the DaCapo rows the paper omits from Table 1")
 	warmup := flag.Int("warmup", bench.DefaultRuns.Warmup, "warmup iterations per benchmark")
 	iters := flag.Int("iters", bench.DefaultRuns.Iters, "measured iterations per benchmark")
+	jobs := flag.Int("j", 1, "number of workloads measured concurrently")
+	jitAsync := flag.Bool("jit-async", false, "compile hot methods on background broker workers (tier-up)")
+	jitWorkers := flag.Int("jit-workers", 0, "background JIT workers per VM with -jit-async (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "write results as JSON to this file")
 	flag.Parse()
 
-	rc := bench.RunConfig{Warmup: *warmup, Iters: *iters}
+	rc := bench.RunConfig{
+		Warmup:     *warmup,
+		Iters:      *iters,
+		Jobs:       *jobs,
+		Async:      *jitAsync,
+		JITWorkers: *jitWorkers,
+		Share:      bench.NewShared(),
+	}
 
 	if *ablate {
 		rs, err := bench.RunAblation()
@@ -53,6 +72,10 @@ func main() {
 		}
 		fmt.Print(bench.FormatComparison(cs))
 		fmt.Println("\npaper section 6.2: DaCapo 0.9% vs 2.2%, ScalaDaCapo 7.4% vs 10.4%, SPECjbb2005 5.4% vs 8.7%")
+		if *compiler {
+			hits, misses := rc.Share.CacheStats()
+			fmt.Printf("\ncode cache: %d hits, %d misses\n", hits, misses)
+		}
 		return
 	}
 
@@ -70,11 +93,16 @@ func main() {
 	if *suite == "all" {
 		suites = bench.SuiteNames()
 	}
+	report := bench.Report{Config: bench.ReportConfig{
+		Warmup: *warmup, Iters: *iters, Jobs: *jobs,
+		Async: *jitAsync, JITWorkers: *jitWorkers,
+	}}
 	for _, s := range suites {
 		rows, err := bench.RunSuite(s, m, rc)
 		if err != nil {
 			fatal(err)
 		}
+		report.Suites = append(report.Suites, bench.NewSuiteResult(s, m.String(), rows))
 		title := fmt.Sprintf("Table 1 (%s, without vs with %s)", s, *mode)
 		fmt.Print(bench.FormatTable1(title, rows, !*full))
 		if *locks {
@@ -87,6 +115,21 @@ func main() {
 				fmt.Sprintf("Compiler metrics (%s, %s configuration)", s, *mode), rows, !*full))
 		}
 		fmt.Println()
+	}
+	hits, misses := rc.Share.CacheStats()
+	report.CodeCache = bench.CacheSummary{Hits: hits, Misses: misses}
+	if *compiler {
+		fmt.Printf("code cache: %d hits, %d misses\n", hits, misses)
+	}
+	if *out != "" {
+		data, err := report.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
 }
 

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S]
+//	      [-jit-async] [-jit-workers N]
 //	      [-trace-events out.jsonl] [-metrics] prog.mj
+//
+// With -jit-async hot methods are compiled on background broker workers
+// while the interpreter keeps running them (tier-up); the default compiles
+// synchronously, which keeps runs deterministic.
 //
 // The program must define a static Main.main method. Printed values go to
 // stdout, one per line. With -stats the VM reports allocation, monitor,
@@ -36,6 +41,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print VM statistics to stderr")
 	seed := flag.Uint64("seed", 1, "PRNG seed for the rand() intrinsic")
 	threshold := flag.Int64("threshold", 20, "JIT compile threshold (invocations)")
+	jitAsync := flag.Bool("jit-async", false, "compile hot methods on background broker workers (tier-up)")
+	jitWorkers := flag.Int("jit-workers", 0, "background JIT workers with -jit-async (0 = GOMAXPROCS)")
 	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
 	traceText := flag.Bool("trace-text", false, "also render events human-readably to stderr")
 	metrics := flag.Bool("metrics", false, "print the compiler metrics table to stderr after the run")
@@ -60,6 +67,8 @@ func main() {
 		Interpret:        *interpret,
 		Seed:             *seed,
 		CompileThreshold: *threshold,
+		Async:            *jitAsync,
+		JITWorkers:       *jitWorkers,
 	}
 	switch *eaMode {
 	case "off":
@@ -98,11 +107,13 @@ func main() {
 	}
 
 	machine := vm.New(prog, opts)
+	defer machine.Close()
 	for i := 0; i < *runs; i++ {
 		if _, err := machine.Run(); err != nil {
 			fatal(err)
 		}
 	}
+	machine.DrainJIT()
 	for _, v := range machine.Env.Output {
 		fmt.Println(v)
 	}
@@ -115,6 +126,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "deoptimizations:  %d\n", s.Deopts)
 		fmt.Fprintf(os.Stderr, "compiled methods: %d (invalidated %d)\n",
 			machine.VMStats.CompiledMethods, machine.VMStats.InvalidatedMethods)
+		bs := machine.Broker().Stats()
+		fmt.Fprintf(os.Stderr, "jit broker:       submitted %d, compiled %d, cache hits %d/%d, dedup %d, rejected %d, max queue %d\n",
+			bs.Submitted, bs.Compiled, bs.CacheHits, bs.CacheHits+bs.CacheMisses, bs.Dedup, bs.Rejected, bs.MaxQueue)
 		fmt.Fprintf(os.Stderr, "model cycles:     %d\n", machine.Env.Cycles)
 		for m, cerr := range machine.FailedCompilations() {
 			fmt.Fprintf(os.Stderr, "compile failure:  %s: %v\n", m.QualifiedName(), cerr)

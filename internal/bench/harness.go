@@ -3,8 +3,11 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
+	"pea/internal/bc"
+	"pea/internal/broker"
 	"pea/internal/cost"
 	"pea/internal/mj"
 	"pea/internal/obs"
@@ -42,6 +45,11 @@ type CompilerStats struct {
 	Materialized int64 `json:"mat"`
 	LocksElided  int64 `json:"locks"`
 	Deopts       int64 `json:"deopts,omitempty"`
+	// CacheHits/CacheMisses are compiled-code cache outcomes: a hit means
+	// the broker replayed a cached artifact instead of re-running the
+	// pipeline (possible when runs share a cache via RunConfig.Share).
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 	// PhaseMS maps compiler phase name to total wall time in
 	// milliseconds across all compiles of the run.
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
@@ -72,6 +80,8 @@ func compilerStats(s obs.Snapshot) CompilerStats {
 		Materialized: s.Counters[obs.MetricMaterialized],
 		LocksElided:  s.Counters[obs.MetricLocksElided],
 		Deopts:       s.Counters[obs.MetricVMDeopts],
+		CacheHits:    s.Counters[obs.MetricBrokerCacheHits],
+		CacheMisses:  s.Counters[obs.MetricBrokerCacheMisses],
 	}
 	if len(s.Phases) > 0 {
 		cs.PhaseMS = make(map[string]float64, len(s.Phases))
@@ -109,15 +119,106 @@ type RunConfig struct {
 	Iters int
 	// Speculate enables branch pruning.
 	Speculate bool
+
+	// Jobs is the number of workloads measured concurrently by RunSuite
+	// (<=1 is sequential). Each workload still runs its warmup and
+	// measured iterations on one goroutine; only distinct workloads (and
+	// the two configurations of a row) overlap, so per-workload numbers
+	// are unaffected.
+	Jobs int
+	// Async routes JIT compilation through background broker workers
+	// instead of compiling synchronously on the execution thread.
+	Async bool
+	// JITWorkers is the per-VM background worker count when Async is set
+	// (<=0 selects GOMAXPROCS).
+	JITWorkers int
+	// Share, when non-nil, shares compiled programs and per-workload
+	// compiled-code caches across measurement runs: the repeated
+	// configurations of a comparison (the EAOff baseline is measured once
+	// per row) replay cached JIT artifacts instead of re-running the
+	// pipeline. RunSuite and RunComparison create one automatically when
+	// nil.
+	Share *Shared
 }
 
 // DefaultRuns is the standard measurement configuration.
 var DefaultRuns = RunConfig{Warmup: 16, Iters: 8}
 
+// Shared holds measurement-run artifacts reusable across VMs: the compiled
+// bytecode program of each workload and one compiled-code cache per
+// workload. Cache keys incorporate the EA mode, speculation, and the
+// profile fingerprint, so runs under different configurations never collide
+// while identical reruns (e.g. the twice-measured baseline column of a
+// comparison) replay earlier compiles. Safe for concurrent use.
+type Shared struct {
+	mu     sync.Mutex
+	progs  map[string]*bc.Program
+	caches map[string]*broker.Cache
+}
+
+// NewShared creates an empty artifact store.
+func NewShared() *Shared {
+	return &Shared{
+		progs:  make(map[string]*bc.Program),
+		caches: make(map[string]*broker.Cache),
+	}
+}
+
+// program returns the workload's compiled program, compiling it once.
+func (s *Shared) program(w WorkloadSpec) (*bc.Program, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.progs[w.Name]; ok {
+		return p, nil
+	}
+	p, err := mj.Compile(w.Source(), "Main.main")
+	if err != nil {
+		return nil, err
+	}
+	s.progs[w.Name] = p
+	return p, nil
+}
+
+// cache returns the workload's compiled-code cache, creating it once.
+// Caches are per-workload because cache keys contain *bc.Method pointers:
+// an artifact is only meaningful to VMs running the same program instance.
+func (s *Shared) cache(name string) *broker.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.caches[name]
+	if !ok {
+		c = broker.NewCache()
+		s.caches[name] = c
+	}
+	return c
+}
+
+// CacheStats sums hit/miss counts over all workload caches.
+func (s *Shared) CacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.caches {
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 // Measure runs one workload under one EA mode and returns per-iteration
 // metrics from the post-warmup steady state.
 func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
-	prog, err := mj.Compile(w.Source(), "Main.main")
+	var (
+		prog  *bc.Program
+		cache *broker.Cache
+		err   error
+	)
+	if rc.Share != nil {
+		prog, err = rc.Share.program(w)
+		cache = rc.Share.cache(w.Name)
+	} else {
+		prog, err = mj.Compile(w.Source(), "Main.main")
+	}
 	if err != nil {
 		return Metrics{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
@@ -129,7 +230,11 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 		Seed:             uint64(len(w.Name))*2654435761 + 7,
 		MaxSteps:         2_000_000_000,
 		Metrics:          met,
+		Async:            rc.Async,
+		JITWorkers:       rc.JITWorkers,
+		Cache:            cache,
 	})
+	defer machine.Close()
 	setup := prog.ClassByName("Store").MethodByName("setup")
 	iter := prog.ClassByName("Bench").MethodByName("iteration")
 	if _, err := machine.Call(setup, nil); err != nil {
@@ -140,6 +245,9 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 			return Metrics{}, fmt.Errorf("bench %s warmup: %w", w.Name, err)
 		}
 	}
+	// In async mode make sure every submitted compilation has resolved so
+	// the measured iterations run the same steady state as sync mode.
+	machine.DrainJIT()
 	for m, cerr := range machine.FailedCompilations() {
 		return Metrics{}, fmt.Errorf("bench %s: compiling %s: %w", w.Name, m.QualifiedName(), cerr)
 	}
@@ -191,14 +299,48 @@ func RunRow(w WorkloadSpec, mode vm.EAMode, rc RunConfig) (Row, error) {
 }
 
 // RunSuite measures every workload of a suite against the given mode.
+// With rc.Jobs > 1 workloads are measured concurrently; results keep the
+// suite's deterministic workload order either way.
 func RunSuite(suite string, mode vm.EAMode, rc RunConfig) ([]Row, error) {
-	var rows []Row
-	for _, w := range BySuite(suite) {
-		r, err := RunRow(w, mode, rc)
+	if rc.Share == nil {
+		rc.Share = NewShared()
+	}
+	specs := BySuite(suite)
+	rows := make([]Row, len(specs))
+	errs := make([]error, len(specs))
+	jobs := rc.Jobs
+	if jobs <= 1 {
+		jobs = 1
+	}
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+	var (
+		next int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < jobs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(specs) {
+					return
+				}
+				rows[i], errs[i] = RunRow(specs[i], mode, rc)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, r)
 	}
 	return rows, nil
 }
@@ -227,8 +369,14 @@ type Comparison struct {
 	PEASpeedup float64
 }
 
-// RunComparison reproduces §6.2 for every suite.
+// RunComparison reproduces §6.2 for every suite. The runs share one
+// artifact store, so the EAOff baseline — measured once for the EA row and
+// once for the PEA row of each workload — replays its compiled code from
+// the broker cache on the second measurement.
 func RunComparison(rc RunConfig) ([]Comparison, error) {
+	if rc.Share == nil {
+		rc.Share = NewShared()
+	}
 	var out []Comparison
 	for _, suite := range SuiteNames() {
 		eaRows, err := RunSuite(suite, vm.EAFlowInsensitive, rc)

@@ -1,0 +1,57 @@
+package bench
+
+import "encoding/json"
+
+// SuiteResult is one suite's Table 1 block in machine-readable form.
+type SuiteResult struct {
+	Suite string `json:"suite"`
+	Mode  string `json:"mode"`
+	Rows  []Row  `json:"rows"`
+	// Average percentage deltas over the rows (the paper's "average"
+	// line).
+	AvgMBDelta     float64 `json:"avg_mb_delta"`
+	AvgAllocsDelta float64 `json:"avg_allocs_delta"`
+	AvgSpeedup     float64 `json:"avg_speedup"`
+}
+
+// ReportConfig echoes the measurement configuration into the report.
+type ReportConfig struct {
+	Warmup     int  `json:"warmup"`
+	Iters      int  `json:"iters"`
+	Jobs       int  `json:"jobs"`
+	Async      bool `json:"jit_async"`
+	JITWorkers int  `json:"jit_workers,omitempty"`
+	Speculate  bool `json:"speculate"`
+}
+
+// CacheSummary is the aggregate compiled-code cache outcome of a report.
+type CacheSummary struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Report is the peabench JSON artifact: every measured suite plus the
+// aggregate compiled-code-cache result of the shared artifact store.
+type Report struct {
+	Config    ReportConfig  `json:"config"`
+	Suites    []SuiteResult `json:"suites"`
+	CodeCache CacheSummary  `json:"code_cache"`
+}
+
+// NewSuiteResult assembles one suite block with its averages.
+func NewSuiteResult(suite, mode string, rows []Row) SuiteResult {
+	mb, allocs, speed := Averages(rows)
+	return SuiteResult{
+		Suite:          suite,
+		Mode:           mode,
+		Rows:           rows,
+		AvgMBDelta:     mb,
+		AvgAllocsDelta: allocs,
+		AvgSpeedup:     speed,
+	}
+}
+
+// JSON renders the report indented for committing next to experiment docs.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,336 @@
+// Package broker is the VM's concurrent JIT compile broker — the queue +
+// cache + worker-pool shape HotSpot's CompileBroker gives its tiered
+// compilation system. Hot methods are submitted with their hotness; the
+// broker deduplicates in-flight requests, keeps a bounded
+// hotness-prioritized queue, compiles on a pool of worker goroutines, and
+// publishes finished code through an atomic installation callback while the
+// interpreter keeps running (true tier-up). A compiled-code cache keyed by
+// (method, EA mode, speculation, profile fingerprint) lets recompiles after
+// deoptimization-invalidation and repeated benchmark runs replay earlier
+// work instead of re-running the build→inline→GVN→PEA pipeline.
+//
+// A broker with zero workers is synchronous: Submit compiles (or replays
+// from cache) on the calling goroutine and returns with the code installed.
+// That mode is the VM default, preserving the deterministic
+// interpreter-vs-compiled oracles the differential tests rely on.
+package broker
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+	"pea/internal/obs"
+)
+
+// Options configures a Broker.
+type Options struct {
+	// Workers is the number of background compile goroutines. 0 makes the
+	// broker synchronous (compiles run on the submitting goroutine);
+	// negative selects GOMAXPROCS.
+	Workers int
+	// QueueCap bounds the pending queue (default 256). Submissions beyond
+	// the bound are rejected (the method stays interpreted and may be
+	// resubmitted later) so a compilation storm cannot grow memory
+	// without limit.
+	QueueCap int
+	// Cache is the compiled-code cache. nil creates a private cache; pass
+	// a shared one to reuse artifacts across VMs running the same
+	// program.
+	Cache *Cache
+
+	// Compile runs the full pipeline for one request. It must be safe for
+	// concurrent use (the VM's pipeline carries no shared mutable state
+	// beyond the locked profile and observability registries).
+	Compile func(m *bc.Method, k Key) (*ir.Graph, error)
+	// Install publishes finished code. It is called from worker
+	// goroutines (or the submitting goroutine in synchronous mode) and
+	// must publish atomically. fromCache reports a code-cache replay.
+	Install func(m *bc.Method, k Key, g *ir.Graph, fromCache bool)
+	// Fail records a permanent compilation failure.
+	Fail func(m *bc.Method, err error)
+
+	// Sink receives broker lifecycle events; Metrics (via the sink) keeps
+	// the queue-depth/worker-utilization/cache gauges current. Both are
+	// nil-safe.
+	Sink *obs.Sink
+}
+
+func (o Options) workers() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) queueCap() int {
+	if o.QueueCap > 0 {
+		return o.QueueCap
+	}
+	return 256
+}
+
+// Stats is a point-in-time snapshot of broker counters.
+type Stats struct {
+	Submitted   int64 // accepted submissions (queued or compiled inline)
+	Compiled    int64 // pipeline runs completed successfully
+	Failed      int64 // pipeline runs that errored
+	Installed   int64 // successful installations (compiled + cache replays)
+	CacheHits   int64 // installations served from the code cache
+	CacheMisses int64 // submissions that had to run the pipeline
+	Dedup       int64 // submissions coalesced with an in-flight compile
+	Rejected    int64 // submissions dropped on a full queue
+	MaxQueue    int64 // high-water mark of the pending queue
+}
+
+// task is one pending compilation.
+type task struct {
+	m       *bc.Method
+	key     Key
+	hotness int64
+	seq     int64 // FIFO tie-break for equal hotness (determinism)
+}
+
+// taskHeap is a max-heap by hotness, FIFO within a hotness level.
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].hotness != h[j].hotness {
+		return h[i].hotness > h[j].hotness
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Broker coordinates compilations.
+type Broker struct {
+	opts  Options
+	cache *Cache
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers (work available / closing)
+	idle     *sync.Cond // signals Drain (queue empty, workers idle)
+	queue    taskHeap
+	inflight map[*bc.Method]bool // queued or being compiled
+	busy     int
+	seq      int64
+	closed   bool
+	stats    Stats
+
+	wg sync.WaitGroup
+}
+
+// New creates a broker and starts its workers.
+func New(opts Options) *Broker {
+	b := &Broker{
+		opts:     opts,
+		cache:    opts.Cache,
+		inflight: make(map[*bc.Method]bool),
+	}
+	if b.cache == nil {
+		b.cache = NewCache()
+	}
+	b.cond = sync.NewCond(&b.mu)
+	b.idle = sync.NewCond(&b.mu)
+	for i := 0; i < opts.workers(); i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// Cache returns the broker's code cache.
+func (b *Broker) Cache() *Cache { return b.cache }
+
+// Async reports whether the broker compiles on background workers.
+func (b *Broker) Async() bool { return b.opts.workers() > 0 }
+
+// Pending reports whether m is queued or being compiled. It is a cheap
+// pre-check so hot call paths can skip building a cache key for methods
+// whose compilation is already in flight.
+func (b *Broker) Pending(m *bc.Method) bool {
+	if !b.Async() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inflight[m]
+}
+
+// Submit requests compilation of m under key k with the given hotness
+// (typically the invocation count). In synchronous mode the compilation
+// (or cache replay) completes before Submit returns. In asynchronous mode
+// Submit enqueues and returns immediately; duplicates of in-flight methods
+// are coalesced and submissions over the queue bound are rejected. The
+// return value reports whether the submission was accepted.
+func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
+	if !b.Async() {
+		b.mu.Lock()
+		b.stats.Submitted++
+		b.mu.Unlock()
+		b.opts.Sink.BrokerSubmit(m.QualifiedName(), int(hotness), 0)
+		b.compileOne(&task{m: m, key: k, hotness: hotness})
+		return true
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	if b.inflight[m] {
+		b.stats.Dedup++
+		b.mu.Unlock()
+		b.opts.Sink.BrokerDedup(m.QualifiedName())
+		return false
+	}
+	if len(b.queue) >= b.opts.queueCap() {
+		b.stats.Rejected++
+		b.mu.Unlock()
+		b.opts.Sink.BrokerReject(m.QualifiedName(), "queue-full")
+		return false
+	}
+	b.seq++
+	heap.Push(&b.queue, &task{m: m, key: k, hotness: hotness, seq: b.seq})
+	b.inflight[m] = true
+	b.stats.Submitted++
+	if int64(len(b.queue)) > b.stats.MaxQueue {
+		b.stats.MaxQueue = int64(len(b.queue))
+	}
+	depth := len(b.queue)
+	b.mu.Unlock()
+
+	b.opts.Sink.BrokerSubmit(m.QualifiedName(), int(hotness), depth)
+	b.setGauge(obs.GaugeBrokerQueueDepth, int64(depth))
+	b.cond.Signal()
+	return true
+}
+
+// worker is the compile loop of one background goroutine.
+func (b *Broker) worker() {
+	defer b.wg.Done()
+	for {
+		b.mu.Lock()
+		for len(b.queue) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if len(b.queue) == 0 && b.closed {
+			b.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&b.queue).(*task)
+		b.busy++
+		depth, busy := len(b.queue), b.busy
+		b.mu.Unlock()
+
+		b.setGauge(obs.GaugeBrokerQueueDepth, int64(depth))
+		b.setGauge(obs.GaugeBrokerWorkersBusy, int64(busy))
+
+		b.compileOne(t)
+
+		b.mu.Lock()
+		delete(b.inflight, t.m)
+		b.busy--
+		busy = b.busy
+		if len(b.queue) == 0 && b.busy == 0 {
+			b.idle.Broadcast()
+		}
+		b.mu.Unlock()
+		b.setGauge(obs.GaugeBrokerWorkersBusy, int64(busy))
+	}
+}
+
+// compileOne resolves one task: cache replay or pipeline run, then
+// installation (or failure recording).
+func (b *Broker) compileOne(t *task) {
+	name := t.m.QualifiedName()
+	if g, ok := b.cache.Get(t.key); ok {
+		b.mu.Lock()
+		b.stats.CacheHits++
+		b.stats.Installed++
+		b.mu.Unlock()
+		b.opts.Sink.BrokerInstall(name, "cache")
+		if b.opts.Install != nil {
+			b.opts.Install(t.m, t.key, g, true)
+		}
+		return
+	}
+	b.mu.Lock()
+	b.stats.CacheMisses++
+	b.mu.Unlock()
+
+	g, err := b.opts.Compile(t.m, t.key)
+	if err != nil {
+		b.mu.Lock()
+		b.stats.Failed++
+		b.mu.Unlock()
+		if b.opts.Fail != nil {
+			b.opts.Fail(t.m, err)
+		}
+		return
+	}
+	// First writer wins so every VM sharing the cache installs the same
+	// canonical artifact.
+	g = b.cache.Put(t.key, g)
+	b.mu.Lock()
+	b.stats.Compiled++
+	b.stats.Installed++
+	b.mu.Unlock()
+	b.opts.Sink.BrokerInstall(name, "compiled")
+	b.setGauge(obs.GaugeBrokerCacheSize, int64(b.cache.Len()))
+	if b.opts.Install != nil {
+		b.opts.Install(t.m, t.key, g, false)
+	}
+}
+
+func (b *Broker) setGauge(name string, v int64) {
+	if s := b.opts.Sink; s != nil {
+		s.Metrics().SetGauge(name, v)
+	}
+}
+
+// Drain blocks until the queue is empty and all workers are idle. It is
+// the synchronization point for tests and benchmarks that need every
+// submitted compilation resolved before measuring.
+func (b *Broker) Drain() {
+	if !b.Async() {
+		return
+	}
+	b.mu.Lock()
+	for len(b.queue) > 0 || b.busy > 0 {
+		b.idle.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Close drains the queue, stops the workers, and waits for them to exit.
+// The broker rejects submissions afterwards.
+func (b *Broker) Close() {
+	if !b.Async() {
+		return
+	}
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	b.wg.Wait()
+}
+
+// Stats snapshots the broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

@@ -1,0 +1,274 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+)
+
+// testMethods assembles n trivial methods so tasks have distinct identities.
+func testMethods(t *testing.T, n int) []*bc.Method {
+	t.Helper()
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	for i := 0; i < n; i++ {
+		m := c.Method(fmt.Sprintf("m%d", i), []bc.Kind{bc.KindInt}, bc.KindInt, true)
+		m.Load(0).Const(1).Add().ReturnValue()
+	}
+	p, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*bc.Method, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.ClassByName("C").MethodByName(fmt.Sprintf("m%d", i))
+	}
+	return out
+}
+
+func key(m *bc.Method) Key { return Key{Method: m} }
+
+func TestSynchronousSubmitCompilesInline(t *testing.T) {
+	ms := testMethods(t, 1)
+	var installed []*bc.Method
+	b := New(Options{
+		Workers: 0,
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return new(ir.Graph), nil },
+		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
+			if fromCache {
+				t.Error("first compile must not come from cache")
+			}
+			installed = append(installed, m)
+		},
+	})
+	if b.Async() {
+		t.Fatal("zero workers must be synchronous")
+	}
+	if !b.Submit(ms[0], 10, key(ms[0])) {
+		t.Fatal("synchronous submit rejected")
+	}
+	if len(installed) != 1 || installed[0] != ms[0] {
+		t.Fatalf("installed = %v, want [m0]", installed)
+	}
+	st := b.Stats()
+	if st.Submitted != 1 || st.Compiled != 1 || st.Installed != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheReplay(t *testing.T) {
+	ms := testMethods(t, 1)
+	compiles := 0
+	var fromCacheSeen []bool
+	b := New(Options{
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { compiles++; return new(ir.Graph), nil },
+		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
+			fromCacheSeen = append(fromCacheSeen, fromCache)
+		},
+	})
+	k := key(ms[0])
+	b.Submit(ms[0], 1, k)
+	b.Submit(ms[0], 1, k)
+	if compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (second submit replays from cache)", compiles)
+	}
+	want := []bool{false, true}
+	for i, fc := range fromCacheSeen {
+		if fc != want[i] {
+			t.Fatalf("fromCache sequence = %v, want %v", fromCacheSeen, want)
+		}
+	}
+	if st := b.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A different fingerprint is a different artifact.
+	b.Submit(ms[0], 1, Key{Method: ms[0], Fingerprint: 99})
+	if compiles != 2 {
+		t.Fatalf("compiles = %d, want 2 after fingerprint change", compiles)
+	}
+}
+
+func TestCompileFailureRoutesToFail(t *testing.T) {
+	ms := testMethods(t, 1)
+	boom := errors.New("boom")
+	var failed error
+	b := New(Options{
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return nil, boom },
+		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) { t.Error("failed compile installed") },
+		Fail:    func(m *bc.Method, err error) { failed = err },
+	})
+	b.Submit(ms[0], 1, key(ms[0]))
+	if !errors.Is(failed, boom) {
+		t.Fatalf("failure not recorded: %v", failed)
+	}
+	if st := b.Stats(); st.Failed != 1 || st.Installed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAsyncDedupAndQueueBound(t *testing.T) {
+	ms := testMethods(t, 8)
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	b := New(Options{
+		Workers:  1,
+		QueueCap: 2,
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-release
+			return new(ir.Graph), nil
+		},
+	})
+	// LIFO defers: release the parked worker first, then Close can join it.
+	defer b.Close()
+	defer close(release)
+
+	if !b.Submit(ms[0], 1, key(ms[0])) {
+		t.Fatal("first async submit rejected")
+	}
+	<-started // worker is now parked inside Compile for m0
+	if !b.Pending(ms[0]) {
+		t.Fatal("m0 must be pending while compiling")
+	}
+	if b.Submit(ms[0], 1, key(ms[0])) {
+		t.Fatal("duplicate of in-flight method must coalesce")
+	}
+	if !b.Submit(ms[1], 1, key(ms[1])) || !b.Submit(ms[2], 1, key(ms[2])) {
+		t.Fatal("submissions within the bound rejected")
+	}
+	if b.Submit(ms[3], 1, key(ms[3])) {
+		t.Fatal("submission over the queue bound accepted")
+	}
+	st := b.Stats()
+	if st.Dedup != 1 || st.Rejected != 1 || st.Submitted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAsyncPriorityOrder(t *testing.T) {
+	ms := testMethods(t, 5)
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var mu sync.Mutex
+	var order []*bc.Method
+	b := New(Options{
+		Workers: 1,
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			mu.Lock()
+			order = append(order, m)
+			mu.Unlock()
+			if m == ms[0] {
+				<-release
+			}
+			return new(ir.Graph), nil
+		},
+	})
+	defer b.Close()
+
+	// Park the worker on ms[0], then queue the rest with mixed hotness.
+	b.Submit(ms[0], 1, key(ms[0]))
+	<-started
+	b.Submit(ms[1], 5, key(ms[1]))
+	b.Submit(ms[2], 50, key(ms[2]))
+	b.Submit(ms[3], 5, key(ms[3])) // ties with ms[1]; FIFO within a level
+	b.Submit(ms[4], 500, key(ms[4]))
+	close(release)
+	b.Drain()
+
+	want := []*bc.Method{ms[0], ms[4], ms[2], ms[1], ms[3]}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("compiled %d methods, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("compile order[%d] = %s, want %s", i, order[i].Name, want[i].Name)
+		}
+	}
+	if st := b.Stats(); st.MaxQueue != 4 {
+		t.Fatalf("max queue = %d, want 4", st.MaxQueue)
+	}
+}
+
+func TestDrainWaitsForWorkers(t *testing.T) {
+	ms := testMethods(t, 6)
+	var done int64
+	var mu sync.Mutex
+	b := New(Options{
+		Workers: 3,
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) {
+			mu.Lock()
+			done++
+			mu.Unlock()
+			return new(ir.Graph), nil
+		},
+	})
+	defer b.Close()
+	for _, m := range ms {
+		b.Submit(m, 1, key(m))
+	}
+	b.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if done != int64(len(ms)) {
+		t.Fatalf("drained with %d/%d compiles done", done, len(ms))
+	}
+}
+
+func TestClosedBrokerRejects(t *testing.T) {
+	ms := testMethods(t, 1)
+	b := New(Options{
+		Workers: 1,
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return new(ir.Graph), nil },
+	})
+	b.Close()
+	if b.Submit(ms[0], 1, key(ms[0])) {
+		t.Fatal("closed broker accepted a submission")
+	}
+}
+
+func TestCacheFirstWriterWins(t *testing.T) {
+	ms := testMethods(t, 1)
+	c := NewCache()
+	k := key(ms[0])
+	g1, g2 := new(ir.Graph), new(ir.Graph)
+	if got := c.Put(k, g1); got != g1 {
+		t.Fatal("first Put must keep its graph")
+	}
+	if got := c.Put(k, g2); got != g1 {
+		t.Fatal("second Put must return the already-published graph")
+	}
+	if g, ok := c.Get(k); !ok || g != g1 {
+		t.Fatal("Get must observe the canonical artifact")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestNilCacheAlwaysMisses(t *testing.T) {
+	var c *Cache
+	ms := testMethods(t, 1)
+	if _, ok := c.Get(key(ms[0])); ok {
+		t.Fatal("nil cache hit")
+	}
+	g := new(ir.Graph)
+	if c.Put(key(ms[0]), g) != g {
+		t.Fatal("nil cache Put must pass the graph through")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has length")
+	}
+}

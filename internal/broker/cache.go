@@ -1,0 +1,99 @@
+package broker
+
+import (
+	"sync"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+)
+
+// Key identifies one compilation product. Two compiles with equal keys are
+// guaranteed to produce interchangeable code:
+//
+//   - Method pins the bytecode (bc entities are immutable after link).
+//   - Mode is the escape-analysis configuration ordinal (vm.EAMode).
+//   - Spec records whether speculative branch pruning was applied. A
+//     method invalidated by deoptimization recompiles under Spec=false,
+//     which is a different key — the non-speculative artifact is cached
+//     separately and replayed on later invalidations instead of re-running
+//     the pipeline.
+//   - Fingerprint condenses the profile information the pipeline consumes
+//     (monomorphic call-site targets for devirtualization, branch-pruning
+//     verdicts when speculating; see interp.Profile.Fingerprint). Profiles
+//     that would drive the compiler to different decisions hash
+//     differently, so stale code is never replayed.
+type Key struct {
+	Method      *bc.Method
+	Mode        int
+	Spec        bool
+	Fingerprint uint64
+}
+
+// Cache is a concurrency-safe compiled-code cache. Graphs are installed
+// read-only (execution state lives in per-invocation frames), so one cached
+// graph may be shared by any number of VMs running the same program — the
+// usual deduplicated-artifact-store shape. A nil *Cache is valid and always
+// misses.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*ir.Graph
+	hits    int64
+	misses  int64
+}
+
+// NewCache creates an empty code cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[Key]*ir.Graph)}
+}
+
+// Get returns the cached graph for k, counting a hit or miss.
+func (c *Cache) Get(k Key) (*ir.Graph, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return g, ok
+}
+
+// Put stores the graph for k. First writer wins: concurrent compiles of the
+// same key keep the already-published artifact so every consumer observes
+// one canonical graph.
+func (c *Cache) Put(k Key, g *ir.Graph) *ir.Graph {
+	if c == nil {
+		return g
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[k]; ok {
+		return prev
+	}
+	c.entries[k] = g
+	return g
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

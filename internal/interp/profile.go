@@ -1,6 +1,9 @@
 package interp
 
 import (
+	"sort"
+	"sync"
+
 	"pea/internal/bc"
 )
 
@@ -10,7 +13,12 @@ import (
 // counts to pick compilation candidates; the compiler uses branch
 // probabilities for block frequencies and call-site receiver profiles for
 // devirtualization and inlining.
+//
+// A Profile is safe for concurrent use: the interpreter mutates it on the
+// execution thread while compile-broker workers read it concurrently
+// (inlining devirtualization, branch pruning, cache-key fingerprints).
 type Profile struct {
+	mu      sync.Mutex
 	methods []methodProfile
 }
 
@@ -27,16 +35,27 @@ func NewProfile(p *bc.Program) *Profile {
 	return &Profile{methods: make([]methodProfile, len(p.Methods))}
 }
 
+// mp returns the method's profile slot; the caller must hold p.mu.
 func (p *Profile) mp(m *bc.Method) *methodProfile { return &p.methods[m.ID] }
 
 // CountInvocation records one invocation of m.
-func (p *Profile) CountInvocation(m *bc.Method) { p.mp(m).invocations++ }
+func (p *Profile) CountInvocation(m *bc.Method) {
+	p.mu.Lock()
+	p.mp(m).invocations++
+	p.mu.Unlock()
+}
 
 // Invocations returns the recorded invocation count of m.
-func (p *Profile) Invocations(m *bc.Method) int64 { return p.mp(m).invocations }
+func (p *Profile) Invocations(m *bc.Method) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mp(m).invocations
+}
 
 // CountBranch records one execution of the branch at (m, pc).
 func (p *Profile) CountBranch(m *bc.Method, pc int, taken bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	mp := p.mp(m)
 	if mp.branches == nil {
 		mp.branches = make(map[int]*[2]int64)
@@ -57,6 +76,8 @@ func (p *Profile) CountBranch(m *bc.Method, pc int, taken bool) {
 // (m, pc) is taken, and whether any executions were observed. Unobserved
 // branches report 0.5.
 func (p *Profile) BranchProbability(m *bc.Method, pc int) (prob float64, observed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	mp := p.mp(m)
 	c := mp.branches[pc]
 	if c == nil || c[0]+c[1] == 0 {
@@ -67,6 +88,8 @@ func (p *Profile) BranchProbability(m *bc.Method, pc int) (prob float64, observe
 
 // CountCallSite records that the call at (m, pc) dispatched to callee.
 func (p *Profile) CountCallSite(m *bc.Method, pc int, callee *bc.Method) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	mp := p.mp(m)
 	if mp.callSites == nil {
 		mp.callSites = make(map[int]map[*bc.Method]int64)
@@ -82,8 +105,9 @@ func (p *Profile) CountCallSite(m *bc.Method, pc int, callee *bc.Method) {
 // MonomorphicTarget returns the single callee observed at (m, pc), or nil
 // if the site is unobserved or polymorphic.
 func (p *Profile) MonomorphicTarget(m *bc.Method, pc int) *bc.Method {
-	mp := p.mp(m)
-	s := mp.callSites[pc]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.mp(m).callSites[pc]
 	if len(s) != 1 {
 		return nil
 	}
@@ -108,9 +132,83 @@ func (p *Profile) HotMethods(prog *bc.Program, threshold int64) []*bc.Method {
 // BranchCounts returns the raw (notTaken, taken) execution counts of the
 // branch at (m, pc).
 func (p *Profile) BranchCounts(m *bc.Method, pc int) (notTaken, taken int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	c := p.mp(m).branches[pc]
 	if c == nil {
 		return 0, 0
 	}
 	return c[0], c[1]
+}
+
+// Fingerprint hashes exactly the profile facts that influence what the
+// compiler emits: the monomorphic-target verdict of every observed call
+// site (devirtualization and therefore inlining) and, when speculate is
+// set, the pruning verdict of every branch site under the given MinTotal
+// threshold (prunable-taken / prunable-not-taken / not prunable). Raw
+// counts are deliberately excluded — two profiles that would drive the
+// pipeline to identical decisions produce identical fingerprints, which is
+// what makes the compiled-code cache hit across repeated runs, while any
+// decision-relevant divergence changes the hash and forces a fresh
+// compile.
+func (p *Profile) Fingerprint(speculate bool, minTotal int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	for i := range p.methods {
+		mp := &p.methods[i]
+		if len(mp.callSites) == 0 && (!speculate || len(mp.branches) == 0) {
+			continue
+		}
+		mix(uint64(i) + 0x9e3779b97f4a7c15)
+		if len(mp.callSites) > 0 {
+			pcs := make([]int, 0, len(mp.callSites))
+			for pc := range mp.callSites {
+				pcs = append(pcs, pc)
+			}
+			sort.Ints(pcs)
+			for _, pc := range pcs {
+				mix(uint64(pc)<<1 | 1)
+				s := mp.callSites[pc]
+				if len(s) == 1 {
+					for callee := range s {
+						mix(uint64(callee.ID) + 2)
+					}
+				} else {
+					mix(1) // polymorphic (or empty): no devirtualization
+				}
+			}
+		}
+		if speculate && len(mp.branches) > 0 {
+			pcs := make([]int, 0, len(mp.branches))
+			for pc := range mp.branches {
+				pcs = append(pcs, pc)
+			}
+			sort.Ints(pcs)
+			for _, pc := range pcs {
+				c := mp.branches[pc]
+				verdict := uint64(0) // not prunable (mixed or cold)
+				if total := c[0] + c[1]; total >= minTotal {
+					switch {
+					case c[1] == 0:
+						verdict = 1 // taken side never executed
+					case c[0] == 0:
+						verdict = 2 // fall-through side never executed
+					}
+				}
+				if verdict != 0 {
+					mix(uint64(pc)<<2 + verdict)
+				}
+			}
+		}
+	}
+	return h
 }

@@ -26,6 +26,22 @@ const (
 	MetricVMRemats          = "vm.rematerializations"
 	MetricVMInvalidations   = "vm.invalidations"
 	MetricVMRecompiles      = "vm.recompiles"
+
+	// Compile-broker counters (bumped by the broker event helpers).
+	MetricBrokerSubmits     = "broker.submits"
+	MetricBrokerCompiles    = "broker.compiles"
+	MetricBrokerCacheHits   = "broker.cache_hits"
+	MetricBrokerCacheMisses = "broker.cache_misses"
+	MetricBrokerDedups      = "broker.dedups"
+	MetricBrokerRejects     = "broker.rejects"
+)
+
+// Well-known gauge names. The compile broker keeps these current while it
+// runs; snapshots expose them next to the counters.
+const (
+	GaugeBrokerQueueDepth  = "broker.queue_depth"
+	GaugeBrokerWorkersBusy = "broker.workers_busy"
+	GaugeBrokerCacheSize   = "broker.cache_size"
 )
 
 // PhaseStat aggregates one compiler phase's timer: invocation count, total

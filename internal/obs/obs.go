@@ -64,6 +64,15 @@ const (
 	KindVMInvalidate    Kind = "vm_invalidate"
 	KindVMRecompile     Kind = "vm_recompile"
 
+	// Compile-broker lifecycle: a hot method enters the queue, compiled
+	// code is installed (freshly compiled or replayed from the code
+	// cache), a duplicate submission is coalesced, or a submission is
+	// rejected because the bounded queue is full.
+	KindBrokerSubmit  Kind = "broker_submit"
+	KindBrokerInstall Kind = "broker_install"
+	KindBrokerDedup   Kind = "broker_dedup"
+	KindBrokerReject  Kind = "broker_reject"
+
 	// IR snapshot hook (used by irdump): the event carries the phase name
 	// whose output the snapshot represents; the rendered IR is delivered
 	// to registered SnapshotFunc callbacks, not serialized into the event.
@@ -443,6 +452,54 @@ func (s *Sink) VMRecompile(method string, generation int) {
 	}
 	s.emit(&Event{Kind: KindVMRecompile, Phase: "vm", Method: method, Round: generation})
 	s.Metrics().Add(MetricVMRecompiles, 1)
+}
+
+// BrokerSubmit records a hot method entering the compile queue. hotness is
+// the invocation count that triggered tier-up, depth the queue depth after
+// the submission.
+func (s *Sink) BrokerSubmit(method string, hotness, depth int) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindBrokerSubmit, Phase: "broker", Method: method,
+		Round: hotness, NodesAfter: depth})
+	s.Metrics().Add(MetricBrokerSubmits, 1)
+}
+
+// BrokerInstall records compiled code being published for a method. source
+// is "compiled" for a fresh pipeline run or "cache" for a code-cache
+// replay; the cache counters are bumped accordingly.
+func (s *Sink) BrokerInstall(method, source string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindBrokerInstall, Phase: "broker", Method: method, Detail: source})
+	if source == "cache" {
+		s.Metrics().Add(MetricBrokerCacheHits, 1)
+	} else {
+		s.Metrics().Add(MetricBrokerCacheMisses, 1)
+		s.Metrics().Add(MetricBrokerCompiles, 1)
+	}
+}
+
+// BrokerDedup records a submission coalesced with an in-flight compile of
+// the same method.
+func (s *Sink) BrokerDedup(method string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindBrokerDedup, Phase: "broker", Method: method})
+	s.Metrics().Add(MetricBrokerDedups, 1)
+}
+
+// BrokerReject records a submission dropped because the bounded queue was
+// full.
+func (s *Sink) BrokerReject(method, reason string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindBrokerReject, Phase: "broker", Method: method, Reason: reason})
+	s.Metrics().Add(MetricBrokerRejects, 1)
 }
 
 // --- PhaseSpan ----------------------------------------------------------

@@ -106,7 +106,7 @@ func (a *analyzer) merge(b *ir.Block) *peaState {
 				if mat {
 					materializedSomething = true
 				}
-				merged.objs[id] = ns
+				merged.set(id, ns)
 				continue
 			}
 			if anyVirtual {
@@ -130,11 +130,11 @@ func (a *analyzer) merge(b *ir.Block) *peaState {
 				}
 			}
 			if same {
-				merged.objs[id] = &objState{materialized: vals[0]}
+				merged.set(id, &objState{materialized: vals[0]})
 			} else {
 				phi := a.mergePhi(b, id, -1, bc.KindRef)
 				a.setPhiInputs(b, phi, pIdx, vals)
-				merged.objs[id] = &objState{materialized: phi}
+				merged.set(id, &objState{materialized: phi})
 			}
 		}
 

@@ -88,18 +88,53 @@ func (os *objState) equal(o *objState) bool {
 // states (the paper's `states` map; the alias map is kept globally on the
 // analyzer since SSA values bind to at most one object over their
 // lifetime).
+//
+// States are copy-on-write: clone is O(1) and shares the map (and the
+// objStates in it) with the original, deferring the deep copy until either
+// side mutates. The analysis clones at every block entry and merge edge but
+// mutates only where objects are allocated, stored to, locked, or
+// materialized, so straight-line code through allocation-free blocks pays
+// nothing. All mutations must go through set/mutable, which un-share first.
 type peaState struct {
 	objs map[objID]*objState
+	// shared marks objs (and every objState in it) as potentially
+	// referenced by another peaState; mutating methods copy first.
+	shared bool
 }
 
 func newPeaState() *peaState { return &peaState{objs: make(map[objID]*objState)} }
 
+// clone returns a state equivalent to s. Both s and the clone become
+// shared; the first mutation on either side copies.
 func (s *peaState) clone() *peaState {
-	c := newPeaState()
-	for id, os := range s.objs {
-		c.objs[id] = os.clone()
+	s.shared = true
+	return &peaState{objs: s.objs, shared: true}
+}
+
+// own makes s's map private, deep-copying it if it is still shared.
+func (s *peaState) own() {
+	if !s.shared {
+		return
 	}
-	return c
+	objs := make(map[objID]*objState, len(s.objs))
+	for id, os := range s.objs {
+		objs[id] = os.clone()
+	}
+	s.objs = objs
+	s.shared = false
+}
+
+// set binds id to os, un-sharing first.
+func (s *peaState) set(id objID, os *objState) {
+	s.own()
+	s.objs[id] = os
+}
+
+// mutable returns id's state for in-place mutation, un-sharing first. The
+// id must be live in s.
+func (s *peaState) mutable(id objID) *objState {
+	s.own()
+	return s.objs[id]
 }
 
 func (s *peaState) equal(o *peaState) bool {

@@ -57,7 +57,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 		for i := range os.fields {
 			os.fields[i] = a.defaultValue(oi.fieldKind(i))
 		}
-		st.objs[id] = os
+		st.set(id, os)
 		if a.emit {
 			a.eventVirtualize(id, n.ID)
 			a.g.RemoveNode(n)
@@ -100,7 +100,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 				a.materializeAt(st, id, b, n, reasonStoreCycle)
 			} else {
 				// Figure 4b/4e: remember the store in the state.
-				st.objs[id].fields[n.Field.Offset] = val
+				st.mutable(id).fields[n.Field.Offset] = val
 				if a.emit {
 					a.g.RemoveNode(n)
 				}
@@ -141,7 +141,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 				if vid, vok := a.aliasIn(st, val); vok && st.objs[vid].virtual && a.reaches(st, vid, id) {
 					a.materializeAt(st, id, b, n, reasonStoreCycle)
 				} else {
-					st.objs[id].fields[idx.AuxInt] = val
+					st.mutable(id).fields[idx.AuxInt] = val
 					if a.emit {
 						a.g.RemoveNode(n)
 					}
@@ -171,7 +171,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 		obj := a.resolveScalar(n.Inputs[0])
 		if id, ok := a.aliasIn(st, obj); ok && st.objs[id].virtual {
 			// Figure 4c: lock elision on a virtual object.
-			st.objs[id].lockDepth++
+			st.mutable(id).lockDepth++
 			if a.emit {
 				a.eventLockElide(id, n.ID, "monitorenter")
 				a.g.RemoveNode(n)
@@ -185,7 +185,7 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 		obj := a.resolveScalar(n.Inputs[0])
 		if id, ok := a.aliasIn(st, obj); ok && st.objs[id].virtual && st.objs[id].lockDepth > 0 {
 			// Figure 4d.
-			st.objs[id].lockDepth--
+			st.mutable(id).lockDepth--
 			if a.emit {
 				a.eventLockElide(id, n.ID, "monitorexit")
 				a.g.RemoveNode(n)
@@ -309,10 +309,10 @@ func (a *analyzer) reaches(st *peaState, from, to objID) bool {
 // store transfer, so recursion terminates. reason names the cause for the
 // observability event (see the reason* constants and defaultTransfer).
 func (a *analyzer) materializeAt(st *peaState, id objID, b *ir.Block, before *ir.Node, reason string) *ir.Node {
-	os := st.objs[id]
-	if !os.virtual {
+	if os := st.objs[id]; !os.virtual {
 		return os.materialized
 	}
+	os := st.mutable(id)
 	key := matKey{site: siteKey(b, before), id: id}
 	mat, ok := a.matMemo[key]
 	if !ok {

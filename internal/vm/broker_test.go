@@ -1,0 +1,235 @@
+package vm
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/broker"
+	"pea/internal/ir"
+	"pea/internal/mj"
+	"pea/internal/rt"
+)
+
+// loadExample compiles one of the repo's example programs.
+func loadExample(t testing.TB, path string) *bc.Program {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mj.Compile(string(src), "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestAsyncTierUpMatchesInterpreter runs the cache-key example with
+// background compilation and checks the printed output against a pure
+// interpreter — the async install point must not change program behavior.
+func TestAsyncTierUpMatchesInterpreter(t *testing.T) {
+	prog := loadExample(t, "../../examples/cachekey.mj")
+
+	ref := New(prog, Options{Interpret: true})
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	machine := New(prog, Options{
+		EA: EAPartial, CompileThreshold: 4, Async: true, JITWorkers: 4, Validate: true,
+	})
+	defer machine.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := machine.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	machine.DrainJIT()
+	for m, cerr := range machine.FailedCompilations() {
+		t.Fatalf("compiling %s: %v", m.QualifiedName(), cerr)
+	}
+	if machine.Stats().CompiledMethods == 0 {
+		t.Fatal("async tier-up never installed code")
+	}
+	// Each run prints one value; every run must agree with the reference.
+	for i, v := range machine.Env.Output {
+		if v != ref.Env.Output[0] {
+			t.Fatalf("run %d printed %v, interpreter printed %v", i, v, ref.Env.Output[0])
+		}
+	}
+}
+
+// TestConcurrentTierUpRace hammers tier-up under the race detector: several
+// VMs over the same immutable program share one compiled-code cache and run
+// concurrently, each with its own background compile workers. This
+// exercises concurrent profile reads, concurrent pipeline runs, concurrent
+// cache Get/Put, and atomic code installation while execution threads keep
+// calling into the code table.
+func TestConcurrentTierUpRace(t *testing.T) {
+	prog := loadExample(t, "../../examples/cachekey.mj")
+	cache := broker.NewCache()
+
+	// Populate the cache deterministically first so the concurrent phase
+	// is guaranteed to exercise the replay path as well.
+	warm := New(prog, Options{
+		EA: EAPartial, CompileThreshold: 4, Cache: cache,
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := warm.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const vms = 4
+	var wg sync.WaitGroup
+	errs := make([]error, vms)
+	machines := make([]*VM, vms)
+	for i := 0; i < vms; i++ {
+		machines[i] = New(prog, Options{
+			EA: EAPartial, CompileThreshold: 4, Cache: cache,
+			Async: true, JITWorkers: 2,
+		})
+	}
+	for i := 0; i < vms; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				if _, err := machines[i].Run(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("vm %d: %v", i, err)
+		}
+	}
+	totalHits := int64(0)
+	for i, m := range machines {
+		m.DrainJIT()
+		m.Close()
+		for meth, cerr := range m.FailedCompilations() {
+			t.Fatalf("vm %d: compiling %s: %v", i, meth.QualifiedName(), cerr)
+		}
+		totalHits += m.Broker().Stats().CacheHits
+	}
+	if totalHits == 0 {
+		t.Fatal("no VM replayed from the shared pre-populated cache")
+	}
+	// All VMs observe identical output (deterministic program).
+	for i := 1; i < vms; i++ {
+		if len(machines[i].Env.Output) != len(machines[0].Env.Output) {
+			t.Fatalf("vm %d output length diverged", i)
+		}
+		for j := range machines[i].Env.Output {
+			if machines[i].Env.Output[j] != machines[0].Env.Output[j] {
+				t.Fatalf("vm %d output[%d] = %v, vm 0 printed %v",
+					i, j, machines[i].Env.Output[j], machines[0].Env.Output[j])
+			}
+		}
+	}
+}
+
+// TestRecompileAfterInvalidationReplaysCache is the deopt→recompile fast
+// path: once a method's speculative code is invalidated, the
+// non-speculative artifact is compiled once and every later invalidation
+// replays it from the cache. Stats.Recompilations counts cache misses only.
+func TestRecompileAfterInvalidationReplaysCache(t *testing.T) {
+	prog, m := buildCounter(t)
+	machine := New(prog, Options{EA: EAPartial, Speculate: true, CompileThreshold: 2, Validate: true})
+	call := func() {
+		t.Helper()
+		if _, err := machine.Call(m, []rt.Value{rt.IntValue(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		call()
+	}
+	if machine.CompiledGraph(m) == nil {
+		t.Fatal("not compiled")
+	}
+
+	// First invalidation: the next call recompiles without speculation —
+	// a cache miss, so it counts as a recompilation.
+	machine.Invalidate(m)
+	call()
+	if machine.CompiledGraph(m) == nil {
+		t.Fatal("not recompiled after first invalidation")
+	}
+	if got := machine.Stats().Recompilations; got != 1 {
+		t.Fatalf("recompilations = %d, want 1", got)
+	}
+	bs := machine.Broker().Stats()
+	if bs.CacheHits != 0 {
+		t.Fatalf("unexpected cache hit before the replay cycle: %+v", bs)
+	}
+
+	// Second invalidation: the non-speculative artifact is cached and the
+	// profile's decision fingerprint is unchanged, so the reinstall is a
+	// cache replay — no new recompilation.
+	machine.Invalidate(m)
+	call()
+	if machine.CompiledGraph(m) == nil {
+		t.Fatal("not reinstalled after second invalidation")
+	}
+	if got := machine.Stats().Recompilations; got != 1 {
+		t.Fatalf("recompilations = %d after cache replay, want 1 (cache misses only)", got)
+	}
+	bs = machine.Broker().Stats()
+	if bs.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1 (the reinstall)", bs.CacheHits)
+	}
+	if got := machine.Stats().InvalidatedMethods; got != 2 {
+		t.Fatalf("invalidations = %d, want 2", got)
+	}
+}
+
+// TestAsyncAndSyncProduceIdenticalCode is the golden determinism check: the
+// asynchronous broker must install byte-identical code (ir.Dump) to the
+// synchronous default for every method both modes compiled.
+func TestAsyncAndSyncProduceIdenticalCode(t *testing.T) {
+	prog := loadExample(t, "../../examples/cachekey.mj")
+	run := func(async bool) *VM {
+		machine := New(prog, Options{
+			EA: EAPartial, CompileThreshold: 4, Async: async, JITWorkers: 2, Validate: true,
+		})
+		for i := 0; i < 30; i++ {
+			if _, err := machine.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		machine.DrainJIT()
+		machine.Close()
+		for m, cerr := range machine.FailedCompilations() {
+			t.Fatalf("compiling %s: %v", m.QualifiedName(), cerr)
+		}
+		return machine
+	}
+	syncVM := run(false)
+	asyncVM := run(true)
+
+	compared := 0
+	for _, m := range prog.Methods {
+		sg, ag := syncVM.CompiledGraph(m), asyncVM.CompiledGraph(m)
+		if sg == nil || ag == nil {
+			// A method only one mode tiered up in time is a
+			// scheduling difference, not a codegen difference.
+			continue
+		}
+		if ir.Dump(sg) != ir.Dump(ag) {
+			t.Fatalf("method %s: async and sync compiled code differ\n--- sync ---\n%s\n--- async ---\n%s",
+				m.QualifiedName(), ir.Dump(sg), ir.Dump(ag))
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatal("no method was compiled by both modes")
+	}
+}

@@ -31,13 +31,13 @@ func TestCompileThresholdRespected(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if machine.graphs[m] != nil {
+	if machine.CompiledGraph(m) != nil {
 		t.Fatal("compiled before the threshold was observed")
 	}
 	if _, err := machine.Call(m, []rt.Value{rt.IntValue(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if machine.graphs[m] == nil {
+	if machine.CompiledGraph(m) == nil {
 		t.Fatal("not compiled once the profile reached the threshold")
 	}
 	if machine.VMStats.CompiledMethods != 1 {
@@ -66,14 +66,14 @@ func TestInvalidateForcesNonSpeculativeRecompile(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if machine.graphs[m] == nil {
+	if machine.CompiledGraph(m) == nil {
 		t.Fatal("not compiled")
 	}
 	machine.Invalidate(m)
-	if machine.graphs[m] != nil {
+	if machine.CompiledGraph(m) != nil {
 		t.Fatal("invalidation did not drop the graph")
 	}
-	if !machine.noSpec[m] {
+	if !machine.noSpec[m.ID].Load() {
 		t.Fatal("invalidation must disable speculation for the method")
 	}
 	if machine.VMStats.InvalidatedMethods != 1 {
@@ -83,7 +83,7 @@ func TestInvalidateForcesNonSpeculativeRecompile(t *testing.T) {
 	if _, err := machine.Call(m, []rt.Value{rt.IntValue(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if machine.graphs[m] == nil {
+	if machine.CompiledGraph(m) == nil {
 		t.Fatal("not recompiled after invalidation")
 	}
 	// Invalidating an uncompiled method is a no-op.

@@ -6,12 +6,27 @@
 // executor, and the deoptimization runtime that transfers execution back
 // to the interpreter — materializing scalar-replaced objects from the
 // VirtualObjectStates recorded in FrameStates (paper §5.5).
+//
+// Compilation is mediated by a compile broker (internal/broker). In the
+// default synchronous mode a hot method is compiled on the spot, exactly
+// as before — deterministic, which the differential interpreter-vs-compiled
+// oracles rely on. With Options.Async the broker compiles on background
+// workers while the interpreter keeps executing the method (true tier-up);
+// finished code is published by an atomic pointer store into the VM's code
+// table, so the execution thread picks it up on the next call without
+// locking. Either way, artifacts land in a compiled-code cache keyed by
+// (method, EA mode, speculation, profile fingerprint) and recompiles after
+// deoptimization or across VMs sharing the cache replay cached code
+// instead of re-running the pipeline.
 package vm
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pea/internal/bc"
+	"pea/internal/broker"
 	"pea/internal/build"
 	"pea/internal/ea"
 	"pea/internal/exec"
@@ -67,11 +82,27 @@ type Options struct {
 	MaxSteps int64
 	// Validate verifies the IR after each phase (slower; used in tests).
 	Validate bool
+
+	// Async compiles hot methods on background broker workers while the
+	// interpreter keeps executing them (tier-up). The default false
+	// compiles synchronously on the execution thread, which keeps the
+	// compile→install point deterministic for differential testing.
+	Async bool
+	// JITWorkers is the background worker count when Async is set
+	// (<=0 selects GOMAXPROCS).
+	JITWorkers int
+	// Cache, when non-nil, is a shared compiled-code cache. VMs running
+	// the same *bc.Program can share one cache so repeated runs replay
+	// compilation artifacts instead of re-running the pipeline. nil gives
+	// the VM a private cache.
+	Cache *broker.Cache
+
 	// Sink, when non-nil, receives structured observability events from
 	// the whole pipeline: per-phase compile timing, inlining and PEA/EA
 	// decisions, tier-up compiles, deopts with reasons, virtual-object
-	// rematerializations, invalidations, and recompiles. nil (the
-	// default) adds no allocations to the compile or execution path.
+	// rematerializations, invalidations, recompiles, and broker traffic.
+	// nil (the default) adds no allocations to the compile or execution
+	// path.
 	Sink *obs.Sink
 	// Metrics, when non-nil, is attached to the sink (one is created if
 	// Sink is nil) so decision events bump counters and per-phase timers.
@@ -85,7 +116,19 @@ func (o Options) threshold() int64 {
 	return 20
 }
 
-// Stats reports VM-level counters on top of rt.Stats.
+// minPruneTotal is the branch-observation floor for speculative pruning: a
+// branch is prunable once it has been observed throughout the interpreted
+// warmup (threshold-1 invocations precede the compilation).
+func (o Options) minPruneTotal() int64 {
+	if t := o.threshold() - 1; t > 1 {
+		return t
+	}
+	return 1
+}
+
+// Stats reports VM-level counters on top of rt.Stats. Fields are updated
+// with atomic adds (installation may happen on broker workers); read them
+// after DrainJIT, or via the Stats method, for a consistent snapshot.
 type Stats struct {
 	CompiledMethods    int64
 	Recompilations     int64
@@ -101,15 +144,24 @@ type VM struct {
 	Interp *interp.Interp
 	Engine *exec.Engine
 
-	graphs map[*bc.Method]*ir.Graph
+	// code is the installed-code table, indexed by bc.Method.ID. Entries
+	// are published with atomic stores by the broker's install callback
+	// and loaded without locks on the execution path.
+	code []atomic.Pointer[ir.Graph]
 	// noSpec marks methods whose speculative code deoptimized; they are
 	// recompiled without speculation.
-	noSpec map[*bc.Method]bool
+	noSpec []atomic.Bool
+
+	jit *broker.Broker
+
 	// failed marks methods whose compilation failed permanently (they
 	// stay interpreted). Compilation failures are programming errors in
 	// the compiler and surface in tests; in benchmarks they degrade to
 	// interpretation.
-	failed map[*bc.Method]error
+	failedMu sync.Mutex
+	failed   map[*bc.Method]error
+	// hasFailed mirrors failed for lock-free hot-path checks.
+	hasFailed []atomic.Bool
 
 	VMStats Stats
 }
@@ -126,12 +178,13 @@ func New(prog *bc.Program, opts Options) *VM {
 		opts.Sink.SetMetrics(opts.Metrics)
 	}
 	vm := &VM{
-		Prog:   prog,
-		Env:    rt.NewEnv(prog, opts.Seed),
-		Opts:   opts,
-		graphs: make(map[*bc.Method]*ir.Graph),
-		noSpec: make(map[*bc.Method]bool),
-		failed: make(map[*bc.Method]error),
+		Prog:      prog,
+		Env:       rt.NewEnv(prog, opts.Seed),
+		Opts:      opts,
+		code:      make([]atomic.Pointer[ir.Graph], len(prog.Methods)),
+		noSpec:    make([]atomic.Bool, len(prog.Methods)),
+		failed:    make(map[*bc.Method]error),
+		hasFailed: make([]atomic.Bool, len(prog.Methods)),
 	}
 	vm.Interp = interp.New(vm.Env)
 	vm.Interp.MaxSteps = opts.MaxSteps
@@ -139,6 +192,22 @@ func New(prog *bc.Program, opts Options) *VM {
 	vm.Engine = &exec.Engine{Env: vm.Env, MaxSteps: opts.MaxSteps, Sink: opts.Sink}
 	vm.Engine.Invoke = vm.engineInvoke
 	vm.Engine.Deopt = vm.deopt
+
+	workers := 0
+	if opts.Async {
+		workers = opts.JITWorkers
+		if workers <= 0 {
+			workers = -1 // GOMAXPROCS
+		}
+	}
+	vm.jit = broker.New(broker.Options{
+		Workers: workers,
+		Cache:   opts.Cache,
+		Compile: vm.compileForKey,
+		Install: vm.install,
+		Fail:    vm.recordFailure,
+		Sink:    opts.Sink,
+	})
 	return vm
 }
 
@@ -175,42 +244,104 @@ func (vm *VM) engineInvoke(m *bc.Method, args []rt.Value) (rt.Value, error) {
 	return vm.Interp.Call(m, args)
 }
 
-// maybeCompiled returns the compiled graph for m, compiling it if it just
-// became hot.
+// installed returns the currently published code for m (nil if none).
+func (vm *VM) installed(m *bc.Method) *ir.Graph { return vm.code[m.ID].Load() }
+
+// CompiledGraph returns the installed compiled code for m, or nil if the
+// method is interpreted. Safe to call concurrently with compilation.
+func (vm *VM) CompiledGraph(m *bc.Method) *ir.Graph { return vm.installed(m) }
+
+// maybeCompiled returns the compiled graph for m, requesting compilation if
+// it just became hot. In synchronous mode the request completes before this
+// returns; in asynchronous mode the interpreter keeps executing m until the
+// broker publishes code.
 func (vm *VM) maybeCompiled(m *bc.Method) *ir.Graph {
 	if vm.Opts.Interpret {
 		return nil
 	}
-	if g, ok := vm.graphs[m]; ok {
+	if g := vm.installed(m); g != nil {
 		return g
 	}
-	if _, bad := vm.failed[m]; bad {
+	if vm.hasFailed[m.ID].Load() {
 		return nil
 	}
-	if vm.Interp.Profile.Invocations(m) < vm.Opts.threshold() {
+	inv := vm.Interp.Profile.Invocations(m)
+	if inv < vm.Opts.threshold() {
 		return nil
 	}
-	g, err := vm.Compile(m)
-	if err != nil {
-		vm.failed[m] = err
-		return nil
+	if vm.jit.Pending(m) {
+		return nil // already queued or being compiled; keep interpreting
 	}
-	vm.graphs[m] = g
-	vm.VMStats.CompiledMethods++
+	vm.jit.Submit(m, inv, vm.cacheKey(m))
+	// Synchronous submissions installed (or failed) before returning;
+	// asynchronous ones will publish later and this load stays nil.
+	return vm.installed(m)
+}
+
+// cacheKey builds the compiled-code cache key for m under the VM's current
+// configuration and profile: EA mode, whether speculation applies (globally
+// enabled and not invalidated for m), and the fingerprint of the profile
+// decisions the pipeline would consume.
+func (vm *VM) cacheKey(m *bc.Method) broker.Key {
+	spec := vm.Opts.Speculate && !vm.noSpec[m.ID].Load()
+	return broker.Key{
+		Method:      m,
+		Mode:        int(vm.Opts.EA),
+		Spec:        spec,
+		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal()),
+	}
+}
+
+// compileForKey is the broker's compile callback.
+func (vm *VM) compileForKey(m *bc.Method, k broker.Key) (*ir.Graph, error) {
+	return vm.compile(m, k.Spec)
+}
+
+// install is the broker's installation callback. It publishes g atomically
+// into the code table; it may run on a broker worker goroutine.
+func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
+	if k.Spec && vm.noSpec[m.ID].Load() {
+		// The method deoptimized while this speculative compile was in
+		// flight; installing it would immediately deoptimize again.
+		// Drop the artifact — the next hot call resubmits with
+		// Spec=false.
+		return
+	}
+	vm.code[m.ID].Store(g)
+	atomic.AddInt64(&vm.VMStats.CompiledMethods, 1)
 	if s := vm.Opts.Sink; s != nil {
 		s.VMCompile(m.QualifiedName(), int(vm.Interp.Profile.Invocations(m)))
 	}
-	if vm.noSpec[m] {
-		vm.VMStats.Recompilations++
+	if vm.noSpec[m.ID].Load() && !fromCache {
+		// Only pipeline re-runs count as recompilations; cache replays
+		// after an invalidation reuse earlier work.
+		n := atomic.AddInt64(&vm.VMStats.Recompilations, 1)
 		if s := vm.Opts.Sink; s != nil {
-			s.VMRecompile(m.QualifiedName(), int(vm.VMStats.Recompilations))
+			s.VMRecompile(m.QualifiedName(), int(n))
 		}
 	}
-	return g
 }
 
-// Compile builds and optimizes the IR for m under the VM's configuration.
+// recordFailure is the broker's failure callback.
+func (vm *VM) recordFailure(m *bc.Method, err error) {
+	vm.failedMu.Lock()
+	vm.failed[m] = err
+	vm.failedMu.Unlock()
+	vm.hasFailed[m.ID].Store(true)
+}
+
+// Compile builds and optimizes the IR for m under the VM's configuration,
+// bypassing the broker and cache. Exposed for tests and tools that need a
+// fresh pipeline run.
 func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
+	return vm.compile(m, vm.Opts.Speculate && !vm.noSpec[m.ID].Load())
+}
+
+// compile runs the full pipeline for m; spec selects speculative branch
+// pruning. It is safe for concurrent use: every run builds a private graph
+// and private phase instances, and the shared inputs (bytecode, profile,
+// sink/metrics) are immutable or internally locked.
+func (vm *VM) compile(m *bc.Method, spec bool) (*ir.Graph, error) {
 	sink := vm.Opts.Sink
 	g, err := build.BuildWith(m, sink)
 	if err != nil {
@@ -227,15 +358,8 @@ func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
 	if err := pipe.Run(g); err != nil {
 		return nil, err
 	}
-	if vm.Opts.Speculate && !vm.noSpec[m] {
-		// A branch is prunable once it has been observed throughout
-		// the interpreted warmup (threshold-1 invocations precede the
-		// compilation).
-		minTotal := vm.Opts.threshold() - 1
-		if minTotal < 1 {
-			minTotal = 1
-		}
-		pr := &opt.BranchPruner{Profile: vm.Interp.Profile, MinTotal: minTotal}
+	if spec {
+		pr := &opt.BranchPruner{Profile: vm.Interp.Profile, MinTotal: vm.Opts.minPruneTotal()}
 		var span obs.PhaseSpan
 		if sink != nil {
 			span = obs.StartPhase(sink, "prune", m.QualifiedName(), g.NumNodes(), len(g.Blocks))
@@ -301,21 +425,55 @@ func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
 }
 
 // Invalidate drops m's compiled code; the next hot call recompiles it
-// without speculation.
+// without speculation (replaying the non-speculative cache entry when one
+// exists).
 func (vm *VM) Invalidate(m *bc.Method) {
-	if _, ok := vm.graphs[m]; ok {
-		delete(vm.graphs, m)
-		vm.noSpec[m] = true
-		vm.VMStats.InvalidatedMethods++
+	if vm.code[m.ID].Swap(nil) != nil {
+		vm.noSpec[m.ID].Store(true)
+		atomic.AddInt64(&vm.VMStats.InvalidatedMethods, 1)
 		if s := vm.Opts.Sink; s != nil {
 			s.VMInvalidate(m.QualifiedName(), "deopt")
 		}
 	}
 }
 
+// DrainJIT blocks until every submitted compilation has been resolved
+// (installed, replayed from cache, or failed). It is a no-op in
+// synchronous mode.
+func (vm *VM) DrainJIT() { vm.jit.Drain() }
+
+// Close shuts down the VM's background compile workers (no-op in
+// synchronous mode). The VM keeps executing with whatever code is
+// installed; further hot methods stay interpreted.
+func (vm *VM) Close() { vm.jit.Close() }
+
+// Broker exposes the VM's compile broker (stats, cache) to tools and tests.
+func (vm *VM) Broker() *broker.Broker { return vm.jit }
+
+// Stats returns a consistent snapshot of the VM counters.
+func (vm *VM) Stats() Stats {
+	return Stats{
+		CompiledMethods:    atomic.LoadInt64(&vm.VMStats.CompiledMethods),
+		Recompilations:     atomic.LoadInt64(&vm.VMStats.Recompilations),
+		InvalidatedMethods: atomic.LoadInt64(&vm.VMStats.InvalidatedMethods),
+	}
+}
+
 // CompileError returns the recorded compilation failure for m, if any.
 // Used by tests to assert that nothing failed silently.
-func (vm *VM) CompileError(m *bc.Method) error { return vm.failed[m] }
+func (vm *VM) CompileError(m *bc.Method) error {
+	vm.failedMu.Lock()
+	defer vm.failedMu.Unlock()
+	return vm.failed[m]
+}
 
-// FailedCompilations returns all recorded compile failures.
-func (vm *VM) FailedCompilations() map[*bc.Method]error { return vm.failed }
+// FailedCompilations returns a snapshot of all recorded compile failures.
+func (vm *VM) FailedCompilations() map[*bc.Method]error {
+	vm.failedMu.Lock()
+	defer vm.failedMu.Unlock()
+	out := make(map[*bc.Method]error, len(vm.failed))
+	for m, err := range vm.failed {
+		out[m] = err
+	}
+	return out
+}

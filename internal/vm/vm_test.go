@@ -84,7 +84,7 @@ func TestJITCompilesHotMethods(t *testing.T) {
 	if machine.VMStats.CompiledMethods == 0 {
 		t.Fatal("nothing was compiled")
 	}
-	if machine.graphs[p.Entry] == nil {
+	if machine.CompiledGraph(p.Entry) == nil {
 		t.Fatal("hot entry method not compiled")
 	}
 }
@@ -176,7 +176,7 @@ func TestSpeculativeDeopt(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if machine.graphs[p.Entry] == nil {
+	if machine.CompiledGraph(p.Entry) == nil {
 		t.Fatal("entry not compiled")
 	}
 	if machine.Env.Stats.Deopts != 0 {
@@ -257,7 +257,7 @@ func TestDeoptThroughInlinedFrames(t *testing.T) {
 			t.Fatalf("warmup result = %d", got.I)
 		}
 	}
-	if machine.graphs[m] == nil {
+	if machine.CompiledGraph(m) == nil {
 		t.Fatal("caller not compiled")
 	}
 	got, err := machine.Call(m, []rt.Value{rt.IntValue(5000)})
