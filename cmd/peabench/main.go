@@ -35,6 +35,7 @@ func main() {
 	suite := flag.String("suite", "all", "suite to run: dacapo, scaladacapo, specjbb, or all")
 	mode := flag.String("mode", "pea", "analysis to compare against the no-EA baseline: pea or ea")
 	compare := flag.Bool("compare", false, "run the section-6.2 EA vs PEA comparison instead of Table 1")
+	osr := flag.Bool("osr", false, "run the on-stack-replacement hot-loop experiment instead of Table 1")
 	ablate := flag.Bool("ablate", false, "run the ablation study over PEA's design choices")
 	locks := flag.Bool("locks", false, "also print monitor-operation changes (section 6.1)")
 	compiler := flag.Bool("compiler", false, "also print per-benchmark compiler metrics (decision counters, phase times, JSON)")
@@ -54,6 +55,30 @@ func main() {
 		Async:      *jitAsync,
 		JITWorkers: *jitWorkers,
 		Share:      bench.NewShared(),
+	}
+
+	if *osr {
+		res, err := bench.RunOSRExperiment(bench.DefaultOSRConfig)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("OSR hot loop (%d iterations in one call, threshold %d, %s):\n",
+			res.Config.Iterations, res.Config.Threshold, res.Mode)
+		fmt.Printf("  interpreter: %12d cycles, %7d allocations\n", res.Interp.Cycles, res.Interp.Allocations)
+		fmt.Printf("  with OSR:    %12d cycles, %7d allocations (requests %d, compiles %d, entries %d)\n",
+			res.OSR.Cycles, res.OSR.Allocations, res.OSR.OSRRequests, res.OSR.OSRCompiles, res.OSR.OSREntries)
+		fmt.Printf("  speedup:     %.2fx (checksum %d in both modes)\n", res.Speedup, res.Checksum)
+		if *out != "" {
+			data, err := res.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
 	}
 
 	if *ablate {

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S]
-//	      [-jit-async] [-jit-workers N]
+//	      [-osr-threshold N] [-jit-async] [-jit-workers N]
 //	      [-trace-events out.jsonl] [-metrics] prog.mj
 //
 // With -jit-async hot methods are compiled on background broker workers
 // while the interpreter keeps running them (tier-up); the default compiles
 // synchronously, which keeps runs deterministic.
+//
+// With -osr-threshold N a loop that takes N back edges triggers an
+// on-stack-replacement compilation: the method is compiled with an
+// alternate entry at the loop header and the running interpreter frame is
+// transferred into it mid-invocation, so even a single long call tiers up.
 //
 // The program must define a static Main.main method. Printed values go to
 // stdout, one per line. With -stats the VM reports allocation, monitor,
@@ -41,6 +46,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print VM statistics to stderr")
 	seed := flag.Uint64("seed", 1, "PRNG seed for the rand() intrinsic")
 	threshold := flag.Int64("threshold", 20, "JIT compile threshold (invocations)")
+	osrThreshold := flag.Int64("osr-threshold", 0, "back-edge count triggering on-stack replacement of hot loops (0 = disabled)")
 	jitAsync := flag.Bool("jit-async", false, "compile hot methods on background broker workers (tier-up)")
 	jitWorkers := flag.Int("jit-workers", 0, "background JIT workers with -jit-async (0 = GOMAXPROCS)")
 	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
@@ -67,6 +73,7 @@ func main() {
 		Interpret:        *interpret,
 		Seed:             *seed,
 		CompileThreshold: *threshold,
+		OSRThreshold:     *osrThreshold,
 		Async:            *jitAsync,
 		JITWorkers:       *jitWorkers,
 	}
@@ -126,6 +133,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "deoptimizations:  %d\n", s.Deopts)
 		fmt.Fprintf(os.Stderr, "compiled methods: %d (invalidated %d)\n",
 			machine.VMStats.CompiledMethods, machine.VMStats.InvalidatedMethods)
+		vs := machine.Stats()
+		fmt.Fprintf(os.Stderr, "osr:              requests %d, compiled %d, entries %d\n",
+			vs.OSRRequests, vs.OSRCompilations, vs.OSREntries)
 		bs := machine.Broker().Stats()
 		fmt.Fprintf(os.Stderr, "jit broker:       submitted %d, compiled %d, cache hits %d/%d, dedup %d, rejected %d, max queue %d\n",
 			bs.Submitted, bs.Compiled, bs.CacheHits, bs.CacheHits+bs.CacheMisses, bs.Dedup, bs.Rejected, bs.MaxQueue)

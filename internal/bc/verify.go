@@ -28,6 +28,24 @@ func Verify(m *Method) error {
 	return nil
 }
 
+// StackShape returns the operand-stack kinds on entry to pc (bottom first),
+// as established by the same dataflow the verifier runs. It is used by OSR
+// graph construction to type the stack-slot parameters of an alternate
+// entry point. The pc must be reachable from the method entry.
+func StackShape(m *Method, pc int) ([]Kind, error) {
+	if pc < 0 || pc >= len(m.Code) {
+		return nil, fmt.Errorf("bc: %s: pc %d out of range [0,%d)", m.QualifiedName(), pc, len(m.Code))
+	}
+	v := &verifier{m: m, shapes: make([][]Kind, len(m.Code)), reached: make([]bool, len(m.Code))}
+	if err := v.run(); err != nil {
+		return nil, fmt.Errorf("bc: %s: %w", m.QualifiedName(), err)
+	}
+	if !v.reached[pc] {
+		return nil, fmt.Errorf("bc: %s: pc %d is unreachable", m.QualifiedName(), pc)
+	}
+	return append([]Kind(nil), v.shapes[pc]...), nil
+}
+
 type verifier struct {
 	m        *Method
 	shapes   [][]Kind // stack shape at entry of each reached pc

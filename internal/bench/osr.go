@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pea/internal/mj"
+	"pea/internal/rt"
+	"pea/internal/vm"
+)
+
+// osrLoopSrc is the hot-loop experiment: one invocation of Main.hot runs
+// the whole workload, so without on-stack replacement the method can never
+// tier up — invocation-counting JITs only compile at call boundaries. Each
+// iteration allocates a Pair that never escapes (scalar-replaceable under
+// PEA) and folds its fields into the running checksum.
+const osrLoopSrc = `
+class Pair {
+	int a;
+	int b;
+	Pair(int a, int b) { this.a = a; this.b = b; }
+	int mix() { return a * 31 + b; }
+}
+class Main {
+	static int hot(int n) {
+		int acc = 0;
+		int i = 0;
+		while (i < n) {
+			Pair p = new Pair(i, acc);
+			acc = p.mix() % 65536;
+			i = i + 1;
+		}
+		return acc;
+	}
+	static void main() { print(hot(100000)); }
+}
+`
+
+// OSRConfig parameterizes the hot-loop experiment.
+type OSRConfig struct {
+	// Iterations is the loop trip count inside the single invocation.
+	Iterations int `json:"iterations"`
+	// Threshold is the back-edge count that triggers OSR.
+	Threshold int64 `json:"osr_threshold"`
+	// Mode is the escape-analysis configuration of the OSR compile.
+	Mode vm.EAMode `json:"-"`
+}
+
+// DefaultOSRConfig is the committed experiment configuration: a single
+// 100k-iteration call with OSR firing after 1000 back edges.
+var DefaultOSRConfig = OSRConfig{Iterations: 100_000, Threshold: 1000, Mode: vm.EAPartial}
+
+// OSRRun is one execution mode's measurement within the experiment.
+type OSRRun struct {
+	Cycles      int64 `json:"cycles"`
+	Allocations int64 `json:"allocations"`
+	OSRRequests int64 `json:"osr_requests,omitempty"`
+	OSREntries  int64 `json:"osr_entries,omitempty"`
+	OSRCompiles int64 `json:"osr_compiles,omitempty"`
+}
+
+// OSRResult compares interpreter-only execution of the hot loop against the
+// same run with on-stack replacement enabled.
+type OSRResult struct {
+	Config  OSRConfig `json:"config"`
+	Mode    string    `json:"mode"`
+	Interp  OSRRun    `json:"interp"`
+	OSR     OSRRun    `json:"osr"`
+	Speedup float64   `json:"speedup"`
+	// Checksum is the loop result, identical across modes by the
+	// differential oracle.
+	Checksum int64 `json:"checksum"`
+}
+
+// JSON renders the result with stable indentation for committing.
+func (r OSRResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunOSRExperiment measures the hot-loop workload twice — interpreter-only
+// and with OSR enabled — and reports the modeled-cycle speedup. The
+// compile threshold is set unreachably high in the OSR run, so every cycle
+// saved is attributable to entering compiled code mid-invocation.
+func RunOSRExperiment(cfg OSRConfig) (OSRResult, error) {
+	if cfg.Iterations <= 0 {
+		cfg = DefaultOSRConfig
+	}
+	iterations := int64(cfg.Iterations)
+
+	run := func(opts vm.Options) (OSRRun, int64, error) {
+		p, err := mj.Compile(osrLoopSrc, "Main.main")
+		if err != nil {
+			return OSRRun{}, 0, err
+		}
+		machine := vm.New(p, opts)
+		defer machine.Close()
+		hot := p.ClassByName("Main").MethodByName("hot")
+		v, err := machine.Call(hot, []rt.Value{rt.IntValue(iterations)})
+		if err != nil {
+			return OSRRun{}, 0, err
+		}
+		machine.DrainJIT()
+		for m, cerr := range machine.FailedCompilations() {
+			return OSRRun{}, 0, fmt.Errorf("compiling %s: %w", m.QualifiedName(), cerr)
+		}
+		st := machine.Stats()
+		return OSRRun{
+			Cycles:      machine.Env.Cycles,
+			Allocations: machine.Env.Stats.Allocations,
+			OSRRequests: st.OSRRequests,
+			OSREntries:  st.OSREntries,
+			OSRCompiles: st.OSRCompilations,
+		}, v.I, nil
+	}
+
+	interp, ichk, err := run(vm.Options{Interpret: true, MaxSteps: 2_000_000_000})
+	if err != nil {
+		return OSRResult{}, err
+	}
+	osr, ochk, err := run(vm.Options{
+		EA:               cfg.Mode,
+		CompileThreshold: 1 << 30, // never at call boundaries: OSR or nothing
+		OSRThreshold:     cfg.Threshold,
+		MaxSteps:         2_000_000_000,
+	})
+	if err != nil {
+		return OSRResult{}, err
+	}
+	if ichk != ochk {
+		return OSRResult{}, fmt.Errorf("osr checksum %d != interpreter checksum %d", ochk, ichk)
+	}
+	res := OSRResult{
+		Config:   cfg,
+		Mode:     cfg.Mode.String(),
+		Interp:   interp,
+		OSR:      osr,
+		Checksum: ichk,
+	}
+	if osr.Cycles > 0 {
+		res.Speedup = float64(interp.Cycles) / float64(osr.Cycles)
+	}
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestOSRExperimentSpeedup is the PR's acceptance benchmark: a single
+// 100k-iteration invocation must enter compiled code through OSR and run at
+// least 2x faster (modeled cycles) than the interpreter, which never gets a
+// call-boundary compile opportunity.
+func TestOSRExperimentSpeedup(t *testing.T) {
+	res, err := RunOSRExperiment(DefaultOSRConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OSR.OSREntries < 1 {
+		t.Fatalf("osr entries = %d, want >= 1", res.OSR.OSREntries)
+	}
+	if res.OSR.OSRCompiles < 1 {
+		t.Fatalf("osr compiles = %d, want >= 1", res.OSR.OSRCompiles)
+	}
+	if res.Speedup < 2.0 {
+		t.Fatalf("speedup = %.2fx (interp %d cycles, osr %d cycles), want >= 2x",
+			res.Speedup, res.Interp.Cycles, res.OSR.Cycles)
+	}
+	// The per-iteration Pair never escapes: the compiled loop body must
+	// scalar-replace it, so the OSR run allocates far less than one
+	// object per iteration.
+	if res.OSR.Allocations >= res.Interp.Allocations/2 {
+		t.Fatalf("osr allocations = %d (interp %d): loop allocation survived",
+			res.OSR.Allocations, res.Interp.Allocations)
+	}
+}

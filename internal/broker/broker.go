@@ -49,8 +49,10 @@ type Options struct {
 	// goroutines (or the submitting goroutine in synchronous mode) and
 	// must publish atomically. fromCache reports a code-cache replay.
 	Install func(m *bc.Method, k Key, g *ir.Graph, fromCache bool)
-	// Fail records a permanent compilation failure.
-	Fail func(m *bc.Method, err error)
+	// Fail records a permanent compilation failure. The key identifies
+	// which artifact failed (a standard compile vs. one OSR entry point
+	// of the same method).
+	Fail func(m *bc.Method, k Key, err error)
 
 	// Sink receives broker lifecycle events; Metrics (via the sink) keeps
 	// the queue-depth/worker-utilization/cache gauges current. Both are
@@ -114,6 +116,14 @@ func (h *taskHeap) Pop() any {
 	return t
 }
 
+// inflightKey identifies one compilation unit for deduplication: either a
+// standard compile of a method or one of its OSR entry points. Requests
+// for distinct entry points of the same method proceed independently.
+type inflightKey struct {
+	m        *bc.Method
+	entryBCI int
+}
+
 // Broker coordinates compilations.
 type Broker struct {
 	opts  Options
@@ -123,7 +133,7 @@ type Broker struct {
 	cond     *sync.Cond // signals workers (work available / closing)
 	idle     *sync.Cond // signals Drain (queue empty, workers idle)
 	queue    taskHeap
-	inflight map[*bc.Method]bool // queued or being compiled
+	inflight map[inflightKey]bool // queued or being compiled
 	busy     int
 	seq      int64
 	closed   bool
@@ -137,7 +147,7 @@ func New(opts Options) *Broker {
 	b := &Broker{
 		opts:     opts,
 		cache:    opts.Cache,
-		inflight: make(map[*bc.Method]bool),
+		inflight: make(map[inflightKey]bool),
 	}
 	if b.cache == nil {
 		b.cache = NewCache()
@@ -157,16 +167,17 @@ func (b *Broker) Cache() *Cache { return b.cache }
 // Async reports whether the broker compiles on background workers.
 func (b *Broker) Async() bool { return b.opts.workers() > 0 }
 
-// Pending reports whether m is queued or being compiled. It is a cheap
-// pre-check so hot call paths can skip building a cache key for methods
-// whose compilation is already in flight.
-func (b *Broker) Pending(m *bc.Method) bool {
+// Pending reports whether the compilation unit (m, entryBCI) — entryBCI is
+// NoOSR for a standard compile — is queued or being compiled. It is a
+// cheap pre-check so hot call paths can skip building a cache key for
+// requests already in flight.
+func (b *Broker) Pending(m *bc.Method, entryBCI int) bool {
 	if !b.Async() {
 		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.inflight[m]
+	return b.inflight[inflightKey{m, entryBCI}]
 }
 
 // Submit requests compilation of m under key k with the given hotness
@@ -190,7 +201,8 @@ func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
 		b.mu.Unlock()
 		return false
 	}
-	if b.inflight[m] {
+	ik := inflightKey{m, k.EntryBCI}
+	if b.inflight[ik] {
 		b.stats.Dedup++
 		b.mu.Unlock()
 		b.opts.Sink.BrokerDedup(m.QualifiedName())
@@ -204,7 +216,7 @@ func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
 	}
 	b.seq++
 	heap.Push(&b.queue, &task{m: m, key: k, hotness: hotness, seq: b.seq})
-	b.inflight[m] = true
+	b.inflight[ik] = true
 	b.stats.Submitted++
 	if int64(len(b.queue)) > b.stats.MaxQueue {
 		b.stats.MaxQueue = int64(len(b.queue))
@@ -241,7 +253,7 @@ func (b *Broker) worker() {
 		b.compileOne(t)
 
 		b.mu.Lock()
-		delete(b.inflight, t.m)
+		delete(b.inflight, inflightKey{t.m, t.key.EntryBCI})
 		b.busy--
 		busy = b.busy
 		if len(b.queue) == 0 && b.busy == 0 {
@@ -277,7 +289,7 @@ func (b *Broker) compileOne(t *task) {
 		b.stats.Failed++
 		b.mu.Unlock()
 		if b.opts.Fail != nil {
-			b.opts.Fail(t.m, err)
+			b.opts.Fail(t.m, t.key, err)
 		}
 		return
 	}

@@ -99,7 +99,7 @@ func TestCompileFailureRoutesToFail(t *testing.T) {
 	b := New(Options{
 		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return nil, boom },
 		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) { t.Error("failed compile installed") },
-		Fail:    func(m *bc.Method, err error) { failed = err },
+		Fail:    func(m *bc.Method, k Key, err error) { failed = err },
 	})
 	b.Submit(ms[0], 1, key(ms[0]))
 	if !errors.Is(failed, boom) {
@@ -134,7 +134,7 @@ func TestAsyncDedupAndQueueBound(t *testing.T) {
 		t.Fatal("first async submit rejected")
 	}
 	<-started // worker is now parked inside Compile for m0
-	if !b.Pending(ms[0]) {
+	if !b.Pending(ms[0], 0) {
 		t.Fatal("m0 must be pending while compiling")
 	}
 	if b.Submit(ms[0], 1, key(ms[0])) {

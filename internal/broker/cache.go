@@ -22,12 +22,25 @@ import (
 //     verdicts when speculating; see interp.Profile.Fingerprint). Profiles
 //     that would drive the compiler to different decisions hash
 //     differently, so stale code is never replayed.
+//   - EntryBCI distinguishes on-stack-replacement compilations: NoOSR for
+//     a regular method compile, or the loop-header bytecode index of the
+//     alternate OSR entry. OSR artifacts for different headers of the same
+//     method coexist in the cache alongside the standard compile.
 type Key struct {
 	Method      *bc.Method
 	Mode        int
 	Spec        bool
 	Fingerprint uint64
+	EntryBCI    int
 }
+
+// NoOSR is the EntryBCI value of a regular (method-entry) compilation.
+// BCI 0 cannot be used as the sentinel: a loop header at pc 0 is a legal
+// OSR entry.
+const NoOSR = -1
+
+// IsOSR reports whether the key identifies an on-stack-replacement compile.
+func (k Key) IsOSR() bool { return k.EntryBCI >= 0 }
 
 // Cache is a concurrency-safe compiled-code cache. Graphs are installed
 // read-only (execution state lives in per-invocation frames), so one cached

@@ -30,7 +30,28 @@ func Build(m *bc.Method) (*ir.Graph, error) {
 
 // BuildWith is Build with an observability sink receiving a phase event
 // describing the translation (node/block counts). A nil sink is free.
-func BuildWith(m *bc.Method, sink *obs.Sink) (g *ir.Graph, err error) {
+func BuildWith(m *bc.Method, sink *obs.Sink) (*ir.Graph, error) {
+	return buildWith(m, 0, false, sink)
+}
+
+// BuildOSR translates m into an on-stack-replacement graph entered at the
+// loop header entryBCI: instead of the method's parameters, the entry block
+// (an OSR preamble) holds one OpParam per local slot live at entryBCI
+// (AuxInt = slot) and one per operand-stack slot (AuxInt = NumLocals +
+// depth), matching the interpreter frame the VM transfers from. Only code
+// reachable from entryBCI is translated, and the preamble's exit state
+// feeds the loop-header merge through the same pruned-FrameState machinery
+// as a regular loop entry.
+func BuildOSR(m *bc.Method, entryBCI int) (*ir.Graph, error) {
+	return BuildOSRWith(m, entryBCI, nil)
+}
+
+// BuildOSRWith is BuildOSR with an observability sink.
+func BuildOSRWith(m *bc.Method, entryBCI int, sink *obs.Sink) (*ir.Graph, error) {
+	return buildWith(m, entryBCI, true, sink)
+}
+
+func buildWith(m *bc.Method, entry int, osr bool, sink *obs.Sink) (g *ir.Graph, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			g, err = nil, fmt.Errorf("build: %s: internal error: %v", m.QualifiedName(), r)
@@ -39,9 +60,13 @@ func BuildWith(m *bc.Method, sink *obs.Sink) (g *ir.Graph, err error) {
 	var span obs.PhaseSpan
 	if sink != nil {
 		// QualifiedName allocates; compute it only when observing.
-		span = obs.StartPhase(sink, "build", m.QualifiedName(), 0, 0)
+		phase := "build"
+		if osr {
+			phase = "build-osr"
+		}
+		span = obs.StartPhase(sink, phase, m.QualifiedName(), 0, 0)
 	}
-	b := &builder{m: m}
+	b := &builder{m: m, entry: entry, osr: osr}
 	g, err = b.build()
 	if err != nil {
 		return nil, err
@@ -54,6 +79,13 @@ func BuildWith(m *bc.Method, sink *obs.Sink) (g *ir.Graph, err error) {
 type builder struct {
 	m *bc.Method
 	g *ir.Graph
+
+	// entry is the bytecode index translation starts at (0 for a regular
+	// build, the hot loop header for an OSR build).
+	entry int
+	// osr marks an on-stack-replacement build: the entry block is an OSR
+	// preamble parameterized by the live locals and stack slots at entry.
+	osr bool
 
 	// leaders[pc] is true if pc starts a basic block.
 	leaders []bool
@@ -120,6 +152,10 @@ func (b *builder) build() (*ir.Graph, error) {
 	if len(m.Code) == 0 {
 		return nil, fmt.Errorf("build: %s has no code", m.QualifiedName())
 	}
+	if b.entry < 0 || b.entry >= len(m.Code) {
+		return nil, fmt.Errorf("build: %s: entry bci %d out of range [0,%d)",
+			m.QualifiedName(), b.entry, len(m.Code))
+	}
 	b.findBlocks()
 	b.computeLiveness()
 
@@ -129,8 +165,9 @@ func (b *builder) build() (*ir.Graph, error) {
 	b.zeroOf = make(map[zeroKey]*ir.Node)
 
 	// Create IR blocks for every reachable leader. The graph's entry block
-	// is reused for pc 0 unless pc 0 is itself a branch target (a loop
-	// back to the method head), in which case a preamble block holding the
+	// is reused for the entry pc unless that pc is itself a branch target
+	// (a loop header — always the case for an OSR build, where the entry
+	// IS the hot loop header), in which case a preamble block holding the
 	// parameters is kept as the entry, since the IR entry block must have
 	// no predecessors.
 	leaderPCs := []int{}
@@ -142,21 +179,21 @@ func (b *builder) build() (*ir.Graph, error) {
 	entryIsTarget := false
 	for _, ss := range b.succs {
 		for _, s := range ss {
-			if s == 0 {
+			if s == b.entry {
 				entryIsTarget = true
 			}
 		}
 	}
 	var preamble *ir.Block
-	if entryIsTarget {
+	if b.osr || entryIsTarget {
 		preamble = b.g.Entry()
 		for _, pc := range leaderPCs {
 			b.blockAt[pc] = b.g.NewBlock()
 		}
 	} else {
-		b.blockAt[0] = b.g.Entry()
+		b.blockAt[b.entry] = b.g.Entry()
 		for _, pc := range leaderPCs {
-			if pc != 0 {
+			if pc != b.entry {
 				b.blockAt[pc] = b.g.NewBlock()
 			}
 		}
@@ -171,32 +208,65 @@ func (b *builder) build() (*ir.Graph, error) {
 		}
 	}
 	if preamble != nil {
-		b.blockAt[0].Preds = append([]*ir.Block{preamble}, b.blockAt[0].Preds...)
+		b.blockAt[b.entry].Preds = append([]*ir.Block{preamble}, b.blockAt[b.entry].Preds...)
 		// Keep edge-order bookkeeping consistent: the preamble edge is
-		// predecessor 0 of block 0.
+		// predecessor 0 of the entry's block.
 	}
 
-	// Place parameters (and the preamble jump) in the entry block.
+	// Place parameters (and the preamble jump) in the entry block. A
+	// regular build parameterizes on the method arguments; an OSR build
+	// parameterizes on the interpreter frame at the loop header — the
+	// liveness-pruned local slots plus the operand stack.
 	paramBlock := b.g.Entry()
-	b.params = make([]*ir.Node, m.NumArgs())
-	for i := 0; i < m.NumArgs(); i++ {
-		kind := m.LocalKinds[i]
-		p := b.g.NewNode(ir.OpParam, kind)
-		p.AuxInt = int64(i)
-		b.g.Append(paramBlock, p)
-		b.params[i] = p
+	var initial *absState
+	if b.osr {
+		b.g.IsOSR = true
+		b.g.OSREntryBCI = b.entry
+		initial = &absState{locals: make([]*ir.Node, m.NumLocals())}
+		live := b.liveAt[b.entry]
+		for s := 0; s < m.NumLocals(); s++ {
+			if live == nil || !live[s] {
+				continue // dead at the header: never transferred
+			}
+			p := b.g.NewNode(ir.OpParam, m.LocalKinds[s])
+			p.AuxInt = int64(s)
+			b.g.Append(paramBlock, p)
+			initial.locals[s] = p
+		}
+		shape, err := bc.StackShape(m, b.entry)
+		if err != nil {
+			return nil, err
+		}
+		for d, k := range shape {
+			p := b.g.NewNode(ir.OpParam, k)
+			p.AuxInt = int64(m.NumLocals() + d)
+			b.g.Append(paramBlock, p)
+			initial.push(p)
+		}
+	} else {
+		b.params = make([]*ir.Node, m.NumArgs())
+		for i := 0; i < m.NumArgs(); i++ {
+			kind := m.LocalKinds[i]
+			p := b.g.NewNode(ir.OpParam, kind)
+			p.AuxInt = int64(i)
+			b.g.Append(paramBlock, p)
+			b.params[i] = p
+		}
+		if preamble != nil {
+			// The preamble's exit state is the method-entry state:
+			// parameters in the argument slots, other locals undefined.
+			initial = &absState{locals: make([]*ir.Node, m.NumLocals())}
+			copy(initial.locals, b.params)
+		}
 	}
 	if preamble != nil {
 		gt := b.g.NewNode(ir.OpGoto, bc.KindVoid)
 		gt.Block = preamble
 		preamble.Term = gt
-		preamble.Succs = []*ir.Block{b.blockAt[0]}
-		// The preamble's exit state is the method-entry state: parameters
-		// in the argument slots, other locals undefined. Recording it here
-		// lets block 0 (a loop header) be handled by the ordinary merge
-		// path in entryState.
-		initial := &absState{locals: make([]*ir.Node, m.NumLocals())}
-		copy(initial.locals, b.params)
+		preamble.Succs = []*ir.Block{b.blockAt[b.entry]}
+		// Recording the preamble's exit state here lets the entry block
+		// (a loop header) be handled by the ordinary merge path in
+		// entryState.
 		b.exit[preamble] = initial
 	}
 
@@ -221,10 +291,10 @@ func (b *builder) findBlocks() {
 	code := b.m.Code
 	b.reach = make([]bool, len(code))
 	b.leaders = make([]bool, len(code))
-	b.leaders[0] = true
+	b.leaders[b.entry] = true
 
 	// Reachability + leader discovery over instruction successors.
-	work := []int{0}
+	work := []int{b.entry}
 	for len(work) > 0 {
 		pc := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -312,7 +382,7 @@ func (b *builder) reversePostorder(leaders []int) []int {
 		}
 		post = append(post, pc)
 	}
-	dfs(0)
+	dfs(b.entry)
 	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
 		post[i], post[j] = post[j], post[i]
 	}

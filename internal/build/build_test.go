@@ -1,0 +1,256 @@
+package build
+
+import (
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+)
+
+// loopMethod assembles
+//
+//	sum(n): acc=0; i=0; while (i<n) { acc+=i; i++ }; return acc
+//
+// and returns the program, the method, and the loop-header bytecode index
+// (the target of the backward goto).
+func loopMethod(t *testing.T) (*bc.Program, *bc.Method, int) {
+	t.Helper()
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("sum", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	iLoc := m.NewLocal(bc.KindInt)
+	accLoc := m.NewLocal(bc.KindInt)
+	m.Const(0).Store(accLoc).
+		Const(0).Store(iLoc).
+		Label("head").
+		Load(iLoc).Load(0).IfCmp(bc.CondGE, "done").
+		Load(accLoc).Load(iLoc).Add().Store(accLoc).
+		Load(iLoc).Const(1).Add().Store(iLoc).
+		Goto("head").
+		Label("done").
+		Load(accLoc).ReturnValue()
+	prog, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meth := prog.ClassByName("C").MethodByName("sum")
+	// The loop header is the target of the last goto.
+	header := -1
+	for _, in := range meth.Code {
+		if in.Op == bc.OpGoto && in.Target() <= 4 {
+			header = in.Target()
+		}
+	}
+	if header < 0 {
+		t.Fatal("no backward goto found")
+	}
+	return prog, meth, header
+}
+
+// TestFrameStatesLivenessPrunedAtBranch checks that FrameStates only
+// reference live locals: a local that is dead at the state's BCI is nil in
+// Locals, so deoptimization never keeps dead values alive.
+func TestFrameStatesLivenessPrunedAtBranch(t *testing.T) {
+	// m(x): t = x+1; if (t < 0) return 0; return t
+	// At the return of the taken branch, both x (local 0) and t are dead.
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	tLoc := m.NewLocal(bc.KindInt)
+	m.Load(0).Const(1).Add().Store(tLoc).
+		Load(tLoc).Const(0).IfCmp(bc.CondLT, "neg").
+		Load(tLoc).ReturnValue().
+		Label("neg").
+		Const(0).ReturnValue()
+	prog, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+	meth := prog.ClassByName("C").MethodByName("m")
+	g, err := Build(meth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	states := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			checkState(t, n.FrameState)
+			if n.FrameState != nil {
+				states++
+			}
+		}
+		if b.Term != nil {
+			checkState(t, b.Term.FrameState)
+			if b.Term.FrameState != nil {
+				states++
+			}
+		}
+	}
+	if states == 0 {
+		t.Fatal("no frame states recorded")
+	}
+	// After the Store to tLoc, local 0 (the parameter) is never read
+	// again; every later state must have pruned it.
+	for _, b := range g.Blocks {
+		if b.Term == nil || b.Term.Op != ir.OpReturn {
+			continue
+		}
+		fs := b.Term.FrameState
+		if fs == nil {
+			continue
+		}
+		if fs.Locals[0] != nil {
+			t.Fatalf("dead parameter local kept alive in return state at bci %d", fs.BCI)
+		}
+	}
+}
+
+// checkState asserts the structural invariants of one frame state.
+func checkState(t *testing.T, fs *ir.FrameState) {
+	t.Helper()
+	if fs == nil {
+		return
+	}
+	if len(fs.Locals) != fs.Method.NumLocals() {
+		t.Fatalf("state at bci %d has %d locals, method has %d",
+			fs.BCI, len(fs.Locals), fs.Method.NumLocals())
+	}
+}
+
+// TestFrameStateAtLoopHeaderUsesPhis checks the merge case: the state
+// attached to the loop's branch references the phi values of the merged
+// locals, not either predecessor's copies.
+func TestFrameStateAtLoopHeaderUsesPhis(t *testing.T) {
+	_, meth, _ := loopMethod(t)
+	g, err := Build(meth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	// Find the loop branch (OpIf with a frame state) and check that the
+	// loop-carried locals i and acc resolve to phi nodes at the header.
+	found := false
+	for _, b := range g.Blocks {
+		if b.Term == nil || b.Term.Op != ir.OpIf || b.Term.FrameState == nil {
+			continue
+		}
+		fs := b.Term.FrameState
+		phis := 0
+		for _, l := range fs.Locals {
+			if l != nil && l.Op == ir.OpPhi {
+				phis++
+			}
+		}
+		if phis >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("loop branch state does not reference the header phis")
+	}
+}
+
+// TestBuildOSRGraphShape checks the OSR construction: the graph is marked,
+// its entry block carries parameters for exactly the live locals (dead
+// slots get no parameter), parameter AuxInts follow the frame-transfer
+// convention, and the graph verifies.
+func TestBuildOSRGraphShape(t *testing.T) {
+	_, meth, header := loopMethod(t)
+	g, err := BuildOSR(meth, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsOSR || g.OSREntryBCI != header {
+		t.Fatalf("IsOSR=%v OSREntryBCI=%d, want true/%d", g.IsOSR, g.OSREntryBCI, header)
+	}
+	// Collect params.
+	slots := map[int64]bool{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if n.Op == ir.OpParam {
+				if slots[n.AuxInt] {
+					t.Fatalf("duplicate OSR param for slot %d", n.AuxInt)
+				}
+				slots[n.AuxInt] = true
+			}
+		}
+	}
+	// All three locals (n, i, acc) are live at the header; the operand
+	// stack is empty there.
+	for s := 0; s < meth.NumLocals(); s++ {
+		if !slots[int64(s)] {
+			t.Fatalf("no OSR param for live local %d", s)
+		}
+	}
+	for s := range slots {
+		if s >= int64(meth.NumLocals()) {
+			t.Fatalf("unexpected stack param %d for empty header stack", s)
+		}
+	}
+}
+
+// TestBuildOSRDeadLocalGetsNoParam checks liveness pruning of the OSR
+// entry itself: a local dead at the loop header must not become an entry
+// parameter.
+func TestBuildOSRDeadLocalGetsNoParam(t *testing.T) {
+	// m(x): junk = x*2 (dead after the loop starts); i=0;
+	// while (i < x) i++; return i
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	junk := m.NewLocal(bc.KindInt)
+	iLoc := m.NewLocal(bc.KindInt)
+	m.Load(0).Const(2).Mul().Store(junk).
+		Const(0).Store(iLoc).
+		Label("head").
+		Load(iLoc).Load(0).IfCmp(bc.CondGE, "done").
+		Load(iLoc).Const(1).Add().Store(iLoc).
+		Goto("head").
+		Label("done").
+		Load(iLoc).ReturnValue()
+	prog, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meth := prog.ClassByName("C").MethodByName("m")
+	header := -1
+	for _, in := range meth.Code {
+		if in.Op == bc.OpGoto {
+			header = in.Target()
+		}
+	}
+	g, err := BuildOSR(meth, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if n.Op == ir.OpParam && n.AuxInt == int64(junk) {
+				t.Fatalf("dead local %d got an OSR entry param", junk)
+			}
+		}
+	}
+}
+
+// TestBuildOSRRejectsBadEntry checks input validation.
+func TestBuildOSRRejectsBadEntry(t *testing.T) {
+	_, meth, _ := loopMethod(t)
+	if _, err := BuildOSR(meth, -1); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	if _, err := BuildOSR(meth, len(meth.Code)+5); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}

@@ -27,12 +27,15 @@ type Engine struct {
 	// receiver). If nil, calls trap.
 	Invoke func(callee *bc.Method, args []rt.Value) (rt.Value, error)
 
-	// Deopt transfers execution to the interpreter at the given frame
-	// state. eval maps IR nodes to their current runtime values
-	// (materializing virtual objects is the callee's job). The returned
-	// value is the result of the whole compiled method. If nil, reaching
-	// a deopt traps.
-	Deopt func(fs *ir.FrameState, eval func(n *ir.Node) (rt.Value, bool)) (rt.Value, error)
+	// Deopt transfers execution to the interpreter at the OpDeopt node n
+	// reached inside g. The node carries the FrameState to resume at, the
+	// recorded deopt reason, and the DeoptAction that tells the runtime
+	// whether the containing code must be invalidated (a failed
+	// speculation) or stays valid (a rare-but-legal path). eval maps IR
+	// nodes to their current runtime values (materializing virtual
+	// objects is the callee's job). The returned value is the result of
+	// the whole compiled method. If nil, reaching a deopt traps.
+	Deopt func(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bool)) (rt.Value, error)
 
 	// Sink, when non-nil, receives a vm_deopt event (with the node's
 	// recorded deopt reason) each time compiled code deoptimizes.
@@ -333,7 +336,7 @@ func (e *Engine) deopt(g *ir.Graph, f *frame, n *ir.Node) (rt.Value, error) {
 	}
 	e.Env.Stats.Deopts++
 	e.Env.Cycles += cost.DeoptPenalty
-	return e.Deopt(n.FrameState, func(x *ir.Node) (rt.Value, bool) {
+	return e.Deopt(g, n, func(x *ir.Node) (rt.Value, bool) {
 		v, ok := f.values[x]
 		return v, ok
 	})

@@ -170,8 +170,12 @@ func TestDeoptHookInvoked(t *testing.T) {
 	env := rt.NewEnv(prog, 1)
 	eng := &Engine{Env: env}
 	called := false
-	eng.Deopt = func(fs *ir.FrameState, eval func(n *ir.Node) (rt.Value, bool)) (rt.Value, error) {
+	eng.Deopt = func(dg *ir.Graph, dn *ir.Node, eval func(n *ir.Node) (rt.Value, bool)) (rt.Value, error) {
 		called = true
+		fs := dn.FrameState
+		if dg != g {
+			t.Fatalf("deopt graph = %p, want %p", dg, g)
+		}
 		if fs.Method != m {
 			t.Fatalf("deopt state method = %v", fs.Method)
 		}

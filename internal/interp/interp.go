@@ -55,6 +55,13 @@ type Interp struct {
 	// value. This is how the VM mixes interpreted and compiled frames.
 	CallHook func(m *bc.Method, args []rt.Value) (rt.Value, bool, error)
 
+	// OSRHook, when non-nil, is consulted after each taken back edge with
+	// the frame (whose PC is the loop-header bci just jumped to) and the
+	// header's accumulated back-edge count. If it returns entered=true,
+	// the rest of the frame was executed by other means (on-stack
+	// replacement into compiled code) and ret is the frame's result.
+	OSRHook func(f *Frame, count int64) (ret rt.Value, entered bool, err error)
+
 	// MaxSteps bounds the number of executed instructions (0 = no bound);
 	// exceeding it returns an error. Guards tests against runaway loops.
 	MaxSteps int64
@@ -153,27 +160,30 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 		f.push(rt.BoolValue(in.Cond.EvalInt(a, b)))
 	case bc.OpGoto:
 		f.PC = in.Target()
+		if f.PC <= pc {
+			return it.backEdge(f)
+		}
 		return false, rt.Value{}, nil
 	case bc.OpIfCmp:
 		b, a := f.pop().I, f.pop().I
-		return false, rt.Value{}, it.branch(f, in, in.Cond.EvalInt(a, b))
+		return it.branch(f, in, in.Cond.EvalInt(a, b))
 	case bc.OpIf:
 		a := f.pop().I
-		return false, rt.Value{}, it.branch(f, in, in.Cond.EvalInt(a, 0))
+		return it.branch(f, in, in.Cond.EvalInt(a, 0))
 	case bc.OpIfRef:
 		b, a := f.pop(), f.pop()
 		taken := a.Ref == b.Ref
 		if in.Cond == bc.CondNE {
 			taken = !taken
 		}
-		return false, rt.Value{}, it.branch(f, in, taken)
+		return it.branch(f, in, taken)
 	case bc.OpIfNull:
 		a := f.pop()
 		taken := a.Ref == nil
 		if in.Cond == bc.CondNE {
 			taken = !taken
 		}
-		return false, rt.Value{}, it.branch(f, in, taken)
+		return it.branch(f, in, taken)
 	case bc.OpNew:
 		it.Env.Cycles += cost.AllocPerField * int64(in.Class.NumFields()) * cost.InterpFactor
 		f.push(rt.RefValue(it.Env.AllocObject(in.Class)))
@@ -271,16 +281,38 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 	return false, rt.Value{}, nil
 }
 
-func (it *Interp) branch(f *Frame, in *bc.Instr, taken bool) error {
+func (it *Interp) branch(f *Frame, in *bc.Instr, taken bool) (done bool, ret rt.Value, err error) {
 	if it.Profile != nil {
 		it.Profile.CountBranch(f.Method, f.PC, taken)
 	}
+	pc := f.PC
 	if taken {
 		f.PC = in.Target()
+		if f.PC <= pc {
+			return it.backEdge(f)
+		}
 	} else {
 		f.PC++
 	}
-	return nil
+	return false, rt.Value{}, nil
+}
+
+// backEdge records a backward control transfer to the loop header at f.PC
+// and offers the frame to the OSR hook. entered=true means the whole frame
+// completed in compiled code and ret is its result.
+func (it *Interp) backEdge(f *Frame) (done bool, ret rt.Value, err error) {
+	if it.Profile == nil {
+		return false, rt.Value{}, nil
+	}
+	count := it.Profile.CountBackEdge(f.Method, f.PC)
+	if it.OSRHook == nil {
+		return false, rt.Value{}, nil
+	}
+	ret, entered, err := it.OSRHook(f, count)
+	if err != nil {
+		return false, rt.Value{}, err
+	}
+	return entered, ret, nil
 }
 
 func (it *Interp) invoke(f *Frame, in *bc.Instr) error {

@@ -28,6 +28,11 @@ type methodProfile struct {
 	branches map[int]*[2]int64
 	// callSites maps invoke pc -> callee method -> count.
 	callSites map[int]map[*bc.Method]int64
+	// backEdges maps loop-header pc -> number of backward control
+	// transfers observed into it. This is the OSR trigger: a single
+	// long-running invocation accumulates back-edge counts even though
+	// its invocation count never moves.
+	backEdges map[int]*int64
 }
 
 // NewProfile creates an empty profile sized for the program.
@@ -84,6 +89,37 @@ func (p *Profile) BranchProbability(m *bc.Method, pc int) (prob float64, observe
 		return 0.5, false
 	}
 	return float64(c[1]) / float64(c[0]+c[1]), true
+}
+
+// CountBackEdge records one backward control transfer to the loop header
+// at (m, pc) and returns the new count, so the interpreter can compare it
+// against the OSR threshold without a second lock acquisition.
+func (p *Profile) CountBackEdge(m *bc.Method, pc int) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mp := p.mp(m)
+	if mp.backEdges == nil {
+		mp.backEdges = make(map[int]*int64)
+	}
+	c := mp.backEdges[pc]
+	if c == nil {
+		c = new(int64)
+		mp.backEdges[pc] = c
+	}
+	*c++
+	return *c
+}
+
+// BackEdges returns the recorded back-edge count of the loop header at
+// (m, pc).
+func (p *Profile) BackEdges(m *bc.Method, pc int) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.mp(m).backEdges[pc]
+	if c == nil {
+		return 0
+	}
+	return *c
 }
 
 // CountCallSite records that the call at (m, pc) dispatched to callee.
@@ -143,15 +179,17 @@ func (p *Profile) BranchCounts(m *bc.Method, pc int) (notTaken, taken int64) {
 
 // Fingerprint hashes exactly the profile facts that influence what the
 // compiler emits: the monomorphic-target verdict of every observed call
-// site (devirtualization and therefore inlining) and, when speculate is
-// set, the pruning verdict of every branch site under the given MinTotal
-// threshold (prunable-taken / prunable-not-taken / not prunable). Raw
-// counts are deliberately excluded — two profiles that would drive the
-// pipeline to identical decisions produce identical fingerprints, which is
-// what makes the compiled-code cache hit across repeated runs, while any
+// site (devirtualization and therefore inlining); when speculate is set,
+// the pruning verdict of every branch site under the given MinTotal
+// threshold (prunable-taken / prunable-not-taken / not prunable); and,
+// when osrThreshold > 0, the set of loop headers whose back-edge counts
+// have crossed the OSR threshold (the OSR-hotness verdict). Raw counts are
+// deliberately excluded — two profiles that would drive the pipeline to
+// identical decisions produce identical fingerprints, which is what makes
+// the compiled-code cache hit across repeated runs, while any
 // decision-relevant divergence changes the hash and forces a fresh
 // compile.
-func (p *Profile) Fingerprint(speculate bool, minTotal int64) uint64 {
+func (p *Profile) Fingerprint(speculate bool, minTotal, osrThreshold int64) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -165,7 +203,8 @@ func (p *Profile) Fingerprint(speculate bool, minTotal int64) uint64 {
 	}
 	for i := range p.methods {
 		mp := &p.methods[i]
-		if len(mp.callSites) == 0 && (!speculate || len(mp.branches) == 0) {
+		if len(mp.callSites) == 0 && (!speculate || len(mp.branches) == 0) &&
+			(osrThreshold <= 0 || len(mp.backEdges) == 0) {
 			continue
 		}
 		mix(uint64(i) + 0x9e3779b97f4a7c15)
@@ -207,6 +246,18 @@ func (p *Profile) Fingerprint(speculate bool, minTotal int64) uint64 {
 				if verdict != 0 {
 					mix(uint64(pc)<<2 + verdict)
 				}
+			}
+		}
+		if osrThreshold > 0 && len(mp.backEdges) > 0 {
+			pcs := make([]int, 0, len(mp.backEdges))
+			for pc, c := range mp.backEdges {
+				if *c >= osrThreshold {
+					pcs = append(pcs, pc)
+				}
+			}
+			sort.Ints(pcs)
+			for _, pc := range pcs {
+				mix(uint64(pc)<<3 + 5)
 			}
 		}
 	}

@@ -43,6 +43,16 @@ type Graph struct {
 	// has a negative influence" (§6.1, jython).
 	CodeCycles int64
 
+	// IsOSR marks an on-stack-replacement graph: the entry block is an
+	// OSR preamble whose OpParam nodes are the live interpreter locals
+	// (AuxInt = local slot) and operand-stack slots (AuxInt = NumLocals +
+	// stack depth) at OSREntryBCI, and execution starts at the hot loop
+	// header instead of the method head.
+	IsOSR bool
+	// OSREntryBCI is the loop-header bytecode index an OSR graph enters
+	// at (meaningless when IsOSR is false).
+	OSREntryBCI int
+
 	nextNodeID  int
 	nextBlockID int
 	// nextVirtualID numbers OpVirtualObject nodes.

@@ -184,6 +184,33 @@ func (o Op) HasSideEffect() bool {
 	return false
 }
 
+// DeoptAction tells the deoptimization runtime how to treat the compiled
+// code containing an OpDeopt after the transfer to the interpreter.
+type DeoptAction uint8
+
+const (
+	// DeoptActionNone transfers execution only: the compiled code stays
+	// valid (the deopt models a rare-but-legal path, not a broken
+	// assumption) and future compilations may keep speculating.
+	DeoptActionNone DeoptAction = iota
+	// DeoptActionInvalidateSpeculation marks a failed speculative
+	// assumption: the containing code must be thrown away and the method
+	// recompiled without speculation.
+	DeoptActionInvalidateSpeculation
+)
+
+// String names the action.
+func (a DeoptAction) String() string {
+	switch a {
+	case DeoptActionNone:
+		return "none"
+	case DeoptActionInvalidateSpeculation:
+		return "invalidate-speculation"
+	default:
+		return fmt.Sprintf("DeoptAction(%d)", uint8(a))
+	}
+}
+
 // Node is one IR node.
 type Node struct {
 	ID     int
@@ -227,6 +254,9 @@ type Node struct {
 
 	// DeoptReason describes why an OpDeopt was inserted (diagnostics).
 	DeoptReason string
+	// Action tells the deoptimization runtime what to do with the
+	// compiled code that contains this OpDeopt (see DeoptAction).
+	Action DeoptAction
 
 	// BCI is the bytecode index this node originates from (-1 if
 	// synthetic).

@@ -26,6 +26,8 @@ const (
 	MetricVMRemats          = "vm.rematerializations"
 	MetricVMInvalidations   = "vm.invalidations"
 	MetricVMRecompiles      = "vm.recompiles"
+	MetricVMOSRRequests     = "vm.osr_requests"
+	MetricVMOSREntries      = "vm.osr_entries"
 
 	// Compile-broker counters (bumped by the broker event helpers).
 	MetricBrokerSubmits     = "broker.submits"

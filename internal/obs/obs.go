@@ -63,6 +63,11 @@ const (
 	KindVMRematerialize Kind = "vm_rematerialize"
 	KindVMInvalidate    Kind = "vm_invalidate"
 	KindVMRecompile     Kind = "vm_recompile"
+	// On-stack replacement: a hot loop header requests compilation of an
+	// alternate entry point, and an interpreter frame is transferred into
+	// the installed OSR code mid-loop.
+	KindVMOSRRequest Kind = "vm_osr_request"
+	KindVMOSREnter   Kind = "vm_osr_enter"
 
 	// Compile-broker lifecycle: a hot method enters the queue, compiled
 	// code is installed (freshly compiled or replayed from the code
@@ -443,6 +448,28 @@ func (s *Sink) VMInvalidate(method, reason string) {
 	}
 	s.emit(&Event{Kind: KindVMInvalidate, Phase: "vm", Method: method, Reason: reason})
 	s.Metrics().Add(MetricVMInvalidations, 1)
+}
+
+// VMOSRRequest records a hot loop header (bci) requesting an on-stack-
+// replacement compile after count back edges.
+func (s *Sink) VMOSRRequest(method string, bci int, count int) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindVMOSRRequest, Phase: "vm", Method: method,
+		Node: fmt.Sprintf("bci%d", bci), Round: count})
+	s.Metrics().Add(MetricVMOSRRequests, 1)
+}
+
+// VMOSREnter records an interpreter frame transferring into compiled OSR
+// code at the loop header bci.
+func (s *Sink) VMOSREnter(method string, bci int) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindVMOSREnter, Phase: "vm", Method: method,
+		Node: fmt.Sprintf("bci%d", bci)})
+	s.Metrics().Add(MetricVMOSREntries, 1)
 }
 
 // VMRecompile records a method being compiled again after invalidation.

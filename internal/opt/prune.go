@@ -71,6 +71,7 @@ func (p *BranchPruner) Run(g *ir.Graph) (bool, error) {
 		d.FrameState = t.FrameState
 		d.BCI = t.BCI
 		d.DeoptReason = "untaken branch at " + m.QualifiedName()
+		d.Action = ir.DeoptActionInvalidateSpeculation
 		d.Block = db
 		db.Term = d
 		db.Preds = []*ir.Block{b}

@@ -158,7 +158,7 @@ func TestRecompileAfterInvalidationReplaysCache(t *testing.T) {
 
 	// First invalidation: the next call recompiles without speculation —
 	// a cache miss, so it counts as a recompilation.
-	machine.Invalidate(m)
+	machine.Invalidate(m, "deopt")
 	call()
 	if machine.CompiledGraph(m) == nil {
 		t.Fatal("not recompiled after first invalidation")
@@ -174,7 +174,7 @@ func TestRecompileAfterInvalidationReplaysCache(t *testing.T) {
 	// Second invalidation: the non-speculative artifact is cached and the
 	// profile's decision fingerprint is unchanged, so the reinstall is a
 	// cache replay — no new recompilation.
-	machine.Invalidate(m)
+	machine.Invalidate(m, "deopt")
 	call()
 	if machine.CompiledGraph(m) == nil {
 		t.Fatal("not reinstalled after second invalidation")

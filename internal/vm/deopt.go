@@ -10,13 +10,23 @@ import (
 )
 
 // deopt transfers execution from compiled code to the interpreter at the
-// given frame state (paper §2, §5.5). It materializes every virtual object
-// recorded in the state chain — allocating it, filling its fields
-// (following references between virtual objects), and re-acquiring elided
-// locks — then builds one interpreter frame per chained FrameState and
-// resumes them innermost-first, completing each outer invoke with the
-// inner frame's return value.
-func (vm *VM) deopt(fs *ir.FrameState, eval func(n *ir.Node) (rt.Value, bool)) (rt.Value, error) {
+// frame state recorded on the Deopt node n (paper §2, §5.5). It
+// materializes every virtual object recorded in the state chain —
+// allocating it, filling its fields (following references between virtual
+// objects), and re-acquiring elided locks — then builds one interpreter
+// frame per chained FrameState and resumes them innermost-first, completing
+// each outer invoke with the inner frame's return value.
+//
+// Whether the compiled code is discarded depends on the deopt's recorded
+// action: only DeoptActionInvalidateSpeculation (a failed speculative
+// assumption, e.g. a pruned branch that was taken after all) invalidates
+// the method's code and blacklists future speculation. Other deopts are
+// point exits — the installed code stays valid and nothing is recompiled.
+func (vm *VM) deopt(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bool)) (rt.Value, error) {
+	fs := n.FrameState
+	if fs == nil {
+		return rt.Value{}, fmt.Errorf("vm: deopt node %s has no frame state", n)
+	}
 	// Collect virtual object descriptors from the whole chain.
 	descs := make(map[*ir.Node]*ir.VirtualObjectState)
 	for s := fs; s != nil; s = s.Outer {
@@ -25,13 +35,20 @@ func (vm *VM) deopt(fs *ir.FrameState, eval func(n *ir.Node) (rt.Value, bool)) (
 		}
 	}
 
-	// The method that triggered the deopt is recompiled without
-	// speculation next time it becomes hot.
-	outermost := fs
-	for outermost.Outer != nil {
-		outermost = outermost.Outer
+	if n.Action == ir.DeoptActionInvalidateSpeculation {
+		// The speculative assumption failed: drop the code (standard
+		// and OSR entries alike) and recompile without speculation next
+		// time the method becomes hot.
+		outermost := fs
+		for outermost.Outer != nil {
+			outermost = outermost.Outer
+		}
+		reason := n.DeoptReason
+		if reason == "" {
+			reason = "speculation-failed"
+		}
+		vm.Invalidate(outermost.Method, reason)
 	}
-	vm.Invalidate(outermost.Method)
 
 	materialized := make(map[*ir.Node]*rt.Object)
 	var valueOf func(n *ir.Node, kind bc.Kind) (rt.Value, error)

@@ -80,6 +80,8 @@ func TestFuzzedProgramsAgreeAcrossModes(t *testing.T) {
 		{"jit-ea", Options{EA: EAFlowInsensitive, Validate: true}},
 		{"jit-pea", Options{EA: EAPartial, Validate: true}},
 		{"jit-pea-spec", Options{EA: EAPartial, Speculate: true, Validate: true}},
+		{"jit-pea-osr", Options{EA: EAPartial, OSRThreshold: 8, Validate: true}},
+		{"jit-pea-osr-spec", Options{EA: EAPartial, OSRThreshold: 8, Speculate: true, Validate: true}},
 	}
 	for seed := 0; seed < seeds; seed++ {
 		p := testprog.Generate(int64(seed))

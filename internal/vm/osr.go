@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pea/internal/bc"
+	"pea/internal/interp"
+	"pea/internal/ir"
+	"pea/internal/rt"
+)
+
+// osrSite identifies one on-stack-replacement entry point: a loop header
+// (by bytecode index) inside a method.
+type osrSite struct {
+	m   *bc.Method
+	bci int
+}
+
+// osrHook is the interpreter's back-edge callback (interp.Interp.OSRHook).
+// It fires after the interpreter has taken a backward branch, with f.PC at
+// the loop header and count the header's cumulative back-edge count. When an
+// OSR graph for (f.Method, f.PC) is installed, the hook transfers the live
+// interpreter frame into it and finishes the invocation in compiled code;
+// otherwise, once count crosses the threshold, it submits an OSR compile to
+// the broker and lets the interpreter continue (async mode) or enters the
+// freshly installed code immediately (sync mode).
+func (vm *VM) osrHook(f *interp.Frame, count int64) (rt.Value, bool, error) {
+	if count < vm.Opts.OSRThreshold {
+		return rt.Value{}, false, nil
+	}
+	site := osrSite{f.Method, f.PC}
+	if g := vm.osrGraph(site); g != nil {
+		return vm.enterOSR(f, g)
+	}
+	if vm.hasFailed[f.Method.ID].Load() || vm.osrHasFailed(site) {
+		return rt.Value{}, false, nil
+	}
+	if vm.jit.Pending(f.Method, f.PC) {
+		return rt.Value{}, false, nil // compile in flight; keep looping interpreted
+	}
+	atomic.AddInt64(&vm.VMStats.OSRRequests, 1)
+	if s := vm.Opts.Sink; s != nil {
+		s.VMOSRRequest(f.Method.QualifiedName(), f.PC, int(count))
+	}
+	vm.jit.Submit(f.Method, count, vm.osrCacheKey(f.Method, f.PC))
+	// A synchronous broker has installed (or failed) the artifact by now;
+	// an asynchronous one publishes later and this lookup stays nil.
+	if g := vm.osrGraph(site); g != nil {
+		return vm.enterOSR(f, g)
+	}
+	return rt.Value{}, false, nil
+}
+
+// osrGraph returns the installed OSR graph for site (nil if none).
+func (vm *VM) osrGraph(site osrSite) *ir.Graph {
+	vm.osrMu.Lock()
+	defer vm.osrMu.Unlock()
+	return vm.osrCode[site]
+}
+
+// osrHasFailed reports whether an OSR compile for site failed permanently.
+func (vm *VM) osrHasFailed(site osrSite) bool {
+	vm.osrMu.Lock()
+	defer vm.osrMu.Unlock()
+	return vm.osrFailed[site]
+}
+
+// enterOSR transfers the interpreter frame f into the OSR graph g and runs
+// it to completion. The argument vector follows the OSR parameter
+// convention (see build.BuildOSR): locals occupy slots [0, NumLocals) and
+// operand-stack values follow at NumLocals+depth, so OpParam's AuxInt
+// indexes it directly. The returned value is the whole invocation's result:
+// the compiled code runs from the loop header through the method's return
+// (or deoptimizes back into a fresh interpreter frame, which the deopt
+// runtime resumes transparently).
+func (vm *VM) enterOSR(f *interp.Frame, g *ir.Graph) (rt.Value, bool, error) {
+	if g.OSREntryBCI != f.PC {
+		return rt.Value{}, false, fmt.Errorf("vm: OSR graph for %s entered at bci %d, frame at %d",
+			f.Method.QualifiedName(), g.OSREntryBCI, f.PC)
+	}
+	args := make([]rt.Value, f.Method.NumLocals()+len(f.Stack))
+	copy(args, f.Locals)
+	copy(args[f.Method.NumLocals():], f.Stack)
+	atomic.AddInt64(&vm.VMStats.OSREntries, 1)
+	if s := vm.Opts.Sink; s != nil {
+		s.VMOSREnter(f.Method.QualifiedName(), f.PC)
+	}
+	ret, err := vm.Engine.Run(g, args)
+	if err != nil {
+		return rt.Value{}, false, err
+	}
+	return ret, true, nil
+}
+
+// OSRGraph returns the installed OSR graph for (m, entryBCI), or nil. Safe
+// to call concurrently with compilation; exposed for tests and tools.
+func (vm *VM) OSRGraph(m *bc.Method, entryBCI int) *ir.Graph {
+	if vm.osrCode == nil {
+		return nil
+	}
+	return vm.osrGraph(osrSite{m, entryBCI})
+}

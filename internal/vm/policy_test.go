@@ -69,7 +69,7 @@ func TestInvalidateForcesNonSpeculativeRecompile(t *testing.T) {
 	if machine.CompiledGraph(m) == nil {
 		t.Fatal("not compiled")
 	}
-	machine.Invalidate(m)
+	machine.Invalidate(m, "deopt")
 	if machine.CompiledGraph(m) != nil {
 		t.Fatal("invalidation did not drop the graph")
 	}
@@ -87,8 +87,8 @@ func TestInvalidateForcesNonSpeculativeRecompile(t *testing.T) {
 		t.Fatal("not recompiled after invalidation")
 	}
 	// Invalidating an uncompiled method is a no-op.
-	machine.Invalidate(m)
-	machine.Invalidate(m)
+	machine.Invalidate(m, "deopt")
+	machine.Invalidate(m, "deopt")
 	if machine.VMStats.InvalidatedMethods != 2 {
 		t.Fatalf("invalidations = %d, want 2", machine.VMStats.InvalidatedMethods)
 	}

@@ -18,6 +18,14 @@
 // (method, EA mode, speculation, profile fingerprint) and recompiles after
 // deoptimization or across VMs sharing the cache replay cached code
 // instead of re-running the pipeline.
+//
+// With Options.OSRThreshold the VM also performs on-stack replacement:
+// the interpreter counts loop back edges, and a loop that crosses the
+// threshold triggers compilation of the method with an alternate entry at
+// the loop header (build.BuildOSR). The live interpreter frame is
+// transferred into the compiled code mid-invocation, so even a single
+// long-running call tiers up; deoptimization transfers back out through
+// the ordinary FrameState path.
 package vm
 
 import (
@@ -76,6 +84,11 @@ type Options struct {
 	// Speculate enables profile-guided branch pruning with
 	// deoptimization.
 	Speculate bool
+	// OSRThreshold is the back-edge count at which a hot loop triggers an
+	// on-stack-replacement compilation of its enclosing method, entered at
+	// the loop header mid-invocation. <=0 (the default) disables OSR; the
+	// method then tiers up only at call boundaries.
+	OSRThreshold int64
 	// Seed seeds the deterministic PRNG (default 1).
 	Seed uint64
 	// MaxSteps bounds interpreted+compiled steps (0 = unbounded).
@@ -133,6 +146,15 @@ type Stats struct {
 	CompiledMethods    int64
 	Recompilations     int64
 	InvalidatedMethods int64
+	// OSRCompilations counts installed on-stack-replacement graphs (kept
+	// separate from CompiledMethods: an OSR artifact is an extra entry
+	// point, not a method tier-up).
+	OSRCompilations int64
+	// OSRRequests counts OSR compilations submitted to the broker.
+	OSRRequests int64
+	// OSREntries counts transfers from an interpreter frame into compiled
+	// OSR code at a loop-header back-edge.
+	OSREntries int64
 }
 
 // VM runs one program.
@@ -151,6 +173,14 @@ type VM struct {
 	// noSpec marks methods whose speculative code deoptimized; they are
 	// recompiled without speculation.
 	noSpec []atomic.Bool
+
+	// osrCode holds installed on-stack-replacement graphs keyed by
+	// (method, loop-header BCI). OSR entries are consulted only on
+	// interpreter back-edges (orders of magnitude rarer than calls), so a
+	// mutex-guarded map suffices where the method code table needs atomics.
+	osrMu     sync.Mutex
+	osrCode   map[osrSite]*ir.Graph
+	osrFailed map[osrSite]bool
 
 	jit *broker.Broker
 
@@ -189,6 +219,11 @@ func New(prog *bc.Program, opts Options) *VM {
 	vm.Interp = interp.New(vm.Env)
 	vm.Interp.MaxSteps = opts.MaxSteps
 	vm.Interp.CallHook = vm.interpCallHook
+	if opts.OSRThreshold > 0 && !opts.Interpret {
+		vm.osrCode = make(map[osrSite]*ir.Graph)
+		vm.osrFailed = make(map[osrSite]bool)
+		vm.Interp.OSRHook = vm.osrHook
+	}
 	vm.Engine = &exec.Engine{Env: vm.Env, MaxSteps: opts.MaxSteps, Sink: opts.Sink}
 	vm.Engine.Invoke = vm.engineInvoke
 	vm.Engine.Deopt = vm.deopt
@@ -269,7 +304,7 @@ func (vm *VM) maybeCompiled(m *bc.Method) *ir.Graph {
 	if inv < vm.Opts.threshold() {
 		return nil
 	}
-	if vm.jit.Pending(m) {
+	if vm.jit.Pending(m, broker.NoOSR) {
 		return nil // already queued or being compiled; keep interpreting
 	}
 	vm.jit.Submit(m, inv, vm.cacheKey(m))
@@ -288,13 +323,29 @@ func (vm *VM) cacheKey(m *bc.Method) broker.Key {
 		Method:      m,
 		Mode:        int(vm.Opts.EA),
 		Spec:        spec,
-		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal()),
+		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), 0),
+		EntryBCI:    broker.NoOSR,
+	}
+}
+
+// osrCacheKey is cacheKey for an on-stack-replacement compilation entered
+// at the loop header entryBCI. The fingerprint additionally mixes which
+// loop headers crossed the OSR threshold, so profiles that would drive
+// different OSR decisions never replay each other's artifacts.
+func (vm *VM) osrCacheKey(m *bc.Method, entryBCI int) broker.Key {
+	spec := vm.Opts.Speculate && !vm.noSpec[m.ID].Load()
+	return broker.Key{
+		Method:      m,
+		Mode:        int(vm.Opts.EA),
+		Spec:        spec,
+		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), vm.Opts.OSRThreshold),
+		EntryBCI:    entryBCI,
 	}
 }
 
 // compileForKey is the broker's compile callback.
 func (vm *VM) compileForKey(m *bc.Method, k broker.Key) (*ir.Graph, error) {
-	return vm.compile(m, k.Spec)
+	return vm.compileEntry(m, k.Spec, k.EntryBCI)
 }
 
 // install is the broker's installation callback. It publishes g atomically
@@ -305,6 +356,17 @@ func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
 		// flight; installing it would immediately deoptimize again.
 		// Drop the artifact — the next hot call resubmits with
 		// Spec=false.
+		return
+	}
+	if k.IsOSR() {
+		vm.osrMu.Lock()
+		vm.osrCode[osrSite{m, k.EntryBCI}] = g
+		vm.osrMu.Unlock()
+		atomic.AddInt64(&vm.VMStats.OSRCompilations, 1)
+		if s := vm.Opts.Sink; s != nil {
+			s.VMCompile(fmt.Sprintf("%s@osr%d", m.QualifiedName(), k.EntryBCI),
+				int(vm.Interp.Profile.BackEdges(m, k.EntryBCI)))
+		}
 		return
 	}
 	vm.code[m.ID].Store(g)
@@ -322,11 +384,19 @@ func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
 	}
 }
 
-// recordFailure is the broker's failure callback.
-func (vm *VM) recordFailure(m *bc.Method, err error) {
+// recordFailure is the broker's failure callback. An OSR compilation
+// failure blacklists only that (method, loop header) entry point; the
+// method itself stays eligible for standard tier-up, and vice versa.
+func (vm *VM) recordFailure(m *bc.Method, k broker.Key, err error) {
 	vm.failedMu.Lock()
 	vm.failed[m] = err
 	vm.failedMu.Unlock()
+	if k.IsOSR() {
+		vm.osrMu.Lock()
+		vm.osrFailed[osrSite{m, k.EntryBCI}] = true
+		vm.osrMu.Unlock()
+		return
+	}
 	vm.hasFailed[m.ID].Store(true)
 }
 
@@ -334,16 +404,30 @@ func (vm *VM) recordFailure(m *bc.Method, err error) {
 // bypassing the broker and cache. Exposed for tests and tools that need a
 // fresh pipeline run.
 func (vm *VM) Compile(m *bc.Method) (*ir.Graph, error) {
-	return vm.compile(m, vm.Opts.Speculate && !vm.noSpec[m.ID].Load())
+	return vm.compileEntry(m, vm.Opts.Speculate && !vm.noSpec[m.ID].Load(), broker.NoOSR)
 }
 
-// compile runs the full pipeline for m; spec selects speculative branch
-// pruning. It is safe for concurrent use: every run builds a private graph
+// CompileOSR builds and optimizes an on-stack-replacement graph for m
+// entered at the loop header entryBCI, bypassing the broker and cache.
+func (vm *VM) CompileOSR(m *bc.Method, entryBCI int) (*ir.Graph, error) {
+	return vm.compileEntry(m, vm.Opts.Speculate && !vm.noSpec[m.ID].Load(), entryBCI)
+}
+
+// compileEntry runs the full pipeline for m; spec selects speculative
+// branch pruning, and entryBCI selects the entry point (broker.NoOSR for a
+// standard method-entry compile, a loop-header bytecode index for an OSR
+// compile). It is safe for concurrent use: every run builds a private graph
 // and private phase instances, and the shared inputs (bytecode, profile,
 // sink/metrics) are immutable or internally locked.
-func (vm *VM) compile(m *bc.Method, spec bool) (*ir.Graph, error) {
+func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, error) {
 	sink := vm.Opts.Sink
-	g, err := build.BuildWith(m, sink)
+	var g *ir.Graph
+	var err error
+	if entryBCI == broker.NoOSR {
+		g, err = build.BuildWith(m, sink)
+	} else {
+		g, err = build.BuildOSRWith(m, entryBCI, sink)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -424,15 +508,27 @@ func (vm *VM) compile(m *bc.Method, spec bool) (*ir.Graph, error) {
 	return g, nil
 }
 
-// Invalidate drops m's compiled code; the next hot call recompiles it
-// without speculation (replaying the non-speculative cache entry when one
-// exists).
-func (vm *VM) Invalidate(m *bc.Method) {
-	if vm.code[m.ID].Swap(nil) != nil {
+// Invalidate drops m's compiled code — the standard entry and every OSR
+// entry — recording reason in the invalidation event; the next hot call
+// recompiles without speculation (replaying the non-speculative cache entry
+// when one exists).
+func (vm *VM) Invalidate(m *bc.Method, reason string) {
+	invalidated := vm.code[m.ID].Swap(nil) != nil
+	if vm.osrCode != nil {
+		vm.osrMu.Lock()
+		for site := range vm.osrCode {
+			if site.m == m {
+				delete(vm.osrCode, site)
+				invalidated = true
+			}
+		}
+		vm.osrMu.Unlock()
+	}
+	if invalidated {
 		vm.noSpec[m.ID].Store(true)
 		atomic.AddInt64(&vm.VMStats.InvalidatedMethods, 1)
 		if s := vm.Opts.Sink; s != nil {
-			s.VMInvalidate(m.QualifiedName(), "deopt")
+			s.VMInvalidate(m.QualifiedName(), reason)
 		}
 	}
 }
@@ -456,6 +552,9 @@ func (vm *VM) Stats() Stats {
 		CompiledMethods:    atomic.LoadInt64(&vm.VMStats.CompiledMethods),
 		Recompilations:     atomic.LoadInt64(&vm.VMStats.Recompilations),
 		InvalidatedMethods: atomic.LoadInt64(&vm.VMStats.InvalidatedMethods),
+		OSRCompilations:    atomic.LoadInt64(&vm.VMStats.OSRCompilations),
+		OSRRequests:        atomic.LoadInt64(&vm.VMStats.OSRRequests),
+		OSREntries:         atomic.LoadInt64(&vm.VMStats.OSREntries),
 	}
 }
 
