@@ -7,7 +7,8 @@
 //
 //	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S]
 //	      [-osr-threshold N] [-jit-async] [-jit-workers N]
-//	      [-trace-events out.jsonl] [-metrics] prog.mj
+//	      [-check off|basic|strict] [-trace-events out.jsonl] [-metrics]
+//	      prog.mj
 //
 // With -jit-async hot methods are compiled on background broker workers
 // while the interpreter keeps running them (tier-up); the default compiles
@@ -25,6 +26,13 @@
 // inlining and PEA decisions, deopts, rematerializations) is written as
 // JSON lines; with -metrics the compiler metrics registry is printed as a
 // table to stderr after the run.
+//
+// With -check the compiler sanitizer runs between phases: "basic" is the
+// structural IR verifier, "strict" additionally proves SSA dominance,
+// cross-checks FrameStates against the bytecode verifier's stack shapes,
+// and validates virtual-object and OSR metadata. The PEA_CHECK
+// environment variable floors the flag, so PEA_CHECK=strict turns any
+// invocation strict. The default "off" adds zero compile-time overhead.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"io"
 	"os"
 
+	"pea/internal/check"
 	"pea/internal/mj"
 	"pea/internal/obs"
 	"pea/internal/vm"
@@ -49,6 +58,7 @@ func main() {
 	osrThreshold := flag.Int64("osr-threshold", 0, "back-edge count triggering on-stack replacement of hot loops (0 = disabled)")
 	jitAsync := flag.Bool("jit-async", false, "compile hot methods on background broker workers (tier-up)")
 	jitWorkers := flag.Int("jit-workers", 0, "background JIT workers with -jit-async (0 = GOMAXPROCS)")
+	checkMode := flag.String("check", "off", "compiler sanitizer level: off, basic, or strict (floored by PEA_CHECK)")
 	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
 	traceText := flag.Bool("trace-text", false, "also render events human-readably to stderr")
 	metrics := flag.Bool("metrics", false, "print the compiler metrics table to stderr after the run")
@@ -87,6 +97,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -ea mode %q", *eaMode))
 	}
+	lvl, err := check.ParseLevel(*checkMode)
+	if err != nil {
+		fatal(err)
+	}
+	opts.CheckLevel = lvl
 
 	// Observability: events to JSONL and/or text, metrics registry.
 	var met *obs.Metrics

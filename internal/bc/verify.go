@@ -46,6 +46,19 @@ func StackShape(m *Method, pc int) ([]Kind, error) {
 	return append([]Kind(nil), v.shapes[pc]...), nil
 }
 
+// StackShapes runs the verifier dataflow once and returns the operand-stack
+// kinds on entry to every pc (bottom first) plus a reachability flag per pc.
+// Unreached pcs have a nil shape. It is the bulk form of StackShape, used by
+// the strict checker to validate every FrameState of a method against the
+// bytecode's verifier-computed shapes with a single dataflow run.
+func StackShapes(m *Method) (shapes [][]Kind, reached []bool, err error) {
+	v := &verifier{m: m, shapes: make([][]Kind, len(m.Code)), reached: make([]bool, len(m.Code))}
+	if err := v.run(); err != nil {
+		return nil, nil, fmt.Errorf("bc: %s: %w", m.QualifiedName(), err)
+	}
+	return v.shapes, v.reached, nil
+}
+
 type verifier struct {
 	m        *Method
 	shapes   [][]Kind // stack shape at entry of each reached pc

@@ -17,10 +17,12 @@ package broker
 
 import (
 	"container/heap"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"pea/internal/bc"
+	"pea/internal/check"
 	"pea/internal/ir"
 	"pea/internal/obs"
 )
@@ -53,6 +55,14 @@ type Options struct {
 	// which artifact failed (a standard compile vs. one OSR entry point
 	// of the same method).
 	Fail func(m *bc.Method, k Key, err error)
+
+	// Check is the sanitizer level applied to freshly compiled graphs
+	// before they enter the code cache. Cache entries are shared across
+	// VMs and replayed without re-running the pipeline, so a corrupt
+	// graph would be installed everywhere; re-verifying at the install
+	// boundary makes the cache a trust boundary. The PEA_CHECK
+	// environment variable floors this level.
+	Check check.Level
 
 	// Sink receives broker lifecycle events; Metrics (via the sink) keeps
 	// the queue-depth/worker-utilization/cache gauges current. Both are
@@ -284,6 +294,14 @@ func (b *Broker) compileOne(t *task) {
 	b.mu.Unlock()
 
 	g, err := b.opts.Compile(t.m, t.key)
+	if err == nil {
+		// Re-verify before the artifact becomes shared state: the cache
+		// replays graphs into other VMs without another pipeline run.
+		if cerr := check.Graph(g, check.Effective(b.opts.Check)); cerr != nil {
+			err = fmt.Errorf("broker: refusing to install %s: %w", name, cerr)
+			b.opts.Sink.CheckViolation("broker-install", name, cerr.Error(), "")
+		}
+	}
 	if err != nil {
 		b.mu.Lock()
 		b.stats.Failed++

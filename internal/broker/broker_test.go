@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pea/internal/bc"
+	"pea/internal/build"
 	"pea/internal/ir"
 )
 
@@ -32,12 +33,23 @@ func testMethods(t *testing.T, n int) []*bc.Method {
 
 func key(m *bc.Method) Key { return Key{Method: m} }
 
+// mustBuild produces a real, verifiable graph: the broker re-checks every
+// fresh compile before caching it (and PEA_CHECK may floor that check up),
+// so test compiles cannot hand back empty placeholder graphs.
+func mustBuild(m *bc.Method) *ir.Graph {
+	g, err := build.Build(m)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 func TestSynchronousSubmitCompilesInline(t *testing.T) {
 	ms := testMethods(t, 1)
 	var installed []*bc.Method
 	b := New(Options{
 		Workers: 0,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return new(ir.Graph), nil },
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return mustBuild(m), nil },
 		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
 			if fromCache {
 				t.Error("first compile must not come from cache")
@@ -65,7 +77,7 @@ func TestCacheReplay(t *testing.T) {
 	compiles := 0
 	var fromCacheSeen []bool
 	b := New(Options{
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { compiles++; return new(ir.Graph), nil },
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { compiles++; return mustBuild(m), nil },
 		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
 			fromCacheSeen = append(fromCacheSeen, fromCache)
 		},
@@ -123,7 +135,7 @@ func TestAsyncDedupAndQueueBound(t *testing.T) {
 			default:
 			}
 			<-release
-			return new(ir.Graph), nil
+			return mustBuild(m), nil
 		},
 	})
 	// LIFO defers: release the parked worker first, then Close can join it.
@@ -171,7 +183,7 @@ func TestAsyncPriorityOrder(t *testing.T) {
 			if m == ms[0] {
 				<-release
 			}
-			return new(ir.Graph), nil
+			return mustBuild(m), nil
 		},
 	})
 	defer b.Close()
@@ -212,7 +224,7 @@ func TestDrainWaitsForWorkers(t *testing.T) {
 			mu.Lock()
 			done++
 			mu.Unlock()
-			return new(ir.Graph), nil
+			return mustBuild(m), nil
 		},
 	})
 	defer b.Close()
@@ -231,7 +243,7 @@ func TestClosedBrokerRejects(t *testing.T) {
 	ms := testMethods(t, 1)
 	b := New(Options{
 		Workers: 1,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return new(ir.Graph), nil },
+		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return mustBuild(m), nil },
 	})
 	b.Close()
 	if b.Submit(ms[0], 1, key(ms[0])) {

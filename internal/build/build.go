@@ -416,6 +416,8 @@ func (b *builder) computeLiveness() {
 			}
 			for i := pc; i < bi.end; i++ {
 				in := &code[i]
+				// oplint:ignore — liveness only cares about local
+				// slot traffic; every other op is a no-op here.
 				switch in.Op {
 				case bc.OpLoad:
 					if !bi.def[in.A] {
@@ -456,6 +458,8 @@ func (b *builder) computeLiveness() {
 		live := append([]bool(nil), bi.liveOut...)
 		for pc := bi.end - 1; pc >= bi.leader; pc-- {
 			in := &code[pc]
+			// oplint:ignore — backward liveness transfer: only local
+			// slot kills and uses matter.
 			switch in.Op {
 			case bc.OpStore:
 				live[in.A] = false
@@ -684,6 +688,8 @@ func (b *builder) translateBlock(leader int) error {
 		case bc.OpIfCmp, bc.OpIf, bc.OpIfRef, bc.OpIfNull:
 			fs := b.frameState(pc, st)
 			var cond *ir.Node
+			// oplint:ignore — the enclosing case limits in.Op to the
+			// four conditional branches.
 			switch in.Op {
 			case bc.OpIfCmp:
 				y := st.pop()

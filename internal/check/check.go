@@ -1,0 +1,383 @@
+package check
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+)
+
+// Graph validates g at the given level and returns the first violation
+// found. Off is a guaranteed no-op. Basic runs ir.Verify. Strict runs
+// ir.Verify and then the dominance-aware SSA and metadata checks below.
+//
+// Strict invariants (on top of Basic):
+//   - every value use is dominated by its definition: same-block uses
+//     come after the definition, cross-block uses are strictly
+//     dominated, and phi input i is defined on a path dominating the
+//     terminator of predecessor i;
+//   - FrameState slots and virtual-object values obey the same
+//     dominance rule relative to the node carrying the state;
+//   - every FrameState BCI is reachable bytecode; the innermost frame's
+//     stack matches the bytecode verifier's entry shape at that BCI
+//     (depth and kinds), outer frames sit at an invoke with the callee
+//     arguments popped, and non-nil locals match the slot kinds;
+//   - virtual-object entries have the field count of their class (or
+//     array length), resolve within the frame-state chain, and form no
+//     reference cycle other than direct self-reference;
+//   - OSR graphs parameterize on `locals ++ stack` at the entry BCI with
+//     matching kinds; regular graphs parameterize on the method
+//     arguments.
+func Graph(g *ir.Graph, lvl Level) error {
+	if lvl == Off {
+		return nil
+	}
+	if err := ir.Verify(g); err != nil {
+		return err
+	}
+	if lvl < Strict {
+		return nil
+	}
+	return strictGraph(g)
+}
+
+func strictGraph(g *ir.Graph) error {
+	c := &checker{
+		g:      g,
+		dom:    ir.NewDomTree(g),
+		pos:    make(map[*ir.Node]int),
+		shapes: make(map[*bc.Method]*methodShapes),
+	}
+	return c.run()
+}
+
+// methodShapes caches one verifier dataflow per method.
+type methodShapes struct {
+	shapes  [][]bc.Kind
+	reached []bool
+}
+
+type checker struct {
+	g      *ir.Graph
+	dom    *ir.DomTree
+	pos    map[*ir.Node]int // schedule position within its block
+	shapes map[*bc.Method]*methodShapes
+}
+
+func (c *checker) run() error {
+	// Schedule positions: phis all at 0 (they evaluate simultaneously on
+	// block entry), body nodes 1..n, terminator n+1.
+	for _, b := range c.g.Blocks {
+		for _, p := range b.Phis {
+			c.pos[p] = 0
+		}
+		for i, n := range b.Nodes {
+			c.pos[n] = i + 1
+		}
+		c.pos[b.Term] = len(b.Nodes) + 2
+	}
+	for _, b := range c.g.Blocks {
+		for _, p := range b.Phis {
+			if err := c.checkPhi(b, p); err != nil {
+				return err
+			}
+		}
+		for _, n := range b.Nodes {
+			if err := c.checkNode(b, n); err != nil {
+				return err
+			}
+		}
+		if err := c.checkNode(b, b.Term); err != nil {
+			return err
+		}
+	}
+	return c.checkParams()
+}
+
+// defDominatesUse checks that def is available when user executes.
+func (c *checker) defDominatesUse(def, user *ir.Node, useBlock *ir.Block, what string) error {
+	db := def.Block
+	if db == useBlock {
+		if c.pos[def] >= c.pos[user] {
+			return fmt.Errorf("check: %s of v%d (%s) by v%d (%s) in %s precedes its definition",
+				what, def.ID, def.Op, user.ID, user.Op, useBlock)
+		}
+		return nil
+	}
+	if !c.dom.Dominates(db, useBlock) {
+		return fmt.Errorf("check: %s of v%d (%s, in %s) by v%d (%s, in %s): definition does not dominate use",
+			what, def.ID, def.Op, db, user.ID, user.Op, useBlock)
+	}
+	return nil
+}
+
+// checkPhi verifies that phi input i is defined on a path dominating the
+// terminator of predecessor i.
+func (c *checker) checkPhi(b *ir.Block, p *ir.Node) error {
+	for i, in := range p.Inputs {
+		pred := b.Preds[i]
+		if in.Block != pred && !c.dom.Dominates(in.Block, pred) {
+			return fmt.Errorf("check: phi v%d in %s: input %d (v%d %s, in %s) does not dominate predecessor %s",
+				p.ID, b, i, in.ID, in.Op, in.Block, pred)
+		}
+	}
+	if p.FrameState != nil {
+		return fmt.Errorf("check: phi v%d in %s carries a FrameState", p.ID, b)
+	}
+	return nil
+}
+
+func (c *checker) checkNode(b *ir.Block, n *ir.Node) error {
+	for _, in := range n.Inputs {
+		if err := c.defDominatesUse(in, n, b, "use"); err != nil {
+			return err
+		}
+	}
+	if n.FrameState != nil {
+		if err := c.checkFrameState(b, n, n.FrameState); err != nil {
+			return fmt.Errorf("check: v%d (%s) in %s: %w", n.ID, n.Op, b, err)
+		}
+	}
+	return nil
+}
+
+// checkFrameState validates the whole chain hanging off one node: slot
+// dominance, bytecode shape agreement, and virtual-object metadata.
+func (c *checker) checkFrameState(b *ir.Block, n *ir.Node, fs *ir.FrameState) error {
+	// Dominance of every referenced value relative to the carrying node.
+	ref := func(v *ir.Node, what string) error {
+		if v == nil {
+			return nil
+		}
+		return c.defDominatesUse(v, n, b, what)
+	}
+	descs := make(map[*ir.Node]*ir.VirtualObjectState)
+	depth := 0
+	for s := fs; s != nil; s = s.Outer {
+		for i, v := range s.Locals {
+			if err := ref(v, fmt.Sprintf("frame-state local %d", i)); err != nil {
+				return err
+			}
+		}
+		for i, v := range s.Stack {
+			if v == nil {
+				return fmt.Errorf("frame %d at %s:%d: nil stack slot %d",
+					depth, s.Method.QualifiedName(), s.BCI, i)
+			}
+			if err := ref(v, fmt.Sprintf("frame-state stack slot %d", i)); err != nil {
+				return err
+			}
+		}
+		for _, vo := range s.VirtualObjects {
+			if err := ref(vo.Object, "virtual object"); err != nil {
+				return err
+			}
+			for i, v := range vo.Values {
+				if v == nil {
+					return fmt.Errorf("virtual object v%d: nil field value %d", vo.Object.ID, i)
+				}
+				if err := ref(v, fmt.Sprintf("virtual object field %d", i)); err != nil {
+					return err
+				}
+			}
+			if prev, dup := descs[vo.Object]; dup && prev != vo {
+				return fmt.Errorf("virtual object v%d has two descriptors in one chain", vo.Object.ID)
+			}
+			descs[vo.Object] = vo
+		}
+		if err := c.checkFrameShape(s, depth); err != nil {
+			return err
+		}
+		depth++
+	}
+	return c.checkVirtualObjects(descs)
+}
+
+// checkFrameShape cross-checks one frame against the bytecode verifier's
+// dataflow for its method. depth 0 is the innermost frame.
+func (c *checker) checkFrameShape(s *ir.FrameState, depth int) error {
+	ms, err := c.shapesFor(s.Method)
+	if err != nil {
+		return err
+	}
+	if !ms.reached[s.BCI] {
+		return fmt.Errorf("frame %d: bci %d of %s is unreachable bytecode",
+			depth, s.BCI, s.Method.QualifiedName())
+	}
+	shape := ms.shapes[s.BCI]
+	want := len(shape)
+	if depth > 0 {
+		// Outer frames sit at the invoke whose callee is inlined below
+		// them: the callee arguments have been popped.
+		in := &s.Method.Code[s.BCI]
+		if !in.Op.IsInvoke() {
+			return fmt.Errorf("frame %d: outer state at %s:%d is %s, not an invoke",
+				depth, s.Method.QualifiedName(), s.BCI, in.Op)
+		}
+		want -= in.Method.NumArgs()
+		if want < 0 {
+			return fmt.Errorf("frame %d: invoke at %s:%d pops %d args from a stack of %d",
+				depth, s.Method.QualifiedName(), s.BCI, in.Method.NumArgs(), len(shape))
+		}
+	}
+	if len(s.Stack) != want {
+		return fmt.Errorf("frame %d at %s:%d: stack depth %d, verifier shape wants %d",
+			depth, s.Method.QualifiedName(), s.BCI, len(s.Stack), want)
+	}
+	for i, v := range s.Stack {
+		if v != nil && v.Kind != shape[i] {
+			return fmt.Errorf("frame %d at %s:%d: stack slot %d is %s, verifier shape wants %s",
+				depth, s.Method.QualifiedName(), s.BCI, i, v.Kind, shape[i])
+		}
+	}
+	for i, v := range s.Locals {
+		if v != nil && v.Kind != s.Method.LocalKinds[i] {
+			return fmt.Errorf("frame %d at %s:%d: local %d is %s, slot kind is %s",
+				depth, s.Method.QualifiedName(), s.BCI, i, v.Kind, s.Method.LocalKinds[i])
+		}
+	}
+	return nil
+}
+
+// checkVirtualObjects validates the descriptor set collected over one
+// frame-state chain: field counts match the class layout (or array
+// length), every virtual-object reference inside a value list resolves
+// to a descriptor in the same chain, and the reference graph has no
+// cycle other than a direct self-reference (deoptimization materializes
+// along these edges; see vm.deopt).
+func (c *checker) checkVirtualObjects(descs map[*ir.Node]*ir.VirtualObjectState) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*ir.Node]int, len(descs))
+	var visit func(n *ir.Node) error
+	visit = func(n *ir.Node) error {
+		switch color[n] {
+		case grey:
+			return fmt.Errorf("virtual object v%d participates in a reference cycle", n.ID)
+		case black:
+			return nil
+		}
+		color[n] = grey
+		vo := descs[n]
+		if n.Class != nil {
+			if len(vo.Values) != n.Class.NumFields() {
+				return fmt.Errorf("virtual object v%d has %d values for class %s with %d fields",
+					n.ID, len(vo.Values), n.Class.Name, n.Class.NumFields())
+			}
+		} else {
+			if int64(len(vo.Values)) != n.AuxLen {
+				return fmt.Errorf("virtual array v%d has %d values for length %d",
+					n.ID, len(vo.Values), n.AuxLen)
+			}
+		}
+		if vo.LockDepth < 0 {
+			return fmt.Errorf("virtual object v%d has negative lock depth %d", n.ID, vo.LockDepth)
+		}
+		for _, v := range vo.Values {
+			if v == nil || v.Op != ir.OpVirtualObject {
+				continue
+			}
+			if v == n {
+				continue // direct self-reference: materialization registers before filling
+			}
+			if _, ok := descs[v]; !ok {
+				return fmt.Errorf("virtual object v%d references v%d, which has no descriptor in the chain",
+					n.ID, v.ID)
+			}
+			if err := visit(v); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	// Deterministic enough for error reporting: any root order finds the
+	// same class of violation.
+	for n := range descs {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkParams verifies the parameter convention of the graph: OSR graphs
+// take `locals ++ stack` at the entry BCI, regular graphs take the
+// method arguments.
+func (c *checker) checkParams() error {
+	m := c.g.Method
+	if m == nil {
+		return nil
+	}
+	var stackShape []bc.Kind
+	if c.g.IsOSR {
+		ms, err := c.shapesFor(m)
+		if err != nil {
+			return err
+		}
+		bci := c.g.OSREntryBCI
+		if bci < 0 || bci >= len(m.Code) || !ms.reached[bci] {
+			return fmt.Errorf("check: OSR entry bci %d of %s is not reachable bytecode",
+				bci, m.QualifiedName())
+		}
+		stackShape = ms.shapes[bci]
+	}
+	seenParam := make(map[int64]bool)
+	for _, b := range c.g.Blocks {
+		for _, n := range b.Nodes {
+			if n.Op != ir.OpParam {
+				continue
+			}
+			if b != c.g.Entry() {
+				return fmt.Errorf("check: param v%d placed in %s, not the entry block", n.ID, b)
+			}
+			if c.g.IsOSR {
+				limit := int64(m.NumLocals() + len(stackShape))
+				if n.AuxInt < 0 || n.AuxInt >= limit {
+					return fmt.Errorf("check: OSR param v%d slot %d outside locals++stack range [0,%d)",
+						n.ID, n.AuxInt, limit)
+				}
+				var want bc.Kind
+				if n.AuxInt < int64(m.NumLocals()) {
+					want = m.LocalKinds[n.AuxInt]
+				} else {
+					want = stackShape[n.AuxInt-int64(m.NumLocals())]
+				}
+				if n.Kind != want {
+					return fmt.Errorf("check: OSR param v%d slot %d is %s, frame slot is %s",
+						n.ID, n.AuxInt, n.Kind, want)
+				}
+			} else {
+				if n.AuxInt < 0 || n.AuxInt >= int64(m.NumArgs()) {
+					return fmt.Errorf("check: param v%d index %d outside argument range [0,%d)",
+						n.ID, n.AuxInt, m.NumArgs())
+				}
+				if n.Kind != m.LocalKinds[n.AuxInt] {
+					return fmt.Errorf("check: param v%d index %d is %s, argument kind is %s",
+						n.ID, n.AuxInt, n.Kind, m.LocalKinds[n.AuxInt])
+				}
+			}
+			if seenParam[n.AuxInt] {
+				return fmt.Errorf("check: duplicate param for slot %d", n.AuxInt)
+			}
+			seenParam[n.AuxInt] = true
+		}
+	}
+	return nil
+}
+
+func (c *checker) shapesFor(m *bc.Method) (*methodShapes, error) {
+	if ms, ok := c.shapes[m]; ok {
+		return ms, nil
+	}
+	shapes, reached, err := bc.StackShapes(m)
+	if err != nil {
+		return nil, fmt.Errorf("stack shapes for %s: %w", m.QualifiedName(), err)
+	}
+	ms := &methodShapes{shapes: shapes, reached: reached}
+	c.shapes[m] = ms
+	return ms, nil
+}

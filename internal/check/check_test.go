@@ -1,0 +1,158 @@
+// Tests live in an external package so they can drive the real front end
+// (build, opt, pea) against the checker; those packages import check, so an
+// internal test package would cycle.
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/build"
+	"pea/internal/check"
+	"pea/internal/ir"
+)
+
+// tinyMethod assembles a one-parameter method used as a graph carrier.
+func tinyMethod(t *testing.T) *bc.Method {
+	t.Helper()
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	m.Load(0).ReturnValue()
+	p, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.ClassByName("C").MethodByName("m")
+}
+
+// danglingPhiGraph builds a diamond whose phi takes, for the b1 edge, a
+// constant defined in b2 — structurally well-formed (counts match, all
+// nodes placed) but an SSA dominance violation: b2 does not dominate b1.
+func danglingPhiGraph(t *testing.T) *ir.Graph {
+	t.Helper()
+	g := ir.NewGraph(tinyMethod(t))
+	entry := g.Entry()
+	p := g.NewNode(ir.OpParam, bc.KindInt)
+	g.Append(entry, p)
+	b1 := g.NewBlock()
+	b2 := g.NewBlock()
+	join := g.NewBlock()
+	g.SetTerm(entry, g.NewNode(ir.OpIf, bc.KindVoid, p), b1, b2)
+	c2 := g.ConstInt(b2, 2)
+	g.SetTerm(b1, g.NewNode(ir.OpGoto, bc.KindVoid), join)
+	g.SetTerm(b2, g.NewNode(ir.OpGoto, bc.KindVoid), join)
+	phi := g.AddPhi(join, bc.KindInt, c2, c2) // input 0 is for pred b1: dangling
+	g.SetTerm(join, g.NewNode(ir.OpReturn, bc.KindVoid, phi))
+	return g
+}
+
+func TestStrictCatchesDanglingPhiInput(t *testing.T) {
+	g := danglingPhiGraph(t)
+	if err := check.Graph(g, check.Basic); err != nil {
+		t.Fatalf("basic should accept the structurally valid graph: %v", err)
+	}
+	err := check.Graph(g, check.Strict)
+	if err == nil {
+		t.Fatal("strict accepted a phi input that does not dominate its predecessor")
+	}
+	if !strings.Contains(err.Error(), "phi") {
+		t.Fatalf("error should identify the phi: %v", err)
+	}
+}
+
+func TestStrictAcceptsWellFormedDiamond(t *testing.T) {
+	g := ir.NewGraph(tinyMethod(t))
+	entry := g.Entry()
+	p := g.NewNode(ir.OpParam, bc.KindInt)
+	g.Append(entry, p)
+	b1 := g.NewBlock()
+	b2 := g.NewBlock()
+	join := g.NewBlock()
+	g.SetTerm(entry, g.NewNode(ir.OpIf, bc.KindVoid, p), b1, b2)
+	c1 := g.ConstInt(b1, 1)
+	c2 := g.ConstInt(b2, 2)
+	g.SetTerm(b1, g.NewNode(ir.OpGoto, bc.KindVoid), join)
+	g.SetTerm(b2, g.NewNode(ir.OpGoto, bc.KindVoid), join)
+	phi := g.AddPhi(join, bc.KindInt, c1, c2)
+	g.SetTerm(join, g.NewNode(ir.OpReturn, bc.KindVoid, phi))
+	if err := check.Graph(g, check.Strict); err != nil {
+		t.Fatalf("strict rejected a well-formed diamond: %v", err)
+	}
+}
+
+// TestOffIsFree pins the zero-overhead guarantee of the disabled checker:
+// no allocations and no dominator trees on the Off path.
+func TestOffIsFree(t *testing.T) {
+	m := tinyMethod(t)
+	g, err := build.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ir.DomTreesBuilt()
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := check.Graph(g, check.Off); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("check.Graph at Off allocated %v times per run, want 0", allocs)
+	}
+	if got := ir.DomTreesBuilt(); got != before {
+		t.Fatalf("check.Graph at Off built %d dominator trees", got-before)
+	}
+	if err := check.Graph(g, check.Strict); err != nil {
+		t.Fatal(err)
+	}
+	if got := ir.DomTreesBuilt(); got <= before {
+		t.Fatal("strict check should have built a dominator tree")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want check.Level
+	}{
+		{"", check.Off}, {"off", check.Off}, {"basic", check.Basic}, {"strict", check.Strict},
+	} {
+		got, err := check.ParseLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := check.ParseLevel("bogus"); err == nil {
+		t.Error("ParseLevel(bogus) should fail")
+	}
+}
+
+func TestEffectiveFloorsByEnv(t *testing.T) {
+	// The env level is latched once per process, so the test asserts the
+	// floor relation rather than a fixed value: it must hold both in a
+	// plain run and under PEA_CHECK=strict.
+	for _, l := range []check.Level{check.Off, check.Basic, check.Strict} {
+		e := check.Effective(l)
+		if e < l || e < check.Env() {
+			t.Errorf("Effective(%v) = %v, below max(%v, %v)", l, e, l, check.Env())
+		}
+	}
+	if check.Max(check.Basic, check.Strict) != check.Strict {
+		t.Error("Max(basic, strict) != strict")
+	}
+}
+
+func TestDiffDumps(t *testing.T) {
+	before := "a\nb\nc\nd\ne\nf\ng\nh\n"
+	after := "a\nb\nc\nd\nX\nf\ng\nh\n"
+	d := check.DiffDumps(before, after)
+	if !strings.Contains(d, "- e") || !strings.Contains(d, "+ X") {
+		t.Fatalf("diff missing changed lines:\n%s", d)
+	}
+	if strings.Contains(d, "- a") || strings.Contains(d, "+ h") {
+		t.Fatalf("diff should elide the common prefix/suffix:\n%s", d)
+	}
+	if check.DiffDumps("same\n", "same\n") != "(dumps identical)" {
+		t.Fatal("identical dumps should say so")
+	}
+}

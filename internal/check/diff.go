@@ -1,0 +1,58 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffDumps renders a compact line diff between two ir.Dump outputs,
+// used by the pipeline's failure forensics to pinpoint what a phase
+// changed before a check violation. Common prefix and suffix lines are
+// elided down to a few lines of context; the differing middle is shown
+// with -/+ markers.
+func DiffDumps(before, after string) string {
+	const context = 3
+	a := strings.Split(strings.TrimRight(before, "\n"), "\n")
+	b := strings.Split(strings.TrimRight(after, "\n"), "\n")
+	// Common prefix.
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	// Common suffix (not overlapping the prefix).
+	s := 0
+	for s < len(a)-p && s < len(b)-p && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	if p == len(a) && p == len(b) {
+		return "(dumps identical)"
+	}
+	var out strings.Builder
+	start := p - context
+	if start < 0 {
+		start = 0
+	}
+	if start > 0 {
+		fmt.Fprintf(&out, "  ... %d unchanged lines ...\n", start)
+	}
+	for i := start; i < p; i++ {
+		fmt.Fprintf(&out, "  %s\n", a[i])
+	}
+	for i := p; i < len(a)-s; i++ {
+		fmt.Fprintf(&out, "- %s\n", a[i])
+	}
+	for i := p; i < len(b)-s; i++ {
+		fmt.Fprintf(&out, "+ %s\n", b[i])
+	}
+	end := s - context
+	if end < 0 {
+		end = 0
+	}
+	for i := len(b) - s; i < len(b)-end; i++ {
+		fmt.Fprintf(&out, "  %s\n", b[i])
+	}
+	if end > 0 {
+		fmt.Fprintf(&out, "  ... %d unchanged lines ...\n", end)
+	}
+	return out.String()
+}

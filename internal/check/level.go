@@ -1,0 +1,95 @@
+// Package check is the compiler sanitizer: a leveled set of IR invariant
+// checks run between phases. Level Off does nothing and costs nothing
+// (no dominator trees are built, no allocation happens on the compile
+// path). Level Basic runs the structural ir.Verify pass. Level Strict
+// additionally builds a dominator tree and proves SSA well-formedness
+// (def dominates use, phi inputs dominate the matching predecessor),
+// cross-checks every FrameState against the bytecode verifier's
+// stack shapes, validates virtual-object metadata, and verifies OSR
+// entry conventions.
+//
+// The environment variable PEA_CHECK ("off", "basic", "strict") acts as
+// a floor on every explicitly configured level, so PEA_CHECK=strict
+// flips an entire test suite or benchmark run into strict mode without
+// touching any call site.
+package check
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Level selects how much checking runs between compiler phases.
+type Level int
+
+const (
+	// Off disables all checking. The compile path must build no
+	// dominator trees and perform no checking allocations at this level.
+	Off Level = iota
+	// Basic runs the structural ir.Verify pass (the historical
+	// Validate=true behavior).
+	Basic
+	// Strict runs Basic plus dominance-aware SSA checks, deep
+	// FrameState/virtual-object validation and OSR convention checks.
+	Strict
+)
+
+func (l Level) String() string {
+	switch l {
+	case Off:
+		return "off"
+	case Basic:
+		return "basic"
+	case Strict:
+		return "strict"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ParseLevel parses a level name as accepted by the -check flag and the
+// PEA_CHECK environment variable.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "basic":
+		return Basic, nil
+	case "strict":
+		return Strict, nil
+	}
+	return Off, fmt.Errorf("check: unknown level %q (want off, basic or strict)", s)
+}
+
+// Max returns the stronger of two levels.
+func Max(a, b Level) Level {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var (
+	envOnce  sync.Once
+	envLevel Level
+)
+
+// Env returns the level requested by the PEA_CHECK environment variable,
+// parsed once per process. An unset or empty variable means Off; an
+// invalid value panics (a misspelled PEA_CHECK silently checking nothing
+// would defeat its purpose).
+func Env() Level {
+	envOnce.Do(func() {
+		v := os.Getenv("PEA_CHECK")
+		l, err := ParseLevel(v)
+		if err != nil {
+			panic(err)
+		}
+		envLevel = l
+	})
+	return envLevel
+}
+
+// Effective floors an explicitly configured level by the PEA_CHECK
+// environment variable.
+func Effective(l Level) Level { return Max(l, Env()) }

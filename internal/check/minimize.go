@@ -1,0 +1,123 @@
+package check
+
+import "pea/internal/bc"
+
+// Minimize shrinks the bytecode of m with delta debugging while a
+// failure predicate keeps holding. It mutates m.Code in place and
+// reports how many instructions were eliminated (removed or reduced to
+// nops).
+//
+// reproduces is called with m already holding the candidate body; it
+// must re-run whatever tripped (a strict check, a differential
+// divergence, a compiler crash) and report whether the candidate still
+// fails. Candidates are pre-gated by bc.Verify, so the predicate only
+// sees structurally valid programs; panics inside the predicate count as
+// "still fails" (the crash being minimized may itself be a panic).
+//
+// Two reduction passes alternate until a fixpoint:
+//   - range deletion (classic ddmin): drop a chunk of instructions,
+//     retargeting branches across the gap (branches into the deleted
+//     range land on its former start);
+//   - nop substitution: replace single instructions with OpNop, which
+//     survives where deletion cannot (keeps pcs stable for the rest of
+//     the body).
+func Minimize(m *bc.Method, reproduces func() bool) int {
+	eliminated := 0
+	try := func(cand []bc.Instr) bool {
+		orig := m.Code
+		origMax := m.MaxStack
+		m.Code = cand
+		if bc.Verify(m) == nil && holds(reproduces) {
+			return true
+		}
+		m.Code = orig
+		m.MaxStack = origMax
+		return false
+	}
+
+	for {
+		before := len(m.Code) + countNops(m.Code)
+		// Pass 1: ddmin range deletion over power-of-two chunk sizes
+		// (largest ≤ len/2 down to 1), so every size down to single
+		// instructions — crucially including 2, which halving len/2
+		// skips for many lengths — gets a try.
+		chunk := 1
+		for chunk*2 <= len(m.Code)/2 {
+			chunk *= 2
+		}
+		for ; chunk >= 1; chunk /= 2 {
+			for start := 0; start+chunk <= len(m.Code); {
+				if cand := deleteRange(m.Code, start, chunk); cand != nil && try(cand) {
+					eliminated += chunk
+					continue // same start now holds the next chunk
+				}
+				start++
+			}
+		}
+		// Pass 2: nop substitution for instructions deletion couldn't
+		// take (e.g. branch targets that must keep their pc).
+		for pc := range m.Code {
+			if m.Code[pc].Op == bc.OpNop {
+				continue
+			}
+			cand := append([]bc.Instr(nil), m.Code...)
+			cand[pc] = bc.Instr{Op: bc.OpNop}
+			if try(cand) {
+				eliminated++
+			}
+		}
+		if len(m.Code)+countNops(m.Code) == before {
+			return eliminated
+		}
+	}
+}
+
+// holds runs the predicate, converting a panic into true: the failure
+// being minimized may itself be a compiler panic.
+func holds(pred func() bool) (failed bool) {
+	defer func() {
+		if recover() != nil {
+			failed = true
+		}
+	}()
+	return pred()
+}
+
+func countNops(code []bc.Instr) int {
+	n := 0
+	for i := range code {
+		if code[i].Op == bc.OpNop {
+			n++
+		}
+	}
+	return n
+}
+
+// deleteRange returns a copy of code with [start, start+size) removed
+// and all branch targets fixed up: targets past the range shift down,
+// targets into the range land on its former start. Returns nil when the
+// result would leave a branch pointing past the end.
+func deleteRange(code []bc.Instr, start, size int) []bc.Instr {
+	out := make([]bc.Instr, 0, len(code)-size)
+	for pc := range code {
+		if pc >= start && pc < start+size {
+			continue
+		}
+		in := code[pc]
+		if in.Op == bc.OpGoto || in.Op.IsBranch() {
+			t := in.Target()
+			switch {
+			case t >= start+size:
+				t -= size
+			case t >= start:
+				t = start
+			}
+			if t >= len(code)-size {
+				return nil // branch would fall off the end
+			}
+			in.A = int64(t)
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package check_test
+
+import (
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/check"
+)
+
+// assemble builds a single-class program around one method body.
+func assemble(t *testing.T, f func(*bc.MethodAsm)) (*bc.Program, *bc.Method) {
+	t.Helper()
+	a := bc.NewAssembler()
+	c := a.Class("C", "")
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	f(m)
+	p, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, p.ClassByName("C").MethodByName("run")
+}
+
+func containsOp(m *bc.Method, op bc.Op) bool {
+	for i := range m.Code {
+		if m.Code[i].Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+func liveLen(m *bc.Method) int {
+	n := 0
+	for i := range m.Code {
+		if m.Code[i].Op != bc.OpNop {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMinimizeShrinksAroundPredicate reduces a body with junk before and a
+// dead-ish else arm after the interesting instruction (a division). The
+// junk must go; the division must stay; branches into later code must be
+// retargeted across the deleted ranges.
+func TestMinimizeShrinksAroundPredicate(t *testing.T) {
+	_, m := assemble(t, func(ma *bc.MethodAsm) {
+		ma.Const(8).Pop().Const(9).Pop() // junk
+		ma.Load(0).Const(0).IfCmp(bc.CondLT, "neg")
+		ma.Const(7).Pop() // junk inside the taken arm
+		ma.Load(0).Const(2).Div().ReturnValue()
+		ma.Label("neg").Const(0).Load(0).Sub().ReturnValue()
+	})
+	if err := bc.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	origLive := liveLen(m)
+	eliminated := check.Minimize(m, func() bool { return containsOp(m, bc.OpDiv) })
+
+	if !containsOp(m, bc.OpDiv) {
+		t.Fatal("minimizer removed the instruction the predicate requires")
+	}
+	if err := bc.Verify(m); err != nil {
+		t.Fatalf("minimized body does not verify: %v", err)
+	}
+	if eliminated < 6 {
+		t.Fatalf("eliminated only %d instructions from %d", eliminated, origLive)
+	}
+	if live := liveLen(m); live >= origLive {
+		t.Fatalf("live instruction count did not shrink: %d -> %d", origLive, live)
+	}
+}
+
+// TestMinimizePanicCountsAsFailure: a predicate that panics is a failure
+// reproduction (the crash being minimized may be a compiler panic), so the
+// body collapses to the smallest verifying program.
+func TestMinimizePanicCountsAsFailure(t *testing.T) {
+	_, m := assemble(t, func(ma *bc.MethodAsm) {
+		ma.Const(1).Pop().Const(2).Pop().Const(3).ReturnValue()
+	})
+	check.Minimize(m, func() bool { panic("compiler crash") })
+	if live := liveLen(m); live > 2 {
+		t.Fatalf("panic predicate should minimize to the smallest verifying body, got %d live instrs: %v", live, m.Code)
+	}
+	if err := bc.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinimizeRestoresOnFailedCandidate: when no reduction is possible the
+// body is left exactly as it was.
+func TestMinimizeIrreducible(t *testing.T) {
+	_, m := assemble(t, func(ma *bc.MethodAsm) {
+		ma.Load(0).Const(2).Div().ReturnValue()
+	})
+	orig := append([]bc.Instr(nil), m.Code...)
+	pred := func() bool {
+		// Requires every original op to survive.
+		return containsOp(m, bc.OpDiv) && containsOp(m, bc.OpLoad) &&
+			containsOp(m, bc.OpConst) && containsOp(m, bc.OpReturnValue)
+	}
+	if n := check.Minimize(m, pred); n != 0 {
+		t.Fatalf("eliminated %d from an irreducible body", n)
+	}
+	if len(m.Code) != len(orig) {
+		t.Fatalf("body changed: %v -> %v", orig, m.Code)
+	}
+	for i := range orig {
+		if orig[i] != m.Code[i] {
+			t.Fatalf("instruction %d changed: %v -> %v", i, orig[i], m.Code[i])
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"pea/internal/bc"
+)
+
+// Repro is a serialized minimized failure: the body of one method of a
+// reproducible program, stored as mnemonic instructions so the file is
+// diffable and survives opcode renumbering. The surrounding program is
+// reconstructed by the harness that owns the repro (typically from a
+// testprog generator seed recorded in Seed); Apply then patches the named
+// method with the recorded body and re-verifies it.
+type Repro struct {
+	// Note says what failed, for humans reading testdata/.
+	Note string `json:"note,omitempty"`
+	// Seed identifies the generated program the body belongs to.
+	Seed uint64 `json:"seed"`
+	// Method is the qualified name ("Class.method") of the patched method.
+	Method string `json:"method"`
+	// Code is the minimized body.
+	Code []ReproInstr `json:"code"`
+}
+
+// ReproInstr mirrors bc.Instr with operands by name instead of pointer.
+type ReproInstr struct {
+	Op     string `json:"op"`
+	A      int64  `json:"a,omitempty"`
+	Cond   string `json:"cond,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Field  string `json:"field,omitempty"`
+	Method string `json:"method,omitempty"`
+}
+
+// NewRepro captures m's current body (typically after Minimize) as a repro.
+func NewRepro(m *bc.Method, seed uint64, note string) *Repro {
+	r := &Repro{Note: note, Seed: seed, Method: m.QualifiedName()}
+	for i := range m.Code {
+		in := &m.Code[i]
+		ri := ReproInstr{Op: in.Op.String(), A: in.A}
+		if in.Op == bc.OpCmp || in.Op == bc.OpIfCmp || in.Op == bc.OpIf ||
+			in.Op == bc.OpIfRef || in.Op == bc.OpIfNull {
+			ri.Cond = in.Cond.String()
+		}
+		if in.Kind != bc.KindVoid {
+			ri.Kind = in.Kind.String()
+		}
+		if in.Class != nil {
+			ri.Class = in.Class.Name
+		}
+		if in.Field != nil {
+			ri.Field = in.Field.QualifiedName()
+		}
+		if in.Method != nil {
+			ri.Method = in.Method.QualifiedName()
+		}
+		r.Code = append(r.Code, ri)
+	}
+	return r
+}
+
+// Save writes the repro as indented JSON.
+func (r *Repro) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro written by Save.
+func LoadRepro(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := new(Repro)
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("check: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Apply patches r's method inside p with the recorded body, resolving
+// operand names against p, and re-verifies the result. It returns the
+// patched method.
+func (r *Repro) Apply(p *bc.Program) (*bc.Method, error) {
+	m, err := findMethod(p, r.Method)
+	if err != nil {
+		return nil, err
+	}
+	code := make([]bc.Instr, len(r.Code))
+	for i, ri := range r.Code {
+		in, err := ri.decode(p)
+		if err != nil {
+			return nil, fmt.Errorf("check: repro %s pc %d: %w", r.Method, i, err)
+		}
+		code[i] = in
+	}
+	m.Code = code
+	if err := bc.Verify(m); err != nil {
+		return nil, fmt.Errorf("check: repro %s does not verify: %w", r.Method, err)
+	}
+	return m, nil
+}
+
+func (ri ReproInstr) decode(p *bc.Program) (bc.Instr, error) {
+	in := bc.Instr{A: ri.A}
+	op, ok := opByName[ri.Op]
+	if !ok {
+		return in, fmt.Errorf("unknown opcode %q", ri.Op)
+	}
+	in.Op = op
+	if ri.Cond != "" {
+		c, ok := condByName[ri.Cond]
+		if !ok {
+			return in, fmt.Errorf("unknown condition %q", ri.Cond)
+		}
+		in.Cond = c
+	}
+	if ri.Kind != "" {
+		k, ok := kindByName[ri.Kind]
+		if !ok {
+			return in, fmt.Errorf("unknown kind %q", ri.Kind)
+		}
+		in.Kind = k
+	}
+	if ri.Class != "" {
+		if in.Class = p.ClassByName(ri.Class); in.Class == nil {
+			return in, fmt.Errorf("unknown class %q", ri.Class)
+		}
+	}
+	if ri.Field != "" {
+		f, err := findField(p, ri.Field)
+		if err != nil {
+			return in, err
+		}
+		in.Field = f
+	}
+	if ri.Method != "" {
+		m, err := findMethod(p, ri.Method)
+		if err != nil {
+			return in, err
+		}
+		in.Method = m
+	}
+	return in, nil
+}
+
+func splitQualified(name string) (cls, member string, err error) {
+	i := strings.LastIndexByte(name, '.')
+	if i <= 0 || i == len(name)-1 {
+		return "", "", fmt.Errorf("malformed qualified name %q", name)
+	}
+	return name[:i], name[i+1:], nil
+}
+
+func findMethod(p *bc.Program, qname string) (*bc.Method, error) {
+	cls, name, err := splitQualified(qname)
+	if err != nil {
+		return nil, err
+	}
+	c := p.ClassByName(cls)
+	if c == nil {
+		return nil, fmt.Errorf("unknown class %q", cls)
+	}
+	m := c.MethodByName(name)
+	if m == nil {
+		return nil, fmt.Errorf("unknown method %q", qname)
+	}
+	return m, nil
+}
+
+func findField(p *bc.Program, qname string) (*bc.Field, error) {
+	cls, name, err := splitQualified(qname)
+	if err != nil {
+		return nil, err
+	}
+	c := p.ClassByName(cls)
+	if c == nil {
+		return nil, fmt.Errorf("unknown class %q", cls)
+	}
+	if f := c.FieldByName(name); f != nil {
+		return f, nil
+	}
+	if f := c.StaticByName(name); f != nil {
+		return f, nil
+	}
+	return nil, fmt.Errorf("unknown field %q", qname)
+}
+
+// Name→value tables for deserialization, derived from the String methods
+// so the repro format tracks the canonical mnemonics.
+var (
+	opByName   = make(map[string]bc.Op)
+	condByName = make(map[string]bc.Cond)
+	kindByName = make(map[string]bc.Kind)
+)
+
+func init() {
+	for o := bc.Op(0); o < 64; o++ {
+		if s := o.String(); !strings.HasPrefix(s, "Op(") {
+			opByName[s] = o
+		}
+	}
+	for c := bc.Cond(0); c < 8; c++ {
+		if s := c.String(); !strings.HasPrefix(s, "Cond(") {
+			condByName[s] = c
+		}
+	}
+	for k := bc.Kind(0); k < 8; k++ {
+		if s := k.String(); !strings.HasPrefix(s, "Kind(") {
+			kindByName[s] = k
+		}
+	}
+}

@@ -105,6 +105,9 @@ func (e *Engine) Run(g *ir.Graph, args []rt.Value) (rt.Value, error) {
 			return rt.Value{}, err
 		}
 		e.Env.Cycles += costOf(t)
+		// oplint:ignore — t is a block terminator; value and fixed ops
+		// are dispatched by evalNode, and the default rejects anything
+		// that is not a terminator.
 		switch t.Op {
 		case ir.OpGoto:
 			prev, block = block, block.Succs[0]
@@ -153,6 +156,9 @@ func (e *Engine) trap(g *ir.Graph, n *ir.Node, reason string) error {
 // method completed (a deopt path returned through the interpreter).
 func (e *Engine) evalNode(g *ir.Graph, f *frame, n *ir.Node) (done bool, ret rt.Value, err error) {
 	e.Env.Cycles += costOf(n)
+	// oplint:ignore — evalNode sees only non-terminators (phis and
+	// terminators are handled in the block loop); the default rejects
+	// the rest.
 	switch n.Op {
 	case ir.OpParam:
 		f.set(n, f.args[n.AuxInt])

@@ -360,6 +360,8 @@ func (it *Interp) invoke(f *Frame, in *bc.Instr) error {
 // division by zero. Shared with the compiled-code executor and the
 // compiler's constant folder so all three agree exactly.
 func EvalArith(op bc.Op, a, b int64) (int64, error) {
+	// oplint:ignore — defined only for the binary arithmetic subset;
+	// anything else is rejected by the default below.
 	switch op {
 	case bc.OpAdd:
 		return a + b, nil

@@ -1,0 +1,134 @@
+package ir
+
+import "sync/atomic"
+
+// domTreesBuilt counts every dominator tree construction. The strict
+// checker's zero-overhead guarantee ("check level off builds no dominator
+// trees on the compile path") is pinned against this counter in tests.
+var domTreesBuilt atomic.Int64
+
+// DomTreesBuilt returns the number of dominator trees built since process
+// start. Test-only observability; never reset.
+func DomTreesBuilt() int64 { return domTreesBuilt.Load() }
+
+// DomTree is a dominator tree over the blocks of a graph reachable from
+// the entry, built with the iterative Cooper–Harvey–Kennedy algorithm
+// over reverse postorder. Unreachable blocks have no entry in Index or
+// IDom; Reachable reports them as false.
+type DomTree struct {
+	G *Graph
+	// RPO is the reverse postorder over reachable blocks; RPO[0] is the
+	// entry.
+	RPO []*Block
+	// Index maps a reachable block to its RPO position.
+	Index map[*Block]int
+	// IDom maps each reachable block to its immediate dominator
+	// (entry -> nil).
+	IDom map[*Block]*Block
+}
+
+// NewDomTree builds the dominator tree for g. The graph may contain
+// unreachable blocks; they are simply absent from the result.
+func NewDomTree(g *Graph) *DomTree {
+	domTreesBuilt.Add(1)
+	d := &DomTree{G: g}
+	d.computeRPO()
+	d.computeIDoms()
+	return d
+}
+
+func (d *DomTree) computeRPO() {
+	seen := make(map[*Block]bool, len(d.G.Blocks))
+	post := make([]*Block, 0, len(d.G.Blocks))
+	// Iterative DFS (graphs can be deep after inlining + OSR preambles).
+	type frame struct {
+		b *Block
+		i int
+	}
+	stack := []frame{{d.G.Entry(), 0}}
+	seen[d.G.Entry()] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.b.Succs) {
+			s := f.b.Succs[f.i]
+			f.i++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	d.RPO = make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		d.RPO = append(d.RPO, post[i])
+	}
+	d.Index = make(map[*Block]int, len(d.RPO))
+	for i, b := range d.RPO {
+		d.Index[b] = i
+	}
+}
+
+// computeIDoms implements the Cooper–Harvey–Kennedy iterative algorithm
+// ("A Simple, Fast Dominance Algorithm") over the reverse postorder.
+func (d *DomTree) computeIDoms() {
+	idom := make(map[*Block]*Block, len(d.RPO))
+	entry := d.RPO[0]
+	idom[entry] = entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for d.Index[a] > d.Index[b] {
+				a = idom[a]
+			}
+			for d.Index[b] > d.Index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range d.RPO[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = nil
+	d.IDom = idom
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (d *DomTree) Reachable(b *Block) bool {
+	_, ok := d.Index[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (reflexive). Both blocks must
+// be reachable; an unreachable b is dominated by nothing.
+func (d *DomTree) Dominates(a, b *Block) bool {
+	if !d.Reachable(b) {
+		return false
+	}
+	for x := b; x != nil; x = d.IDom[x] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}

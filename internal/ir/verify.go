@@ -17,7 +17,9 @@ import (
 //   - node Block pointers match the block containing the node;
 //   - no nil inputs; value inputs have value kinds;
 //   - side-effecting nodes and deopts carry a FrameState;
-//   - every node referenced as an input is placed in some block.
+//   - every node referenced as an input is placed in some block;
+//   - every block in g.Blocks is reachable from the entry, and every
+//     block reachable from the entry is listed in g.Blocks.
 func Verify(g *Graph) error {
 	if len(g.Blocks) == 0 {
 		return fmt.Errorf("ir: graph has no blocks")
@@ -29,6 +31,35 @@ func Verify(g *Graph) error {
 	blockSet := make(map[*Block]bool)
 	for _, b := range g.Blocks {
 		blockSet[b] = true
+	}
+
+	// Reachability: walk the successor graph from the entry. Both
+	// directions must agree with g.Blocks — an unreachable block left in
+	// the list is stale state (phases must RemoveDeadBlocks), and a
+	// reachable block missing from the list would be skipped by every
+	// later phase while still being executed.
+	reached := make(map[*Block]bool, len(g.Blocks))
+	work := []*Block{g.Entry()}
+	reached[g.Entry()] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !reached[s] {
+				reached[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if !reached[b] {
+			return fmt.Errorf("ir: %s is unreachable from entry but listed in g.Blocks", b)
+		}
+	}
+	for b := range reached {
+		if !blockSet[b] {
+			return fmt.Errorf("ir: %s is reachable from entry but missing from g.Blocks", b)
+		}
 	}
 	for _, b := range g.Blocks {
 		g2 := func(n *Node) {

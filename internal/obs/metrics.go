@@ -36,6 +36,9 @@ const (
 	MetricBrokerCacheMisses = "broker.cache_misses"
 	MetricBrokerDedups      = "broker.dedups"
 	MetricBrokerRejects     = "broker.rejects"
+
+	// Checker counter: IR sanitizer violations (any level).
+	MetricCheckViolations = "check.violations"
 )
 
 // Well-known gauge names. The compile broker keeps these current while it

@@ -82,6 +82,11 @@ const (
 	// whose output the snapshot represents; the rendered IR is delivered
 	// to registered SnapshotFunc callbacks, not serialized into the event.
 	KindIRSnapshot Kind = "ir_snapshot"
+
+	// Checker violation: the leveled IR sanitizer found a broken
+	// invariant after a phase. Reason carries the violation, Detail the
+	// phase (and, when available, a before/after IR diff summary).
+	KindCheckViolation Kind = "check_violation"
 )
 
 // Event is one structured observability record. Fields are omitted from the
@@ -308,6 +313,18 @@ func (s *Sink) PhaseEnd(phase, method string, nodesBefore, blocksBefore, nodesAf
 		NodesAfter: nodesAfter, BlocksAfter: blocksAfter,
 		DurationNS: d.Nanoseconds()})
 	s.Metrics().ObservePhase(phase, d, nodesAfter-nodesBefore)
+}
+
+// CheckViolation records an IR sanitizer violation found after a phase.
+// The reason is the checker's error; detail typically names what the
+// forensic dump diff revealed (or is empty).
+func (s *Sink) CheckViolation(phase, method, reason, detail string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindCheckViolation, Phase: phase, Method: method,
+		Reason: reason, Detail: detail})
+	s.Metrics().Add(MetricCheckViolations, 1)
 }
 
 // Inline records an inlining decision: callee inlined into method at node.

@@ -84,6 +84,8 @@ func canonValue(g *ir.Graph, b *ir.Block, n *ir.Node) *ir.Node {
 		g.InsertBefore(b, c, n)
 		return c
 	}
+	// oplint:ignore — folding rules exist only for the value ops below;
+	// ops without a rule are simply not rewritten.
 	switch n.Op {
 	case ir.OpArith:
 		x, y := n.Inputs[0], n.Inputs[1]
@@ -93,6 +95,8 @@ func canonValue(g *ir.Graph, b *ir.Block, n *ir.Node) *ir.Node {
 			}
 			return nil // constant div/rem by zero: keep the trap
 		}
+		// oplint:ignore — algebraic identities for a few operators; the
+		// rest fall through to generic handling.
 		switch n.Aux2 {
 		case bc.OpAdd:
 			if x.IsConst() && x.AuxInt == 0 {

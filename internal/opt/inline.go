@@ -105,6 +105,8 @@ func (in *Inliner) pickSite(g *ir.Graph) *ir.Node {
 // or nil if the site cannot be inlined.
 func (in *Inliner) resolveTarget(n *ir.Node) *bc.Method {
 	callee := n.Method
+	// oplint:ignore — n is an OpInvoke, so Aux2 is one of the three
+	// invoke kinds by construction.
 	switch n.Aux2 {
 	case bc.OpInvokeStatic, bc.OpInvokeDirect:
 		// Direct: the target is exact.

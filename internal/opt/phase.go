@@ -10,6 +10,7 @@ package opt
 import (
 	"fmt"
 
+	"pea/internal/check"
 	"pea/internal/ir"
 	"pea/internal/obs"
 )
@@ -27,7 +28,14 @@ type Pipeline struct {
 	Phases []Phase
 	// MaxRounds bounds full-pipeline iterations (default 4).
 	MaxRounds int
-	// Validate runs the IR verifier after every phase when set.
+	// Check selects the sanitizer level run after every phase. The
+	// PEA_CHECK environment variable floors it, so an exported
+	// PEA_CHECK=strict turns every pipeline in the process strict. At
+	// check.Off (and no floor) the pipeline adds no checking work at all.
+	Check check.Level
+	// Validate is the historical switch for the structural verifier;
+	// setting it is equivalent to Check = check.Basic. Deprecated: set
+	// Check instead.
 	Validate bool
 	// Sink, when non-nil, receives phase_start/phase_end events with
 	// node/block counts, feeds per-phase wall-time and node-delta timers
@@ -35,6 +43,16 @@ type Pipeline struct {
 	// snapshots to registered snapshot consumers. A nil sink adds no
 	// allocations to the compile path.
 	Sink *obs.Sink
+}
+
+// level returns the effective check level: the configured level, floored
+// by the legacy Validate switch and the PEA_CHECK environment variable.
+func (p *Pipeline) level() check.Level {
+	l := p.Check
+	if p.Validate {
+		l = check.Max(l, check.Basic)
+	}
+	return check.Effective(l)
 }
 
 // Run executes the pipeline on g.
@@ -46,6 +64,15 @@ func (p *Pipeline) Run(g *ir.Graph) error {
 	var method string
 	if p.Sink != nil {
 		method = g.Method.QualifiedName()
+	}
+	lvl := p.level()
+	// Failure forensics: under strict checking, keep the previous
+	// phase's dump so a violation can be pinpointed as a diff. The
+	// capture only happens at strict level — dumping per phase is far
+	// too expensive for production pipelines.
+	var before string
+	if lvl >= check.Strict {
+		before = ir.Dump(g)
 	}
 	for r := 0; r < rounds; r++ {
 		changed := false
@@ -64,9 +91,12 @@ func (p *Pipeline) Run(g *ir.Graph) error {
 					p.Sink.Snapshot(ph.Name(), method, func() string { return ir.Dump(g) })
 				}
 			}
-			if p.Validate {
-				if err := ir.Verify(g); err != nil {
-					return fmt.Errorf("opt: phase %s broke the graph: %w", ph.Name(), err)
+			if lvl != check.Off {
+				if err := check.Graph(g, lvl); err != nil {
+					return p.violation(g, ph.Name(), before, err)
+				}
+				if lvl >= check.Strict {
+					before = ir.Dump(g)
 				}
 			}
 			changed = changed || c
@@ -76,6 +106,26 @@ func (p *Pipeline) Run(g *ir.Graph) error {
 		}
 	}
 	return nil
+}
+
+// violation reports a checker failure after a phase: it emits an obs
+// event and wraps the error with a before/after IR diff pinpointing what
+// the phase changed (strict level only — basic has no before dump).
+func (p *Pipeline) violation(g *ir.Graph, phase, before string, err error) error {
+	var method string
+	if g.Method != nil {
+		method = g.Method.QualifiedName()
+	}
+	diff := ""
+	if before != "" {
+		diff = check.DiffDumps(before, ir.Dump(g))
+	}
+	p.Sink.CheckViolation(phase, method, err.Error(), diff)
+	if diff != "" {
+		return fmt.Errorf("opt: phase %s broke the graph: %w\nphase diff (- before, + after):\n%s",
+			phase, err, diff)
+	}
+	return fmt.Errorf("opt: phase %s broke the graph: %w", phase, err)
 }
 
 // Standard returns the default non-speculative pipeline: canonicalize,

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pea/internal/bc"
+	"pea/internal/check"
 	"pea/internal/ir"
 	"pea/internal/obs"
 	"pea/internal/sched"
@@ -30,6 +31,12 @@ type Config struct {
 	// DisableArrays is an ablation switch: constant-length arrays are
 	// never virtualized.
 	DisableArrays bool
+	// Check selects the sanitizer level (floored by the PEA_CHECK
+	// environment variable). At check.Strict the analyzer validates its
+	// own state invariants at every block boundary of both the fixpoint
+	// and the emit phase; lower levels add no work here (the graph-level
+	// checks run in the caller's pipeline).
+	Check check.Level
 	// Sink, when non-nil, receives structured analysis events:
 	// virtualizations, materializations with reason and position, merge
 	// materializations, lock elisions, fixpoint rounds, and bailouts.
@@ -120,6 +127,14 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 	a.cfg = cfg
 	a.buildRefIndex()
 
+	// Strict-mode self-checking: validate the analyzer's state at every
+	// block boundary. The closure is nil at lower levels so the hot loop
+	// pays a single pointer test per block.
+	var checkAt func(b *ir.Block, st *peaState) error
+	if conf.checkLevel() >= check.Strict {
+		checkAt = a.checkState
+	}
+
 	// Phase A: whole-graph fixpoint over block entry states.
 	converged := false
 	for round := 1; round <= conf.maxRounds(); round++ {
@@ -136,6 +151,12 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 			}
 			a.entries[b] = entry
 			a.exits[b] = a.transferBlock(b, entry.clone())
+			if checkAt != nil {
+				if err := checkAt(b, a.exits[b]); err != nil {
+					a.sink.CheckViolation("pea", a.method, err.Error(), "")
+					return Result{}, err
+				}
+			}
 		}
 		if !changed {
 			converged = true
@@ -167,7 +188,19 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 		}
 	}
 	for _, b := range cfg.RPO {
-		a.transferBlock(b, a.entries[b].clone())
+		out := a.transferBlock(b, a.entries[b].clone())
+		if checkAt != nil {
+			if err := checkAt(b, out); err != nil {
+				a.sink.CheckViolation("pea", a.method, err.Error(), "")
+				return Result{}, err
+			}
+		}
+	}
+	if checkAt != nil {
+		if err := a.checkRewrites(); err != nil {
+			a.sink.CheckViolation("pea", a.method, err.Error(), "")
+			return Result{}, err
+		}
 	}
 	// Final sweep: phi inputs are not node inputs of any transferred
 	// instruction, so scalar replacements (removed loads, folded checks)

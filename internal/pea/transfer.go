@@ -25,6 +25,8 @@ func (a *analyzer) virtualizableAlloc(n *ir.Node) bool {
 	if a.conf.AllowAlloc != nil && !a.conf.AllowAlloc(n) {
 		return false
 	}
+	// oplint:ignore — only allocation ops can be virtualized; everything
+	// else answers false below.
 	switch n.Op {
 	case ir.OpNew:
 		return true
@@ -39,6 +41,9 @@ func (a *analyzer) virtualizableAlloc(n *ir.Node) bool {
 }
 
 func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
+	// oplint:ignore — ops without a dedicated transfer rule fall through
+	// to defaultTransfer, the conservative escape treatment (§3.2); a new
+	// op is safe-by-default rather than silently wrong.
 	switch n.Op {
 	case ir.OpMaterialize, ir.OpVirtualObject, ir.OpPhi:
 		// Nodes introduced by this analysis (or phis, handled at
@@ -159,7 +164,14 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 			c := a.arrayLenConst(id)
 			a.replaced[n] = c
 			if a.emit {
-				a.placeFold(b, c, n)
+				// The length constant is shared by every fold site of
+				// this virtual array, which may sit in sibling branches;
+				// place it in the entry block so it dominates all of
+				// them (placing it at the first fold site would break
+				// SSA dominance for later sites).
+				if c.Block == nil {
+					a.prependEntry(c)
+				}
 				a.g.RemoveNode(n)
 			}
 			return

@@ -52,85 +52,17 @@ type Loop struct {
 // Compute runs all analyses. The graph must have no unreachable blocks
 // (call g.RemoveDeadBlocks first if in doubt).
 func Compute(g *ir.Graph) (*CFG, error) {
-	c := &CFG{G: g}
-	c.computeRPO()
-	if len(c.RPO) != len(g.Blocks) {
+	dom := ir.NewDomTree(g)
+	if len(dom.RPO) != len(g.Blocks) {
 		return nil, fmt.Errorf("sched: %d of %d blocks unreachable",
-			len(g.Blocks)-len(c.RPO), len(g.Blocks))
+			len(g.Blocks)-len(dom.RPO), len(g.Blocks))
 	}
-	c.computeDominators()
+	c := &CFG{G: g, RPO: dom.RPO, Index: dom.Index, IDom: dom.IDom}
 	if err := c.computeLoops(); err != nil {
 		return nil, err
 	}
 	c.computeFrequencies()
 	return c, nil
-}
-
-func (c *CFG) computeRPO() {
-	seen := make(map[*ir.Block]bool)
-	var post []*ir.Block
-	var dfs func(b *ir.Block)
-	dfs = func(b *ir.Block) {
-		if seen[b] {
-			return
-		}
-		seen[b] = true
-		for _, s := range b.Succs {
-			dfs(s)
-		}
-		post = append(post, b)
-	}
-	dfs(c.G.Entry())
-	c.RPO = make([]*ir.Block, 0, len(post))
-	for i := len(post) - 1; i >= 0; i-- {
-		c.RPO = append(c.RPO, post[i])
-	}
-	c.Index = make(map[*ir.Block]int, len(c.RPO))
-	for i, b := range c.RPO {
-		c.Index[b] = i
-	}
-}
-
-// computeDominators implements the Cooper–Harvey–Kennedy iterative
-// algorithm over the reverse postorder.
-func (c *CFG) computeDominators() {
-	idom := make(map[*ir.Block]*ir.Block, len(c.RPO))
-	entry := c.RPO[0]
-	idom[entry] = entry
-	intersect := func(a, b *ir.Block) *ir.Block {
-		for a != b {
-			for c.Index[a] > c.Index[b] {
-				a = idom[a]
-			}
-			for c.Index[b] > c.Index[a] {
-				b = idom[b]
-			}
-		}
-		return a
-	}
-	changed := true
-	for changed {
-		changed = false
-		for _, b := range c.RPO[1:] {
-			var newIdom *ir.Block
-			for _, p := range b.Preds {
-				if idom[p] == nil {
-					continue
-				}
-				if newIdom == nil {
-					newIdom = p
-				} else {
-					newIdom = intersect(newIdom, p)
-				}
-			}
-			if newIdom != nil && idom[b] != newIdom {
-				idom[b] = newIdom
-				changed = true
-			}
-		}
-	}
-	idom[entry] = nil
-	c.IDom = idom
 }
 
 // Dominates reports whether a dominates b (reflexive).

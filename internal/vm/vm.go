@@ -36,6 +36,7 @@ import (
 	"pea/internal/bc"
 	"pea/internal/broker"
 	"pea/internal/build"
+	"pea/internal/check"
 	"pea/internal/ea"
 	"pea/internal/exec"
 	"pea/internal/interp"
@@ -94,7 +95,13 @@ type Options struct {
 	// MaxSteps bounds interpreted+compiled steps (0 = unbounded).
 	MaxSteps int64
 	// Validate verifies the IR after each phase (slower; used in tests).
+	// Equivalent to CheckLevel = check.Basic. Deprecated: set CheckLevel.
 	Validate bool
+	// CheckLevel selects the compiler sanitizer level run between phases
+	// (off, basic, strict). The PEA_CHECK environment variable floors the
+	// configured level for the whole process. check.Off (the default)
+	// adds zero work to the compile path.
+	CheckLevel check.Level
 
 	// Async compiles hot methods on background broker workers while the
 	// interpreter keeps executing them (tier-up). The default false
@@ -120,6 +127,16 @@ type Options struct {
 	// Metrics, when non-nil, is attached to the sink (one is created if
 	// Sink is nil) so decision events bump counters and per-phase timers.
 	Metrics *obs.Metrics
+}
+
+// checkLevel folds the legacy Validate switch and the PEA_CHECK
+// environment floor into the effective sanitizer level.
+func (o Options) checkLevel() check.Level {
+	l := o.CheckLevel
+	if o.Validate {
+		l = check.Max(l, check.Basic)
+	}
+	return check.Effective(l)
 }
 
 func (o Options) threshold() int64 {
@@ -241,6 +258,7 @@ func New(prog *bc.Program, opts Options) *VM {
 		Compile: vm.compileForKey,
 		Install: vm.install,
 		Fail:    vm.recordFailure,
+		Check:   opts.checkLevel(),
 		Sink:    opts.Sink,
 	})
 	return vm
@@ -421,6 +439,7 @@ func (vm *VM) CompileOSR(m *bc.Method, entryBCI int) (*ir.Graph, error) {
 // sink/metrics) are immutable or internally locked.
 func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, error) {
 	sink := vm.Opts.Sink
+	lvl := vm.Opts.checkLevel()
 	var g *ir.Graph
 	var err error
 	if entryBCI == broker.NoOSR {
@@ -438,7 +457,7 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 		opt.GVN{},
 		opt.DCE{},
 	}
-	pipe := &opt.Pipeline{Phases: phases, Validate: vm.Opts.Validate, Sink: sink}
+	pipe := &opt.Pipeline{Phases: phases, Check: lvl, Sink: sink}
 	if err := pipe.Run(g); err != nil {
 		return nil, err
 	}
@@ -453,16 +472,15 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 			return nil, err
 		}
 		span.End(g.NumNodes(), len(g.Blocks))
-		if vm.Opts.Validate {
-			if err := ir.Verify(g); err != nil {
-				return nil, fmt.Errorf("vm: branch pruning broke %s: %w", m.QualifiedName(), err)
-			}
+		if err := check.Graph(g, lvl); err != nil {
+			sink.CheckViolation("prune", m.QualifiedName(), err.Error(), "")
+			return nil, fmt.Errorf("vm: branch pruning broke %s: %w", m.QualifiedName(), err)
 		}
 		if changed {
 			// Pruning leaves single-input phis and straight-line
 			// chains behind; normalize before escape analysis.
 			clean := opt.Standard()
-			clean.Validate = vm.Opts.Validate
+			clean.Check = lvl
 			clean.Sink = sink
 			if err := clean.Run(g); err != nil {
 				return nil, err
@@ -478,9 +496,9 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 		var eaErr error
 		switch vm.Opts.EA {
 		case EAFlowInsensitive:
-			_, eaErr = ea.Run(g, pea.Config{Sink: sink})
+			_, eaErr = ea.Run(g, pea.Config{Sink: sink, Check: lvl})
 		case EAPartial:
-			_, eaErr = pea.Run(g, pea.Config{Sink: sink})
+			_, eaErr = pea.Run(g, pea.Config{Sink: sink, Check: lvl})
 		}
 		if eaErr != nil {
 			return nil, eaErr
@@ -491,13 +509,12 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 				func() string { return ir.Dump(g) })
 		}
 	}
-	if vm.Opts.Validate {
-		if err := ir.Verify(g); err != nil {
-			return nil, fmt.Errorf("vm: %s after %v: %w", m.QualifiedName(), vm.Opts.EA, err)
-		}
+	if err := check.Graph(g, lvl); err != nil {
+		sink.CheckViolation(vm.Opts.EA.String(), m.QualifiedName(), err.Error(), "")
+		return nil, fmt.Errorf("vm: %s after %v: %w", m.QualifiedName(), vm.Opts.EA, err)
 	}
 	post := opt.Standard()
-	post.Validate = vm.Opts.Validate
+	post.Check = lvl
 	post.Sink = sink
 	if err := post.Run(g); err != nil {
 		return nil, err

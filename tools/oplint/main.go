@@ -1,0 +1,381 @@
+// Command oplint flags non-exhaustive switch statements over the compiler's
+// opcode enums (pea/internal/ir.Op and pea/internal/bc.Op). A switch over an
+// opcode type must name every exported constant of the enum — a default
+// clause does not excuse missing cases, because defaults are exactly how a
+// newly added opcode silently falls through the back end. Sites that are
+// intentionally partial (predicates over a subset of ops, disassembler
+// fallbacks) opt out with a `// oplint:ignore` comment on or immediately
+// above the switch.
+//
+// The command runs in two modes:
+//
+//   - as a vet tool: go vet -vettool=$(go env GOPATH)/bin/oplint ./...
+//     (it speaks cmd/go's vet config protocol: -V=full, -flags, *.cfg);
+//   - standalone: oplint [packages], defaulting to ./..., which drives
+//     `go list -export` itself.
+//
+// OpInvalid (ir.Op's poison zero value) is excluded from the required set:
+// it never flows into a live switch.
+//
+// oplint uses only the standard library so the repository carries no
+// analysis-framework dependency.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// targets are the enum types whose switches must be exhaustive, keyed by
+// "importpath.TypeName", with constants to exclude from the required set.
+var targets = map[string]map[string]bool{
+	"pea/internal/ir.Op": {"OpInvalid": true},
+	"pea/internal/bc.Op": {},
+}
+
+func main() {
+	// Protocol flags of cmd/go's vettool interface.
+	version := flag.String("V", "", "print version (go vet protocol)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
+	flag.Parse()
+
+	if *version == "full" {
+		// The go command hashes this line into its action cache key. The
+		// format is rigid: first field must be the binary's name, and for
+		// a "devel" version the last field must be a buildID.
+		name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+		fmt.Printf("%s version devel comments-go-here buildID=oplint-1/oplint-1\n", name)
+		return
+	}
+	if *printFlags {
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+// vetConfig mirrors the JSON cmd/go writes for each vet unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one compilation unit described by a vet config file.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oplint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "oplint: %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command expects the facts file to exist even though oplint
+	// records no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "oplint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	diags, err := checkFiles(cfg.GoFiles, cfg.Compiler, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "oplint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	return report(diags)
+}
+
+// listPackage is the subset of `go list -json` output oplint consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+}
+
+// standalone drives `go list -export` over the patterns and analyzes every
+// root (non-dependency) package from source.
+func standalone(patterns []string) int {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oplint: go list:", err)
+		return 1
+	}
+	exports := make(map[string]string)
+	var roots []*listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintln(os.Stderr, "oplint: go list:", err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+
+	code := 0
+	for _, p := range roots {
+		lookup := func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, p.Dir+string(os.PathSeparator)+f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		diags, err := checkFiles(files, "gc", lookup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oplint: %s: %v\n", p.ImportPath, err)
+			code = 1
+			continue
+		}
+		if c := report(diags); c != 0 {
+			code = c
+		}
+	}
+	return code
+}
+
+func report(diags []string) int {
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// checkFiles parses and typechecks one package's files, then runs the
+// exhaustiveness check.
+func checkFiles(paths []string, compiler string, lookup func(string) (io.ReadCloser, error)) ([]string, error) {
+	if compiler == "" {
+		compiler = "gc"
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Error:    func(error) {}, // collect the first error via Check's return
+	}
+	pkgName := files[0].Name.Name
+	if _, err := conf.Check(pkgName, fset, files, info); err != nil {
+		return nil, err
+	}
+
+	var diags []string
+	for _, f := range files {
+		diags = append(diags, checkFile(fset, f, info)...)
+	}
+	return diags, nil
+}
+
+// checkFile reports non-exhaustive opcode switches in one file.
+func checkFile(fset *token.FileSet, f *ast.File, info *types.Info) []string {
+	ignored := collectIgnores(fset, f)
+	var diags []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		named := enumType(info, sw.Tag)
+		if named == nil {
+			return true
+		}
+		key := typeKey(named)
+		exclude := targets[key]
+		if missing := missingCases(sw, info, named, exclude); len(missing) > 0 {
+			if ignored.covers(fset, sw) {
+				return true
+			}
+			pos := fset.Position(sw.Pos())
+			diags = append(diags, fmt.Sprintf(
+				"%s: oplint: switch on %s is missing cases %s (add them or comment the switch with // oplint:ignore)",
+				pos, key, strings.Join(missing, ", ")))
+		}
+		return true
+	})
+	return diags
+}
+
+// enumType returns the named opcode type the switch tag has, or nil.
+func enumType(info *types.Info, tag ast.Expr) *types.Named {
+	tv, ok := info.Types[tag]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := targets[typeKey(named)]; !ok {
+		return nil
+	}
+	return named
+}
+
+func typeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// missingCases returns the exported enum constants the switch does not
+// name, sorted.
+func missingCases(sw *ast.SwitchStmt, info *types.Info, named *types.Named, exclude map[string]bool) []string {
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			var id *ast.Ident
+			switch e := e.(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				continue
+			}
+			if c, ok := info.Uses[id].(*types.Const); ok && types.Identical(c.Type(), named) {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || exclude[name] || covered[name] {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// ignoreSpans records where `// oplint:ignore` comments appear.
+type ignoreSpans struct {
+	lines map[int]bool // line numbers carrying the marker
+}
+
+func collectIgnores(fset *token.FileSet, f *ast.File) ignoreSpans {
+	s := ignoreSpans{lines: make(map[int]bool)}
+	for _, cg := range f.Comments {
+		marked := false
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "oplint:ignore") {
+				marked = true
+				break
+			}
+		}
+		if !marked {
+			continue
+		}
+		// A marker anywhere in a comment group marks the whole group, so
+		// the explanation may continue across lines.
+		for l := fset.Position(cg.Pos()).Line; l <= fset.Position(cg.End()).Line; l++ {
+			s.lines[l] = true
+		}
+	}
+	return s
+}
+
+// covers reports whether the switch is silenced: a marker on the switch
+// line, the line above it, or any line within the switch body (so the
+// marker can sit on a default clause).
+func (s ignoreSpans) covers(fset *token.FileSet, sw *ast.SwitchStmt) bool {
+	start := fset.Position(sw.Pos()).Line
+	end := fset.Position(sw.End()).Line
+	for l := start - 1; l <= end; l++ {
+		if s.lines[l] {
+			return true
+		}
+	}
+	return false
+}
