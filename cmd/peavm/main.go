@@ -6,7 +6,8 @@
 // Usage:
 //
 //	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S]
-//	      [-osr-threshold N] [-jit-async] [-jit-workers N]
+//	      [-osr-threshold N] [-jit-async] [-jit-workers N] [-jit-queue-cap N]
+//	      [-compile-deadline D] [-max-ir-nodes N] [-crash-dir DIR]
 //	      [-check off|basic|strict] [-trace-events out.jsonl] [-metrics]
 //	      prog.mj
 //
@@ -26,6 +27,15 @@
 // inlining and PEA decisions, deopts, rematerializations) is written as
 // JSON lines; with -metrics the compiler metrics registry is printed as a
 // table to stderr after the run.
+//
+// The JIT is fault-contained: a compiler panic is recovered per method
+// (the method degrades to interpretation) and, with -crash-dir, captured
+// as a minimized JSON reproducer. -compile-deadline and -max-ir-nodes
+// bound each compile's wall-clock time and IR size; a budget overrun is a
+// transient failure that re-arms the method's hotness trigger with
+// exponential backoff, as does a -jit-queue-cap rejection. The PEA_FAULT
+// environment variable injects panics or delays at named compile points
+// for testing (see internal/broker.FaultFromEnv).
 //
 // With -check the compiler sanitizer runs between phases: "basic" is the
 // structural IR verifier, "strict" additionally proves SSA dominance,
@@ -58,6 +68,10 @@ func main() {
 	osrThreshold := flag.Int64("osr-threshold", 0, "back-edge count triggering on-stack replacement of hot loops (0 = disabled)")
 	jitAsync := flag.Bool("jit-async", false, "compile hot methods on background broker workers (tier-up)")
 	jitWorkers := flag.Int("jit-workers", 0, "background JIT workers with -jit-async (0 = GOMAXPROCS)")
+	jitQueueCap := flag.Int("jit-queue-cap", 0, "bound on the pending JIT compile queue; rejected methods re-arm with backoff (0 = broker default)")
+	compileDeadline := flag.Duration("compile-deadline", 0, "per-compile wall-clock budget; overruns degrade the method to the interpreter with backoff (0 = unbounded)")
+	maxIRNodes := flag.Int("max-ir-nodes", 0, "per-compile IR node budget checked at phase boundaries (0 = unbounded)")
+	crashDir := flag.String("crash-dir", "", "write minimized crash reproducers for contained compiler panics to this directory")
 	checkMode := flag.String("check", "off", "compiler sanitizer level: off, basic, or strict (floored by PEA_CHECK)")
 	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
 	traceText := flag.Bool("trace-text", false, "also render events human-readably to stderr")
@@ -86,6 +100,10 @@ func main() {
 		OSRThreshold:     *osrThreshold,
 		Async:            *jitAsync,
 		JITWorkers:       *jitWorkers,
+		JITQueueCap:      *jitQueueCap,
+		CompileDeadline:  *compileDeadline,
+		MaxIRNodes:       *maxIRNodes,
+		CrashDir:         *crashDir,
 	}
 	switch *eaMode {
 	case "off":
@@ -154,6 +172,10 @@ func main() {
 		bs := machine.Broker().Stats()
 		fmt.Fprintf(os.Stderr, "jit broker:       submitted %d, compiled %d, cache hits %d/%d, dedup %d, rejected %d, max queue %d\n",
 			bs.Submitted, bs.Compiled, bs.CacheHits, bs.CacheHits+bs.CacheMisses, bs.Dedup, bs.Rejected, bs.MaxQueue)
+		if bs.Panics > 0 || vs.TransientFailures > 0 || vs.Rearms > 0 || vs.CrashRepros > 0 {
+			fmt.Fprintf(os.Stderr, "jit faults:       panics %d, transient %d, rearms %d, crash repros %d\n",
+				bs.Panics, vs.TransientFailures, vs.Rearms, vs.CrashRepros)
+		}
 		fmt.Fprintf(os.Stderr, "model cycles:     %d\n", machine.Env.Cycles)
 		for m, cerr := range machine.FailedCompilations() {
 			fmt.Fprintf(os.Stderr, "compile failure:  %s: %v\n", m.QualifiedName(), cerr)

@@ -19,6 +19,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"pea/internal/bc"
@@ -56,6 +57,16 @@ type Options struct {
 	// of the same method).
 	Fail func(m *bc.Method, k Key, err error)
 
+	// InjectFault, when non-nil, is invoked at named fault points
+	// (FaultCompile, FaultInstall) with the method's qualified name. It
+	// exists to deterministically drive the containment layer — a hook
+	// that panics or sleeps simulates a compiler crash or a runaway
+	// compile at an exact point, under the race detector. When nil, New
+	// installs a hook parsed from the PEA_FAULT environment variable (see
+	// FaultFromEnv); production runs with the variable unset pay a single
+	// nil check per compile.
+	InjectFault func(point, method string)
+
 	// Check is the sanitizer level applied to freshly compiled graphs
 	// before they enter the code cache. Cache entries are shared across
 	// VMs and replayed without re-running the pipeline, so a corrupt
@@ -88,7 +99,8 @@ func (o Options) queueCap() int {
 type Stats struct {
 	Submitted   int64 // accepted submissions (queued or compiled inline)
 	Compiled    int64 // pipeline runs completed successfully
-	Failed      int64 // pipeline runs that errored
+	Failed      int64 // pipeline runs that errored (including contained panics)
+	Panics      int64 // pipeline runs that panicked and were contained
 	Installed   int64 // successful installations (compiled + cache replays)
 	CacheHits   int64 // installations served from the code cache
 	CacheMisses int64 // submissions that had to run the pipeline
@@ -154,6 +166,9 @@ type Broker struct {
 
 // New creates a broker and starts its workers.
 func New(opts Options) *Broker {
+	if opts.InjectFault == nil {
+		opts.InjectFault = FaultFromEnv()
+	}
 	b := &Broker{
 		opts:     opts,
 		cache:    opts.Cache,
@@ -293,15 +308,7 @@ func (b *Broker) compileOne(t *task) {
 	b.stats.CacheMisses++
 	b.mu.Unlock()
 
-	g, err := b.opts.Compile(t.m, t.key)
-	if err == nil {
-		// Re-verify before the artifact becomes shared state: the cache
-		// replays graphs into other VMs without another pipeline run.
-		if cerr := check.Graph(g, check.Effective(b.opts.Check)); cerr != nil {
-			err = fmt.Errorf("broker: refusing to install %s: %w", name, cerr)
-			b.opts.Sink.CheckViolation("broker-install", name, cerr.Error(), "")
-		}
-	}
+	g, err := b.runCompile(t, name)
 	if err != nil {
 		b.mu.Lock()
 		b.stats.Failed++
@@ -323,6 +330,44 @@ func (b *Broker) compileOne(t *task) {
 	if b.opts.Install != nil {
 		b.opts.Install(t.m, t.key, g, false)
 	}
+}
+
+// runCompile runs the pipeline for one task inside the broker's fault
+// boundary: a panic anywhere in build→inline→GVN→PEA (or in an injected
+// fault) is recovered, counted, reported as a broker_panic event, and
+// converted into a structured *PanicError carrying the stack — HotSpot's
+// CompileBroker discipline, where a crashing compile is a per-method event
+// rather than a process death. Successful graphs are re-verified before
+// they may enter the shared code cache.
+func (b *Broker) runCompile(t *task, name string) (g *ir.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g = nil
+			err = &PanicError{Method: name, Value: r, Stack: string(debug.Stack())}
+			b.mu.Lock()
+			b.stats.Panics++
+			b.mu.Unlock()
+			b.opts.Sink.BrokerPanic(name, fmt.Sprint(r))
+		}
+	}()
+	if f := b.opts.InjectFault; f != nil {
+		f(FaultCompile, name)
+	}
+	g, err = b.opts.Compile(t.m, t.key)
+	if err == nil {
+		// Re-verify before the artifact becomes shared state: the cache
+		// replays graphs into other VMs without another pipeline run.
+		if cerr := check.Graph(g, check.Effective(b.opts.Check)); cerr != nil {
+			err = fmt.Errorf("broker: refusing to install %s: %w", name, cerr)
+			b.opts.Sink.CheckViolation("broker-install", name, cerr.Error(), "")
+		}
+	}
+	if err == nil {
+		if f := b.opts.InjectFault; f != nil {
+			f(FaultInstall, name)
+		}
+	}
+	return g, err
 }
 
 func (b *Broker) setGauge(name string, v int64) {

@@ -1,0 +1,149 @@
+// Package budget bounds the resources one JIT compilation may consume.
+//
+// A production VM must survive its own compiler: a pathological method (or
+// a compiler bug that makes a phase loop or an inliner explode) must not
+// stall the compile broker's workers or grow the IR without limit. HotSpot
+// treats a runaway compile as a per-method event — the compile thread bails
+// out and the method stays interpreted — and the paper's own analysis has
+// the same shape: PEA gives up after a bounded number of fixpoint rounds
+// (§3) rather than diverging. This package generalizes that discipline to
+// the whole pipeline with two cooperative bounds:
+//
+//   - a wall-clock deadline, checked at phase boundaries and PEA fixpoint
+//     rounds (the natural cancellation points of the pipeline);
+//   - an IR node-count budget, which stops inlining-driven graph explosion
+//     before it consumes the worker's memory.
+//
+// Both are cooperative: the pipeline polls Check at its boundaries and
+// unwinds with a structured error (wrapping ErrBudget) when a bound is
+// exceeded. The broker classifies that error as transient — the method
+// degrades to the interpreter and is re-armed with backoff instead of
+// being blacklisted.
+//
+// Zero-overhead guarantee: a nil *Budget is the disabled state. Check on a
+// nil receiver is a single pointer test — no clock read, no allocation.
+// The ClockReads counter (same proof style as ir.DomTreesBuilt for the
+// strict checker) lets tests prove that a pipeline run without a budget
+// never touches the clock.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBudget is the sentinel wrapped by every budget violation, so callers
+// can classify with errors.Is(err, budget.ErrBudget) without knowing which
+// bound tripped.
+var ErrBudget = errors.New("compile budget exceeded")
+
+// Err is a structured budget violation: which bound tripped, where, and by
+// how much. It wraps ErrBudget.
+type Err struct {
+	// Kind is "deadline" or "nodes".
+	Kind string
+	// Phase is the pipeline boundary at which the violation was observed.
+	Phase string
+	// Method is the qualified name of the method being compiled (may be
+	// empty when the caller did not thread it).
+	Method string
+	// Limit and Actual quantify the violation: nanoseconds over the
+	// deadline, or the node count against the bound.
+	Limit, Actual int64
+}
+
+// Error implements error.
+func (e *Err) Error() string {
+	switch e.Kind {
+	case "deadline":
+		return fmt.Sprintf("compile budget exceeded: deadline overrun by %s at %s in %s",
+			time.Duration(e.Actual-e.Limit), e.Phase, e.Method)
+	case "nodes":
+		return fmt.Sprintf("compile budget exceeded: %d IR nodes > budget %d at %s in %s",
+			e.Actual, e.Limit, e.Phase, e.Method)
+	default:
+		return fmt.Sprintf("compile budget exceeded: %s at %s in %s", e.Kind, e.Phase, e.Method)
+	}
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) true.
+func (e *Err) Unwrap() error { return ErrBudget }
+
+// IsBudget reports whether err is (or wraps) a budget violation.
+func IsBudget(err error) bool { return errors.Is(err, ErrBudget) }
+
+// clockReads counts deadline clock reads performed by Check. It exists so
+// tests can prove the disabled path never touches the clock (the same
+// proof style as ir.DomTreesBuilt for the strict checker's dominator
+// trees).
+var clockReads atomic.Int64
+
+// ClockReads returns the cumulative number of clock reads Check has
+// performed process-wide.
+func ClockReads() int64 { return clockReads.Load() }
+
+// now is the clock, replaceable by tests to force deterministic deadline
+// overruns.
+var now = time.Now
+
+// SetClockForTesting replaces the budget clock and returns a restore
+// function. Tests only.
+func SetClockForTesting(clock func() time.Time) (restore func()) {
+	prev := now
+	now = clock
+	return func() { now = prev }
+}
+
+// Budget is one compilation's resource bound. The zero value checks
+// nothing; a nil *Budget is the canonical disabled state (one pointer test
+// per boundary, nothing else).
+type Budget struct {
+	// Deadline is the wall-clock instant past which the compile must
+	// unwind. The zero time disables the deadline.
+	Deadline time.Time
+	// MaxNodes bounds the IR node count at every checked boundary.
+	// 0 disables the bound.
+	MaxNodes int
+}
+
+// New builds a budget starting now: d is the per-compile wall-clock
+// allowance (<=0 disables), maxNodes the IR bound (<=0 disables). It
+// returns nil — the disabled state — when neither bound is set, so callers
+// can thread the result unconditionally.
+func New(d time.Duration, maxNodes int) *Budget {
+	if d <= 0 && maxNodes <= 0 {
+		return nil
+	}
+	b := &Budget{}
+	if maxNodes > 0 {
+		b.MaxNodes = maxNodes
+	}
+	if d > 0 {
+		clockReads.Add(1)
+		b.Deadline = now().Add(d)
+	}
+	return b
+}
+
+// Check polls the budget at a pipeline boundary: phase names the boundary,
+// method the compilation, nodes the current IR size. It returns nil on a
+// nil receiver without further work.
+func (b *Budget) Check(phase, method string, nodes int) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxNodes > 0 && nodes > b.MaxNodes {
+		return &Err{Kind: "nodes", Phase: phase, Method: method,
+			Limit: int64(b.MaxNodes), Actual: int64(nodes)}
+	}
+	if !b.Deadline.IsZero() {
+		clockReads.Add(1)
+		if t := now(); t.After(b.Deadline) {
+			return &Err{Kind: "deadline", Phase: phase, Method: method,
+				Limit: b.Deadline.UnixNano(), Actual: t.UnixNano()}
+		}
+	}
+	return nil
+}

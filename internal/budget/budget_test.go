@@ -1,0 +1,89 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsFreeAndSilent(t *testing.T) {
+	var b *Budget
+	before := ClockReads()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := b.Check("opt", "Main.main", 1<<20); err != nil {
+			t.Fatalf("nil budget reported %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("nil-budget Check allocates %v per run, want 0", allocs)
+	}
+	if got := ClockReads() - before; got != 0 {
+		t.Fatalf("nil-budget Check read the clock %d times, want 0", got)
+	}
+}
+
+func TestNewDisabledReturnsNil(t *testing.T) {
+	if b := New(0, 0); b != nil {
+		t.Fatalf("New(0,0) = %v, want nil", b)
+	}
+	if b := New(-time.Second, -3); b != nil {
+		t.Fatalf("New(-1s,-3) = %v, want nil", b)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	b := New(0, 100)
+	if err := b.Check("opt", "A.f", 100); err != nil {
+		t.Fatalf("at the bound: %v", err)
+	}
+	err := b.Check("pea", "A.f", 101)
+	if err == nil {
+		t.Fatal("over the bound: no error")
+	}
+	if !IsBudget(err) || !errors.Is(err, ErrBudget) {
+		t.Fatalf("budget error not classified: %v", err)
+	}
+	var be *Err
+	if !errors.As(err, &be) || be.Kind != "nodes" || be.Phase != "pea" || be.Actual != 101 {
+		t.Fatalf("structured fields wrong: %+v", be)
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	base := time.Unix(1000, 0)
+	cur := base
+	restore := SetClockForTesting(func() time.Time { return cur })
+	defer restore()
+
+	b := New(time.Second, 0)
+	if err := b.Check("opt", "A.f", 1); err != nil {
+		t.Fatalf("inside deadline: %v", err)
+	}
+	cur = base.Add(2 * time.Second)
+	err := b.Check("opt", "A.f", 1)
+	if err == nil {
+		t.Fatal("past deadline: no error")
+	}
+	var be *Err
+	if !errors.As(err, &be) || be.Kind != "deadline" {
+		t.Fatalf("want deadline Err, got %v", err)
+	}
+	if !IsBudget(err) {
+		t.Fatalf("deadline error not classified as budget: %v", err)
+	}
+}
+
+func TestClockReadsCountsOnlyDeadlineChecks(t *testing.T) {
+	before := ClockReads()
+	b := &Budget{MaxNodes: 10} // node-only budget: no clock involvement
+	for i := 0; i < 5; i++ {
+		_ = b.Check("opt", "A.f", 1)
+	}
+	if got := ClockReads() - before; got != 0 {
+		t.Fatalf("node-only budget read the clock %d times, want 0", got)
+	}
+	b2 := New(time.Hour, 0)
+	_ = b2.Check("opt", "A.f", 1)
+	if got := ClockReads() - before; got == 0 {
+		t.Fatal("deadline budget never read the clock (proof counter broken)")
+	}
+}

@@ -36,6 +36,12 @@ const (
 	MetricBrokerCacheMisses = "broker.cache_misses"
 	MetricBrokerDedups      = "broker.dedups"
 	MetricBrokerRejects     = "broker.rejects"
+	MetricBrokerPanics      = "broker.panics"
+
+	// Fault containment counters: retry/backoff re-arms and captured
+	// crash reproducers.
+	MetricVMRearms      = "vm.rearms"
+	MetricVMCrashRepros = "vm.crash_repros"
 
 	// Checker counter: IR sanitizer violations (any level).
 	MetricCheckViolations = "check.violations"

@@ -77,6 +77,18 @@ const (
 	KindBrokerInstall Kind = "broker_install"
 	KindBrokerDedup   Kind = "broker_dedup"
 	KindBrokerReject  Kind = "broker_reject"
+	// Fault containment: a compile pipeline run panicked and the broker
+	// converted the panic into a structured per-method failure (the VM
+	// keeps running; the method degrades to the interpreter).
+	KindBrokerPanic Kind = "broker_panic"
+
+	// Compile retry/backoff: a transiently failed or queue-rejected
+	// submission was re-armed — the method becomes submit-eligible again
+	// once its hotness counter passes the backed-off threshold.
+	KindVMRearm Kind = "vm_rearm"
+	// Crash forensics: a minimized reproducer for a compiler panic was
+	// written to the crash directory (HotSpot replay-file analogue).
+	KindVMCrashRepro Kind = "vm_crash_repro"
 
 	// IR snapshot hook (used by irdump): the event carries the phase name
 	// whose output the snapshot represents; the rendered IR is delivered
@@ -544,6 +556,40 @@ func (s *Sink) BrokerReject(method, reason string) {
 	}
 	s.emit(&Event{Kind: KindBrokerReject, Phase: "broker", Method: method, Reason: reason})
 	s.Metrics().Add(MetricBrokerRejects, 1)
+}
+
+// BrokerPanic records a compile pipeline panic contained by the broker:
+// the panic value is carried in Reason; the method degrades to the
+// interpreter instead of the process dying.
+func (s *Sink) BrokerPanic(method, reason string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindBrokerPanic, Phase: "broker", Method: method, Reason: reason})
+	s.Metrics().Add(MetricBrokerPanics, 1)
+}
+
+// VMRearm records a transiently failed (or queue-rejected) compilation
+// being re-armed with backoff: attempt is the retry ordinal, nextHotness
+// the hotness-counter value at which the method becomes submit-eligible
+// again.
+func (s *Sink) VMRearm(method, reason string, attempt int, nextHotness int64) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindVMRearm, Phase: "vm", Method: method, Reason: reason,
+		Round: attempt, NodesAfter: int(nextHotness)})
+	s.Metrics().Add(MetricVMRearms, 1)
+}
+
+// VMCrashRepro records a minimized compiler-crash reproducer being written
+// to the crash directory; detail is the file path.
+func (s *Sink) VMCrashRepro(method, path string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindVMCrashRepro, Phase: "vm", Method: method, Detail: path})
+	s.Metrics().Add(MetricVMCrashRepros, 1)
 }
 
 // --- PhaseSpan ----------------------------------------------------------

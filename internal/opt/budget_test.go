@@ -1,0 +1,72 @@
+package opt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pea/internal/bc"
+	"pea/internal/budget"
+)
+
+// TestPipelineBudgetBails: a pipeline with an IR-node budget unwinds at
+// the first phase boundary that observes the graph over the bound, with a
+// structured error naming the phase and method.
+func TestPipelineBudgetBails(t *testing.T) {
+	_, g := buildSingle(t, func(a *bc.Assembler) *bc.MethodAsm {
+		c := a.Class("C", "")
+		m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+		m.Load(0).Const(1).Add().Const(2).Mul().ReturnValue()
+		return m
+	})
+	p := &Pipeline{
+		Phases: []Phase{Canonicalize{}},
+		Budget: &budget.Budget{MaxNodes: 1},
+	}
+	err := p.Run(g)
+	if !budget.IsBudget(err) {
+		t.Fatalf("Run error = %v, want a budget error", err)
+	}
+	var be *budget.Err
+	if !errors.As(err, &be) || be.Kind != "nodes" || be.Phase != "canonicalize" || be.Limit != 1 {
+		t.Fatalf("structured error = %+v", be)
+	}
+}
+
+// TestPipelineDeadlineBails: an already-expired deadline unwinds at the
+// first phase boundary.
+func TestPipelineDeadlineBails(t *testing.T) {
+	_, g := buildSingle(t, func(a *bc.Assembler) *bc.MethodAsm {
+		c := a.Class("C", "")
+		m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+		m.Load(0).ReturnValue()
+		return m
+	})
+	p := &Pipeline{
+		Phases: []Phase{Canonicalize{}, SimplifyCFG{}},
+		Budget: &budget.Budget{Deadline: time.Now().Add(-time.Second)},
+	}
+	err := p.Run(g)
+	var be *budget.Err
+	if !errors.As(err, &be) || be.Kind != "deadline" {
+		t.Fatalf("Run error = %v, want a deadline budget error", err)
+	}
+}
+
+// TestPipelineNilBudgetUnchanged: the default nil budget adds no checks
+// and the pipeline behaves exactly as before.
+func TestPipelineNilBudgetUnchanged(t *testing.T) {
+	_, g := buildSingle(t, func(a *bc.Assembler) *bc.MethodAsm {
+		c := a.Class("C", "")
+		m := c.Method("m", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+		m.Load(0).Const(1).Add().ReturnValue()
+		return m
+	})
+	reads := budget.ClockReads()
+	if err := Standard().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if d := budget.ClockReads() - reads; d != 0 {
+		t.Fatalf("nil budget read the clock %d times", d)
+	}
+}

@@ -10,6 +10,7 @@ package opt
 import (
 	"fmt"
 
+	"pea/internal/budget"
 	"pea/internal/check"
 	"pea/internal/ir"
 	"pea/internal/obs"
@@ -37,6 +38,13 @@ type Pipeline struct {
 	// setting it is equivalent to Check = check.Basic. Deprecated: set
 	// Check instead.
 	Validate bool
+	// Budget, when non-nil, is the per-compile resource bound. The
+	// pipeline polls it at every phase boundary and unwinds with a
+	// structured budget error (wrapping budget.ErrBudget) when the
+	// compile deadline or the IR node bound is exceeded — the cooperative
+	// cancellation points of a runaway compile. nil (the default) adds a
+	// single pointer test per phase.
+	Budget *budget.Budget
 	// Sink, when non-nil, receives phase_start/phase_end events with
 	// node/block counts, feeds per-phase wall-time and node-delta timers
 	// into the sink's attached metrics registry, and delivers per-phase IR
@@ -85,6 +93,11 @@ func (p *Pipeline) Run(g *ir.Graph) error {
 			if err != nil {
 				return fmt.Errorf("opt: phase %s: %w", ph.Name(), err)
 			}
+			if p.Budget != nil {
+				if err := p.Budget.Check(ph.Name(), budgetMethod(g), g.NumNodes()); err != nil {
+					return err
+				}
+			}
 			if p.Sink != nil {
 				span.End(g.NumNodes(), len(g.Blocks))
 				if c && p.Sink.WantSnapshots() {
@@ -106,6 +119,15 @@ func (p *Pipeline) Run(g *ir.Graph) error {
 		}
 	}
 	return nil
+}
+
+// budgetMethod names g's method for budget errors. Only evaluated when a
+// budget is enabled, so the disabled path allocates nothing.
+func budgetMethod(g *ir.Graph) string {
+	if g.Method == nil {
+		return ""
+	}
+	return g.Method.QualifiedName()
 }
 
 // violation reports a checker failure after a phase: it emits an obs

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pea/internal/bc"
+	"pea/internal/budget"
 	"pea/internal/check"
 	"pea/internal/ir"
 	"pea/internal/obs"
@@ -31,6 +32,15 @@ type Config struct {
 	// DisableArrays is an ablation switch: constant-length arrays are
 	// never virtualized.
 	DisableArrays bool
+	// Budget, when non-nil, is the per-compile resource bound. The
+	// analysis polls it at the start of every fixpoint round and before
+	// the emit phase — its cooperative cancellation points — and unwinds
+	// with a structured budget error (wrapping budget.ErrBudget) when the
+	// compile deadline or IR node bound is exceeded, after emitting a
+	// pea_bailout event. This is the same graceful-degradation shape as
+	// the paper's bounded fixpoint (§3): the method simply stays
+	// interpreted. nil (the default) adds a single pointer test per round.
+	Budget *budget.Budget
 	// Check selects the sanitizer level (floored by the PEA_CHECK
 	// environment variable). At check.Strict the analyzer validates its
 	// own state invariants at every block boundary of both the fixpoint
@@ -99,6 +109,18 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 			defer sink.RemoveBackend(lb)
 		}
 	}
+	if conf.Budget != nil {
+		// Check before the first graph mutation (splitCriticalEdges), so
+		// an already-blown budget leaves the graph untouched.
+		name := ""
+		if g.Method != nil {
+			name = g.Method.QualifiedName()
+		}
+		if err := conf.Budget.Check("pea-entry", name, g.NumNodes()); err != nil {
+			sink.PEABailout(name, err.Error())
+			return Result{BailedOut: true}, err
+		}
+	}
 	splitCriticalEdges(g)
 	a := &analyzer{
 		g:         g,
@@ -138,6 +160,12 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 	// Phase A: whole-graph fixpoint over block entry states.
 	converged := false
 	for round := 1; round <= conf.maxRounds(); round++ {
+		if conf.Budget != nil {
+			if err := conf.Budget.Check("pea-fixpoint", a.method, g.NumNodes()); err != nil {
+				a.sink.PEABailout(a.method, err.Error())
+				return Result{BailedOut: true, Rounds: a.res.Rounds}, err
+			}
+		}
 		a.res.Rounds = round
 		a.sink.PEARound(a.method, round)
 		changed := false
@@ -172,6 +200,12 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 	}
 	if len(a.allocIDs) == 0 {
 		return a.res, nil // nothing to do
+	}
+	if conf.Budget != nil {
+		if err := conf.Budget.Check("pea-emit", a.method, g.NumNodes()); err != nil {
+			a.sink.PEABailout(a.method, err.Error())
+			return Result{BailedOut: true, Rounds: a.res.Rounds}, err
+		}
 	}
 
 	// Phase B: emit. First replay all merges (edge materializations, new

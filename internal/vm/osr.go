@@ -36,6 +36,9 @@ func (vm *VM) osrHook(f *interp.Frame, count int64) (rt.Value, bool, error) {
 	if vm.hasFailed[f.Method.ID].Load() || vm.osrHasFailed(site) {
 		return rt.Value{}, false, nil
 	}
+	if vm.osrBackedOff(site, count) {
+		return rt.Value{}, false, nil // transient failure/rejection backoff
+	}
 	if vm.jit.Pending(f.Method, f.PC) {
 		return rt.Value{}, false, nil // compile in flight; keep looping interpreted
 	}
@@ -43,7 +46,12 @@ func (vm *VM) osrHook(f *interp.Frame, count int64) (rt.Value, bool, error) {
 	if s := vm.Opts.Sink; s != nil {
 		s.VMOSRRequest(f.Method.QualifiedName(), f.PC, int(count))
 	}
-	vm.jit.Submit(f.Method, count, vm.osrCacheKey(f.Method, f.PC))
+	if !vm.jit.Submit(f.Method, count, vm.osrCacheKey(f.Method, f.PC)) {
+		// Rejected (queue full, closing, or a racing duplicate): re-arm
+		// this entry point's trigger with backoff instead of resubmitting
+		// on every back edge.
+		vm.rearmOSR(f.Method, f.PC, "submit-rejected")
+	}
 	// A synchronous broker has installed (or failed) the artifact by now;
 	// an asynchronous one publishes later and this lookup stays nil.
 	if g := vm.osrGraph(site); g != nil {
@@ -57,6 +65,15 @@ func (vm *VM) osrGraph(site osrSite) *ir.Graph {
 	vm.osrMu.Lock()
 	defer vm.osrMu.Unlock()
 	return vm.osrCode[site]
+}
+
+// osrBackedOff reports whether site is inside a transient-failure backoff
+// window: re-armed sites become submit-eligible again only once the loop
+// header's back-edge count reaches the re-arm target.
+func (vm *VM) osrBackedOff(site osrSite, count int64) bool {
+	vm.osrMu.Lock()
+	defer vm.osrMu.Unlock()
+	return vm.osrRetryAt[site] > count
 }
 
 // osrHasFailed reports whether an OSR compile for site failed permanently.

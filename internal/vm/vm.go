@@ -29,12 +29,15 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pea/internal/bc"
 	"pea/internal/broker"
+	"pea/internal/budget"
 	"pea/internal/build"
 	"pea/internal/check"
 	"pea/internal/ea"
@@ -116,6 +119,39 @@ type Options struct {
 	// compilation artifacts instead of re-running the pipeline. nil gives
 	// the VM a private cache.
 	Cache *broker.Cache
+	// JITQueueCap bounds the broker's pending compile queue (0 keeps the
+	// broker default). Submissions over the bound are rejected and the
+	// method's hotness trigger is re-armed with backoff, so a compilation
+	// storm degrades to interpretation instead of growing memory.
+	JITQueueCap int
+
+	// CompileDeadline bounds each compilation's wall-clock time. A
+	// compile that overruns unwinds cooperatively at the next pipeline
+	// boundary with a structured budget error; the method stays
+	// interpreted and is re-armed with backoff (transient failure). 0
+	// (the default) disables the deadline and provably never reads the
+	// clock (budget.ClockReads).
+	CompileDeadline time.Duration
+	// MaxIRNodes bounds the IR graph size observed at pipeline
+	// boundaries, stopping inlining-driven graph explosion. 0 disables.
+	MaxIRNodes int
+
+	// CrashDir, when non-empty, is where the VM writes minimized crash
+	// reproducers: when a compile panics (the broker contains it), the
+	// offending method's bytecode is shrunk with check.Minimize while the
+	// panic still reproduces and saved as a committed-format JSON repro —
+	// the moral equivalent of HotSpot's replay files. Empty (the default)
+	// captures nothing.
+	CrashDir string
+
+	// InjectFault, when non-nil, is the fault-injection hook invoked at
+	// the broker's points (broker.FaultCompile, broker.FaultInstall) and
+	// at the VM pipeline's named phase boundaries ("build", "build-osr",
+	// "opt", "prune", "ea", "pea", "post") with the method's qualified
+	// name. A hook that panics or sleeps drives the containment layer
+	// deterministically in tests and CI. When nil, the PEA_FAULT
+	// environment variable is consulted (see broker.FaultFromEnv).
+	InjectFault func(point, method string)
 
 	// Sink, when non-nil, receives structured observability events from
 	// the whole pipeline: per-phase compile timing, inlining and PEA/EA
@@ -172,6 +208,16 @@ type Stats struct {
 	// OSREntries counts transfers from an interpreter frame into compiled
 	// OSR code at a loop-header back-edge.
 	OSREntries int64
+	// TransientFailures counts compilations that failed with a transient
+	// error (compile deadline, IR budget) and were re-armed instead of
+	// blacklisted.
+	TransientFailures int64
+	// Rearms counts hotness-trigger re-arms after transient failures and
+	// queue-full rejections (retry with exponential backoff).
+	Rearms int64
+	// CrashRepros counts minimized compiler-crash reproducers written to
+	// Options.CrashDir.
+	CrashRepros int64
 }
 
 // VM runs one program.
@@ -201,16 +247,46 @@ type VM struct {
 
 	jit *broker.Broker
 
-	// failed marks methods whose compilation failed permanently (they
-	// stay interpreted). Compilation failures are programming errors in
-	// the compiler and surface in tests; in benchmarks they degrade to
-	// interpretation.
+	// failed records permanent compilation failures per compilation unit
+	// (broker key shape: method + entry point). A failed OSR entry
+	// blacklists only that (method, loop header) pair; the method itself
+	// stays eligible for standard tier-up, and vice versa. Failed units
+	// stay interpreted: panics and pipeline errors are compiler bugs that
+	// surface in tests, while in production they degrade to
+	// interpretation. Transient failures (budget overruns, queue
+	// rejections) are never recorded here — they re-arm instead.
 	failedMu sync.Mutex
-	failed   map[*bc.Method]error
-	// hasFailed mirrors failed for lock-free hot-path checks.
+	failed   map[failKey]error
+	// hasFailed mirrors the standard-entry failures for lock-free
+	// hot-path checks.
 	hasFailed []atomic.Bool
 
+	// retryAt gates resubmission after a transient failure or a
+	// queue-full rejection: the method becomes submit-eligible again only
+	// once its invocation count reaches the stored value (exponential
+	// backoff on the hotness counter). retryN counts consecutive re-arms;
+	// a successful install resets both. Indexed by dense method ID.
+	retryAt []atomic.Int64
+	retryN  []atomic.Int32
+	// osrRetryAt/osrRetryN is the same backoff state for OSR entry
+	// points, gated on the loop header's back-edge count (guarded by
+	// osrMu; back edges are orders of magnitude rarer than calls).
+	osrRetryAt map[osrSite]int64
+	osrRetryN  map[osrSite]int32
+
+	// crashCaptured dedups crash-reproducer capture per method, so a
+	// panicking compile resubmitted under different keys minimizes once.
+	crashMu       sync.Mutex
+	crashCaptured map[*bc.Method]bool
+
 	VMStats Stats
+}
+
+// failKey identifies one compilation unit for failure bookkeeping: a
+// method-entry compile (entryBCI == broker.NoOSR) or one OSR entry point.
+type failKey struct {
+	m        *bc.Method
+	entryBCI int
 }
 
 // New creates a VM for the program.
@@ -224,14 +300,21 @@ func New(prog *bc.Program, opts Options) *VM {
 		}
 		opts.Sink.SetMetrics(opts.Metrics)
 	}
+	if opts.InjectFault == nil {
+		// One resolution point for PEA_FAULT: the same hook serves the
+		// broker's fault points and the pipeline's phase boundaries.
+		opts.InjectFault = broker.FaultFromEnv()
+	}
 	vm := &VM{
 		Prog:      prog,
 		Env:       rt.NewEnv(prog, opts.Seed),
 		Opts:      opts,
 		code:      make([]atomic.Pointer[ir.Graph], len(prog.Methods)),
 		noSpec:    make([]atomic.Bool, len(prog.Methods)),
-		failed:    make(map[*bc.Method]error),
+		failed:    make(map[failKey]error),
 		hasFailed: make([]atomic.Bool, len(prog.Methods)),
+		retryAt:   make([]atomic.Int64, len(prog.Methods)),
+		retryN:    make([]atomic.Int32, len(prog.Methods)),
 	}
 	vm.Interp = interp.New(vm.Env)
 	vm.Interp.MaxSteps = opts.MaxSteps
@@ -253,13 +336,15 @@ func New(prog *bc.Program, opts Options) *VM {
 		}
 	}
 	vm.jit = broker.New(broker.Options{
-		Workers: workers,
-		Cache:   opts.Cache,
-		Compile: vm.compileForKey,
-		Install: vm.install,
-		Fail:    vm.recordFailure,
-		Check:   opts.checkLevel(),
-		Sink:    opts.Sink,
+		Workers:     workers,
+		QueueCap:    opts.JITQueueCap,
+		Cache:       opts.Cache,
+		Compile:     vm.compileForKey,
+		Install:     vm.install,
+		Fail:        vm.recordFailure,
+		Check:       opts.checkLevel(),
+		Sink:        opts.Sink,
+		InjectFault: opts.InjectFault,
 	})
 	return vm
 }
@@ -322,13 +407,71 @@ func (vm *VM) maybeCompiled(m *bc.Method) *ir.Graph {
 	if inv < vm.Opts.threshold() {
 		return nil
 	}
+	if vm.retryAt[m.ID].Load() > inv {
+		return nil // backed off after a transient failure or rejection
+	}
 	if vm.jit.Pending(m, broker.NoOSR) {
 		return nil // already queued or being compiled; keep interpreting
 	}
-	vm.jit.Submit(m, inv, vm.cacheKey(m))
+	if !vm.jit.Submit(m, inv, vm.cacheKey(m)) {
+		// Rejected (queue full, closing, or a racing duplicate): re-arm
+		// the hotness trigger with backoff so the method stays
+		// submit-eligible instead of hammering — or silently losing —
+		// the submission.
+		vm.rearm(m, "submit-rejected", inv)
+	}
 	// Synchronous submissions installed (or failed) before returning;
 	// asynchronous ones will publish later and this load stays nil.
 	return vm.installed(m)
+}
+
+// maxRearmShift caps the exponential backoff: re-armed methods never stop
+// retrying, the retries just become geometrically rarer until the gap
+// plateaus at threshold<<maxRearmShift additional invocations.
+const maxRearmShift = 5
+
+// rearm schedules the next submission attempt for m after a transient
+// failure or queue rejection: the method becomes submit-eligible again
+// once its invocation count passes hotness + threshold<<attempt
+// (exponential backoff on the hotness counter, HotSpot-style re-profiling
+// instead of a terminal drop).
+func (vm *VM) rearm(m *bc.Method, reason string, hotness int64) {
+	n := vm.retryN[m.ID].Add(1)
+	shift := int64(n - 1)
+	if shift > maxRearmShift {
+		shift = maxRearmShift
+	}
+	next := hotness + vm.Opts.threshold()<<shift
+	vm.retryAt[m.ID].Store(next)
+	atomic.AddInt64(&vm.VMStats.Rearms, 1)
+	if s := vm.Opts.Sink; s != nil {
+		s.VMRearm(m.QualifiedName(), reason, int(n), next)
+	}
+}
+
+// rearmOSR is rearm for one OSR entry point, gated on the loop header's
+// back-edge count.
+func (vm *VM) rearmOSR(m *bc.Method, entryBCI int, reason string) {
+	count := vm.Interp.Profile.BackEdges(m, entryBCI)
+	site := osrSite{m, entryBCI}
+	vm.osrMu.Lock()
+	if vm.osrRetryN == nil {
+		vm.osrRetryN = make(map[osrSite]int32)
+		vm.osrRetryAt = make(map[osrSite]int64)
+	}
+	n := vm.osrRetryN[site] + 1
+	vm.osrRetryN[site] = n
+	shift := int64(n - 1)
+	if shift > maxRearmShift {
+		shift = maxRearmShift
+	}
+	next := count + vm.Opts.OSRThreshold<<shift
+	vm.osrRetryAt[site] = next
+	vm.osrMu.Unlock()
+	atomic.AddInt64(&vm.VMStats.Rearms, 1)
+	if s := vm.Opts.Sink; s != nil {
+		s.VMRearm(fmt.Sprintf("%s@osr%d", m.QualifiedName(), entryBCI), reason, int(n), next)
+	}
 }
 
 // cacheKey builds the compiled-code cache key for m under the VM's current
@@ -366,6 +509,14 @@ func (vm *VM) compileForKey(m *bc.Method, k broker.Key) (*ir.Graph, error) {
 	return vm.compileEntry(m, k.Spec, k.EntryBCI)
 }
 
+// fault invokes the fault-injection hook at a named pipeline point. A nil
+// hook (the default) costs one pointer test.
+func (vm *VM) fault(point string, m *bc.Method) {
+	if f := vm.Opts.InjectFault; f != nil {
+		f(point, m.QualifiedName())
+	}
+}
+
 // install is the broker's installation callback. It publishes g atomically
 // into the code table; it may run on a broker worker goroutine.
 func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
@@ -377,8 +528,12 @@ func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
 		return
 	}
 	if k.IsOSR() {
+		site := osrSite{m, k.EntryBCI}
 		vm.osrMu.Lock()
-		vm.osrCode[osrSite{m, k.EntryBCI}] = g
+		vm.osrCode[site] = g
+		// A successful install clears the site's transient-failure backoff.
+		delete(vm.osrRetryAt, site)
+		delete(vm.osrRetryN, site)
 		vm.osrMu.Unlock()
 		atomic.AddInt64(&vm.VMStats.OSRCompilations, 1)
 		if s := vm.Opts.Sink; s != nil {
@@ -388,6 +543,10 @@ func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
 		return
 	}
 	vm.code[m.ID].Store(g)
+	// A successful install clears the transient-failure backoff, so a later
+	// invalidation re-enters the retry ladder from the bottom.
+	vm.retryN[m.ID].Store(0)
+	vm.retryAt[m.ID].Store(0)
 	atomic.AddInt64(&vm.VMStats.CompiledMethods, 1)
 	if s := vm.Opts.Sink; s != nil {
 		s.VMCompile(m.QualifiedName(), int(vm.Interp.Profile.Invocations(m)))
@@ -402,16 +561,41 @@ func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
 	}
 }
 
-// recordFailure is the broker's failure callback. An OSR compilation
-// failure blacklists only that (method, loop header) entry point; the
-// method itself stays eligible for standard tier-up, and vice versa.
+// recordFailure is the broker's failure callback. It classifies the
+// failure before recording anything:
+//
+//   - A contained compiler panic (broker.PanicError) first captures a
+//     minimized crash reproducer into Options.CrashDir, then falls through
+//     to permanent blacklisting.
+//   - A transient failure (compile budget overrun — broker.Transient)
+//     re-arms the unit's hotness trigger with backoff and records nothing:
+//     the same compile may succeed later.
+//   - Everything else is a permanent property of the method under this
+//     compiler and is recorded per compilation unit: a failed OSR entry
+//     blacklists only that (method, loop header) pair; the method itself
+//     stays eligible for standard tier-up, and vice versa.
 func (vm *VM) recordFailure(m *bc.Method, k broker.Key, err error) {
+	var pe *broker.PanicError
+	if errors.As(err, &pe) {
+		vm.captureCrashRepro(m, k, pe)
+	}
+	if broker.Transient(err) {
+		atomic.AddInt64(&vm.VMStats.TransientFailures, 1)
+		if k.IsOSR() {
+			vm.rearmOSR(m, k.EntryBCI, "transient: "+err.Error())
+		} else {
+			vm.rearm(m, "transient: "+err.Error(), vm.Interp.Profile.Invocations(m))
+		}
+		return
+	}
 	vm.failedMu.Lock()
-	vm.failed[m] = err
+	vm.failed[failKey{m, k.EntryBCI}] = err
 	vm.failedMu.Unlock()
 	if k.IsOSR() {
 		vm.osrMu.Lock()
-		vm.osrFailed[osrSite{m, k.EntryBCI}] = true
+		if vm.osrFailed != nil {
+			vm.osrFailed[osrSite{m, k.EntryBCI}] = true
+		}
 		vm.osrMu.Unlock()
 		return
 	}
@@ -437,18 +621,33 @@ func (vm *VM) CompileOSR(m *bc.Method, entryBCI int) (*ir.Graph, error) {
 // compile). It is safe for concurrent use: every run builds a private graph
 // and private phase instances, and the shared inputs (bytecode, profile,
 // sink/metrics) are immutable or internally locked.
+//
+// The compile runs under a per-compile budget built from
+// Options.CompileDeadline / Options.MaxIRNodes (nil when both are zero —
+// then no budget checks and no clock reads happen at all), polled
+// cooperatively at every pipeline phase boundary and PEA fixpoint round. A
+// budget overrun unwinds with a structured transient error and the method
+// stays interpreted.
 func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, error) {
+	bud := budget.New(vm.Opts.CompileDeadline, vm.Opts.MaxIRNodes)
 	sink := vm.Opts.Sink
 	lvl := vm.Opts.checkLevel()
 	var g *ir.Graph
 	var err error
 	if entryBCI == broker.NoOSR {
 		g, err = build.BuildWith(m, sink)
+		vm.fault("build", m)
 	} else {
 		g, err = build.BuildOSRWith(m, entryBCI, sink)
+		vm.fault("build-osr", m)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if bud != nil {
+		if err := bud.Check("build", m.QualifiedName(), g.NumNodes()); err != nil {
+			return nil, err
+		}
 	}
 	phases := []opt.Phase{
 		&opt.Inliner{BuildGraph: build.Build, Program: vm.Prog, Profile: vm.Interp.Profile, Sink: sink},
@@ -457,10 +656,11 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 		opt.GVN{},
 		opt.DCE{},
 	}
-	pipe := &opt.Pipeline{Phases: phases, Check: lvl, Sink: sink}
+	pipe := &opt.Pipeline{Phases: phases, Check: lvl, Sink: sink, Budget: bud}
 	if err := pipe.Run(g); err != nil {
 		return nil, err
 	}
+	vm.fault("opt", m)
 	if spec {
 		pr := &opt.BranchPruner{Profile: vm.Interp.Profile, MinTotal: vm.Opts.minPruneTotal()}
 		var span obs.PhaseSpan
@@ -472,6 +672,7 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 			return nil, err
 		}
 		span.End(g.NumNodes(), len(g.Blocks))
+		vm.fault("prune", m)
 		if err := check.Graph(g, lvl); err != nil {
 			sink.CheckViolation("prune", m.QualifiedName(), err.Error(), "")
 			return nil, fmt.Errorf("vm: branch pruning broke %s: %w", m.QualifiedName(), err)
@@ -482,6 +683,7 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 			clean := opt.Standard()
 			clean.Check = lvl
 			clean.Sink = sink
+			clean.Budget = bud
 			if err := clean.Run(g); err != nil {
 				return nil, err
 			}
@@ -496,10 +698,11 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 		var eaErr error
 		switch vm.Opts.EA {
 		case EAFlowInsensitive:
-			_, eaErr = ea.Run(g, pea.Config{Sink: sink, Check: lvl})
+			_, eaErr = ea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud})
 		case EAPartial:
-			_, eaErr = pea.Run(g, pea.Config{Sink: sink, Check: lvl})
+			_, eaErr = pea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud})
 		}
+		vm.fault(vm.Opts.EA.String(), m)
 		if eaErr != nil {
 			return nil, eaErr
 		}
@@ -516,9 +719,11 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 	post := opt.Standard()
 	post.Check = lvl
 	post.Sink = sink
+	post.Budget = bud
 	if err := post.Run(g); err != nil {
 		return nil, err
 	}
+	vm.fault("post", m)
 	// Per-invocation instruction-fetch charge proportional to compiled
 	// code size (see ir.Graph.CodeCycles).
 	g.CodeCycles = int64(g.NumNodes()) / 3
@@ -572,24 +777,47 @@ func (vm *VM) Stats() Stats {
 		OSRCompilations:    atomic.LoadInt64(&vm.VMStats.OSRCompilations),
 		OSRRequests:        atomic.LoadInt64(&vm.VMStats.OSRRequests),
 		OSREntries:         atomic.LoadInt64(&vm.VMStats.OSREntries),
+		TransientFailures:  atomic.LoadInt64(&vm.VMStats.TransientFailures),
+		Rearms:             atomic.LoadInt64(&vm.VMStats.Rearms),
+		CrashRepros:        atomic.LoadInt64(&vm.VMStats.CrashRepros),
 	}
 }
 
-// CompileError returns the recorded compilation failure for m, if any.
-// Used by tests to assert that nothing failed silently.
+// CompileError returns the recorded permanent compilation failure for m's
+// standard entry point, if any. A failed OSR entry does not poison the
+// method here — use OSRCompileError for per-loop-header failures. Used by
+// tests to assert that nothing failed silently.
 func (vm *VM) CompileError(m *bc.Method) error {
 	vm.failedMu.Lock()
 	defer vm.failedMu.Unlock()
-	return vm.failed[m]
+	return vm.failed[failKey{m, broker.NoOSR}]
 }
 
-// FailedCompilations returns a snapshot of all recorded compile failures.
+// OSRCompileError returns the recorded permanent compilation failure for
+// m's OSR entry at the loop header entryBCI, if any.
+func (vm *VM) OSRCompileError(m *bc.Method, entryBCI int) error {
+	vm.failedMu.Lock()
+	defer vm.failedMu.Unlock()
+	return vm.failed[failKey{m, entryBCI}]
+}
+
+// FailedCompilations returns a snapshot of all recorded permanent compile
+// failures, one entry per method. A method whose standard-entry compile
+// failed reports that error; a method with only OSR-entry failures reports
+// the first of those, wrapped with the entry point ("osr@<bci>: ...") so
+// harnesses surface it without mistaking it for a method-entry failure.
 func (vm *VM) FailedCompilations() map[*bc.Method]error {
 	vm.failedMu.Lock()
 	defer vm.failedMu.Unlock()
 	out := make(map[*bc.Method]error, len(vm.failed))
-	for m, err := range vm.failed {
-		out[m] = err
+	for k, err := range vm.failed {
+		if k.entryBCI == broker.NoOSR {
+			out[k.m] = err // standard-entry failures always win
+			continue
+		}
+		if _, ok := out[k.m]; !ok {
+			out[k.m] = fmt.Errorf("osr@%d: %w", k.entryBCI, err)
+		}
 	}
 	return out
 }
