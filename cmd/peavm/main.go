@@ -9,6 +9,8 @@
 //	      [-osr-threshold N] [-jit-async] [-jit-workers N] [-jit-queue-cap N]
 //	      [-compile-deadline D] [-max-ir-nodes N] [-crash-dir DIR]
 //	      [-check off|basic|strict] [-trace-events out.jsonl] [-metrics]
+//	      [-escape-report] [-flight-dump out.jsonl] [-trace-chrome out.json]
+//	      [-debug-addr host:port]
 //	      prog.mj
 //
 // With -jit-async hot methods are compiled on background broker workers
@@ -27,6 +29,20 @@
 // inlining and PEA decisions, deopts, rematerializations) is written as
 // JSON lines; with -metrics the compiler metrics registry is printed as a
 // table to stderr after the run.
+//
+// The VM also keeps an always-on flight recorder: a fixed-size in-memory
+// ring of recent JIT lifecycle records (compiles, queue depths, OSR,
+// deopts, materializations, panics, budget bailouts) that costs zero
+// allocations per record. -flight-dump writes its final contents as JSON
+// lines ('-' for stderr) for peastat; on a contained compiler panic with
+// -crash-dir set, a dump lands next to the crash reproducer automatically.
+// -escape-report prints the per-allocation-site escape attribution table
+// (the paper's Table 1, per site: virtualized, materialized, remats, lock
+// elisions, dominant materialization reason). -trace-chrome converts the
+// event stream to Chrome trace_event JSON (load in chrome://tracing or
+// Perfetto). -debug-addr serves all of the above live over HTTP
+// (/debug/pea/flight, /debug/pea/escape, /debug/pea/metrics,
+// /debug/pprof/*) for the duration of the run.
 //
 // The JIT is fault-contained: a compiler panic is recovered per method
 // (the method degrades to interpretation) and, with -crash-dir, captured
@@ -50,6 +66,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"pea/internal/check"
 	"pea/internal/mj"
@@ -76,6 +93,10 @@ func main() {
 	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
 	traceText := flag.Bool("trace-text", false, "also render events human-readably to stderr")
 	metrics := flag.Bool("metrics", false, "print the compiler metrics table to stderr after the run")
+	escapeReport := flag.Bool("escape-report", false, "print the per-allocation-site escape attribution table to stderr after the run")
+	flightDump := flag.String("flight-dump", "", "write the flight-recorder ring as JSON lines to this file after the run ('-' for stderr)")
+	traceChrome := flag.String("trace-chrome", "", "write the event stream as Chrome trace_event JSON to this file (load in chrome://tracing)")
+	debugAddr := flag.String("debug-addr", "", "serve live introspection (/debug/pea/*, /debug/pprof/*) on this address during the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -121,9 +142,12 @@ func main() {
 	}
 	opts.CheckLevel = lvl
 
-	// Observability: events to JSONL and/or text, metrics registry.
+	// Observability: events to JSONL/text/chrome-trace, escape attribution,
+	// metrics registry.
 	var met *obs.Metrics
-	if *traceEvents != "" || *traceText || *metrics {
+	var escTable *obs.EscapeTable
+	if *traceEvents != "" || *traceText || *metrics ||
+		*escapeReport || *traceChrome != "" || *debugAddr != "" {
 		var backends []obs.Backend
 		if *traceEvents != "" {
 			var w io.Writer = os.Stderr
@@ -140,6 +164,20 @@ func main() {
 		if *traceText {
 			backends = append(backends, obs.NewTextBackend(os.Stderr))
 		}
+		if *escapeReport || *debugAddr != "" {
+			escTable = obs.NewEscapeTable()
+			backends = append(backends, escTable)
+		}
+		if *traceChrome != "" {
+			f, err := os.Create(*traceChrome)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			tw := obs.NewTraceWriter(f)
+			defer tw.Close() // runs before f.Close (LIFO)
+			backends = append(backends, tw)
+		}
 		opts.Sink = obs.NewSink(backends...)
 		met = obs.NewMetrics()
 		met.PublishExpvar()
@@ -148,6 +186,14 @@ func main() {
 
 	machine := vm.New(prog, opts)
 	defer machine.Close()
+	if *debugAddr != "" {
+		ln, err := obs.Serve(*debugAddr, machine.Flight(), escTable, met)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/pea/flight\n", ln.Addr())
+	}
 	for i := 0; i < *runs; i++ {
 		if _, err := machine.Run(); err != nil {
 			fatal(err)
@@ -170,8 +216,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "osr:              requests %d, compiled %d, entries %d\n",
 			vs.OSRRequests, vs.OSRCompilations, vs.OSREntries)
 		bs := machine.Broker().Stats()
-		fmt.Fprintf(os.Stderr, "jit broker:       submitted %d, compiled %d, cache hits %d/%d, dedup %d, rejected %d, max queue %d\n",
-			bs.Submitted, bs.Compiled, bs.CacheHits, bs.CacheHits+bs.CacheMisses, bs.Dedup, bs.Rejected, bs.MaxQueue)
+		fmt.Fprintf(os.Stderr, "jit broker:       submitted %d, compiled %d, cache hits %d/%d, dedup %d, rejected %d, max queue %d, busy %s\n",
+			bs.Submitted, bs.Compiled, bs.CacheHits, bs.CacheHits+bs.CacheMisses, bs.Dedup, bs.Rejected, bs.MaxQueue,
+			time.Duration(bs.BusyNS).Round(time.Microsecond))
+		for i, ns := range bs.WorkerBusyNS {
+			if ns > 0 {
+				fmt.Fprintf(os.Stderr, "  jit worker %d:   busy %s\n", i, time.Duration(ns).Round(time.Microsecond))
+			}
+		}
 		if bs.Panics > 0 || vs.TransientFailures > 0 || vs.Rearms > 0 || vs.CrashRepros > 0 {
 			fmt.Fprintf(os.Stderr, "jit faults:       panics %d, transient %d, rearms %d, crash repros %d\n",
 				bs.Panics, vs.TransientFailures, vs.Rearms, vs.CrashRepros)
@@ -183,6 +235,18 @@ func main() {
 	}
 	if *metrics {
 		fmt.Fprint(os.Stderr, met.Snapshot().Table())
+	}
+	if *escapeReport {
+		fmt.Fprint(os.Stderr, escTable.Table())
+	}
+	if *flightDump != "" {
+		if *flightDump == "-" {
+			if err := machine.Flight().WriteJSON(os.Stderr); err != nil {
+				fatal(err)
+			}
+		} else if err := machine.Flight().WriteFile(*flightDump); err != nil {
+			fatal(err)
+		}
 	}
 }
 

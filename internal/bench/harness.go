@@ -50,9 +50,23 @@ type CompilerStats struct {
 	// pipeline (possible when runs share a cache via RunConfig.Share).
 	CacheHits   int64 `json:"cache_hits,omitempty"`
 	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// OSR and fault-containment counters from the VM: loop transfers into
+	// compiled code, and compilations that failed transiently (budget
+	// overruns, queue rejections) plus the hotness-trigger re-arms they
+	// caused.
+	OSRRequests       int64 `json:"osr_requests,omitempty"`
+	OSRCompilations   int64 `json:"osr_compiles,omitempty"`
+	OSREntries        int64 `json:"osr_entries,omitempty"`
+	TransientFailures int64 `json:"transient_failures,omitempty"`
+	Rearms            int64 `json:"rearms,omitempty"`
 	// PhaseMS maps compiler phase name to total wall time in
 	// milliseconds across all compiles of the run.
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+	// Escape is the per-allocation-site attribution table of the run:
+	// which sites the analysis scalar-replaced and which it materialized,
+	// with the dominant reason. Sites are stable method@bci identifiers,
+	// so rows are comparable across configurations.
+	Escape []obs.SiteStats `json:"escape,omitempty"`
 }
 
 // JSON renders the stats as one compact JSON object.
@@ -223,6 +237,7 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 		return Metrics{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
 	met := obs.NewMetrics()
+	esc := obs.NewEscapeTable()
 	machine := vm.New(prog, vm.Options{
 		EA:               rc.Mode,
 		CompileThreshold: 10,
@@ -230,6 +245,7 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 		Seed:             uint64(len(w.Name))*2654435761 + 7,
 		MaxSteps:         2_000_000_000,
 		Metrics:          met,
+		Sink:             obs.NewSink(esc),
 		Async:            rc.Async,
 		JITWorkers:       rc.JITWorkers,
 		Cache:            cache,
@@ -270,6 +286,13 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 		m.ItersPerMin = cost.CyclesPerMinute / (float64(cycles) / n)
 	}
 	m.Compiler = compilerStats(met.Snapshot())
+	vs := machine.Stats()
+	m.Compiler.OSRRequests = vs.OSRRequests
+	m.Compiler.OSRCompilations = vs.OSRCompilations
+	m.Compiler.OSREntries = vs.OSREntries
+	m.Compiler.TransientFailures = vs.TransientFailures
+	m.Compiler.Rearms = vs.Rearms
+	m.Compiler.Escape = esc.Snapshot()
 	return m, nil
 }
 

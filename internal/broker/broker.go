@@ -21,11 +21,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"pea/internal/bc"
 	"pea/internal/check"
 	"pea/internal/ir"
 	"pea/internal/obs"
+	"pea/internal/obs/flight"
 )
 
 // Options configures a Broker.
@@ -79,6 +81,12 @@ type Options struct {
 	// the queue-depth/worker-utilization/cache gauges current. Both are
 	// nil-safe.
 	Sink *obs.Sink
+
+	// Flight, when non-nil, is the VM's always-on flight recorder. The
+	// broker records compile start/finish (with wall time and outcome),
+	// queue-depth changes, and contained compiler panics there. A nil
+	// recorder is inert.
+	Flight *flight.Recorder
 }
 
 func (o Options) workers() int {
@@ -107,6 +115,12 @@ type Stats struct {
 	Dedup       int64 // submissions coalesced with an in-flight compile
 	Rejected    int64 // submissions dropped on a full queue
 	MaxQueue    int64 // high-water mark of the pending queue
+	// BusyNS is the total wall-clock time spent resolving compilations
+	// (pipeline runs and cache replays). WorkerBusyNS breaks it down per
+	// background worker (empty in synchronous mode, where compiles run on
+	// the submitting goroutine).
+	BusyNS       int64
+	WorkerBusyNS []int64
 }
 
 // task is one pending compilation.
@@ -160,6 +174,9 @@ type Broker struct {
 	seq      int64
 	closed   bool
 	stats    Stats
+	// workerBusy accumulates per-worker compile wall time (guarded by mu;
+	// indexed by worker; empty in synchronous mode).
+	workerBusy []int64
 
 	wg sync.WaitGroup
 }
@@ -179,9 +196,10 @@ func New(opts Options) *Broker {
 	}
 	b.cond = sync.NewCond(&b.mu)
 	b.idle = sync.NewCond(&b.mu)
+	b.workerBusy = make([]int64, opts.workers())
 	for i := 0; i < opts.workers(); i++ {
 		b.wg.Add(1)
-		go b.worker()
+		go b.worker(i)
 	}
 	return b
 }
@@ -217,7 +235,7 @@ func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
 		b.stats.Submitted++
 		b.mu.Unlock()
 		b.opts.Sink.BrokerSubmit(m.QualifiedName(), int(hotness), 0)
-		b.compileOne(&task{m: m, key: k, hotness: hotness})
+		b.compileOne(&task{m: m, key: k, hotness: hotness}, -1)
 		return true
 	}
 
@@ -247,16 +265,20 @@ func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
 		b.stats.MaxQueue = int64(len(b.queue))
 	}
 	depth := len(b.queue)
+	highwater := b.stats.MaxQueue
 	b.mu.Unlock()
 
 	b.opts.Sink.BrokerSubmit(m.QualifiedName(), int(hotness), depth)
+	b.opts.Flight.Record(flight.KindQueueDepth, int32(m.ID), -1, int64(depth), highwater, 0)
 	b.setGauge(obs.GaugeBrokerQueueDepth, int64(depth))
+	b.setGauge(obs.GaugeBrokerQueueHighWater, highwater)
 	b.cond.Signal()
 	return true
 }
 
-// worker is the compile loop of one background goroutine.
-func (b *Broker) worker() {
+// worker is the compile loop of one background goroutine; i is the
+// worker's index, used for per-worker busy-time accounting.
+func (b *Broker) worker(i int) {
 	defer b.wg.Done()
 	for {
 		b.mu.Lock()
@@ -275,7 +297,7 @@ func (b *Broker) worker() {
 		b.setGauge(obs.GaugeBrokerQueueDepth, int64(depth))
 		b.setGauge(obs.GaugeBrokerWorkersBusy, int64(busy))
 
-		b.compileOne(t)
+		b.compileOne(t, i)
 
 		b.mu.Lock()
 		delete(b.inflight, inflightKey{t.m, t.key.EntryBCI})
@@ -290,15 +312,31 @@ func (b *Broker) worker() {
 }
 
 // compileOne resolves one task: cache replay or pipeline run, then
-// installation (or failure recording).
-func (b *Broker) compileOne(t *task) {
+// installation (or failure recording). worker is the background worker's
+// index for busy-time accounting (-1 for the synchronous submit path).
+func (b *Broker) compileOne(t *task, worker int) {
+	fl := b.opts.Flight
+	start := time.Now()
+	defer func() {
+		el := time.Since(start).Nanoseconds()
+		b.mu.Lock()
+		b.stats.BusyNS += el
+		if worker >= 0 && worker < len(b.workerBusy) {
+			b.workerBusy[worker] += el
+		}
+		b.mu.Unlock()
+	}()
+
 	name := t.m.QualifiedName()
+	fl.Record(flight.KindCompileStart, int32(t.m.ID), int32(t.key.EntryBCI), t.hotness, 0, 0)
 	if g, ok := b.cache.Get(t.key); ok {
 		b.mu.Lock()
 		b.stats.CacheHits++
 		b.stats.Installed++
 		b.mu.Unlock()
 		b.opts.Sink.BrokerInstall(name, "cache")
+		fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
+			time.Since(start).Nanoseconds(), 0, fl.Reason("cache"))
 		if b.opts.Install != nil {
 			b.opts.Install(t.m, t.key, g, true)
 		}
@@ -313,6 +351,12 @@ func (b *Broker) compileOne(t *task) {
 		b.mu.Lock()
 		b.stats.Failed++
 		b.mu.Unlock()
+		outcome := "error"
+		if Transient(err) {
+			outcome = "transient"
+		}
+		fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
+			time.Since(start).Nanoseconds(), 1, fl.Reason(outcome))
 		if b.opts.Fail != nil {
 			b.opts.Fail(t.m, t.key, err)
 		}
@@ -326,6 +370,8 @@ func (b *Broker) compileOne(t *task) {
 	b.stats.Installed++
 	b.mu.Unlock()
 	b.opts.Sink.BrokerInstall(name, "compiled")
+	fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
+		time.Since(start).Nanoseconds(), 0, 0)
 	b.setGauge(obs.GaugeBrokerCacheSize, int64(b.cache.Len()))
 	if b.opts.Install != nil {
 		b.opts.Install(t.m, t.key, g, false)
@@ -348,6 +394,9 @@ func (b *Broker) runCompile(t *task, name string) (g *ir.Graph, err error) {
 			b.stats.Panics++
 			b.mu.Unlock()
 			b.opts.Sink.BrokerPanic(name, fmt.Sprint(r))
+			fl := b.opts.Flight
+			fl.Record(flight.KindPanic, int32(t.m.ID), int32(t.key.EntryBCI),
+				0, 0, fl.Reason(fmt.Sprint(r)))
 		}
 	}()
 	if f := b.opts.InjectFault; f != nil {
@@ -407,5 +456,9 @@ func (b *Broker) Close() {
 func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.stats
+	s := b.stats
+	if len(b.workerBusy) > 0 {
+		s.WorkerBusyNS = append([]int64(nil), b.workerBusy...)
+	}
+	return s
 }

@@ -719,11 +719,16 @@ func (b *builder) translateBlock(leader int) error {
 		case bc.OpNew:
 			n := newNode(pc, ir.OpNew, bc.KindRef)
 			n.Class = in.Class
+			// (Method, BCI) is the allocation's stable site identity for
+			// escape attribution; the inliner clones both, so the site
+			// survives into caller graphs.
+			n.Method = b.m
 			st.push(n)
 		case bc.OpNewArray:
 			ln := st.pop()
 			n := newNode(pc, ir.OpNewArray, bc.KindRef, ln)
 			n.ElemKind = in.Kind
+			n.Method = b.m
 			st.push(n)
 		case bc.OpGetField:
 			recv := st.pop()

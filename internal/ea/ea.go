@@ -54,10 +54,16 @@ func AnalyzeWith(g *ir.Graph, sink *obs.Sink) map[*ir.Node]bool {
 				return
 			}
 			node := fmt.Sprintf("v%d", n.ID)
+			site := method
+			if n.Method != nil {
+				site = fmt.Sprintf("%s@%d", n.Method.QualifiedName(), n.BCI)
+			} else if n.BCI >= 0 {
+				site = fmt.Sprintf("%s@%d", method, n.BCI)
+			}
 			if nonEscaping[n] {
-				sink.EAVerdict(method, node, "captured", "")
+				sink.EAVerdict(method, node, "captured", "", site)
 			} else {
-				sink.EAVerdict(method, node, "escapes", u.escapeReason(n))
+				sink.EAVerdict(method, node, "escapes", u.escapeReason(n), site)
 			}
 		})
 	}

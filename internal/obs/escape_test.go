@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEscapeTableAggregation drives the aggregator with a representative
+// event mix and checks per-site counts, reason bucketing, and the
+// metrics-agreement invariant on the totals row.
+func TestEscapeTableAggregation(t *testing.T) {
+	et := NewEscapeTable()
+	m := NewMetrics()
+	s := NewSink(et)
+	s.SetMetrics(m)
+
+	// Site A: virtualized twice (two compiles), materialized once for an
+	// escape op, once at a merge, rematerialized at deopt, locks elided.
+	s.Virtualize("Main.getValue", "o0", "Key", "v1", "Main.getValue@0")
+	s.Virtualize("Main.getValue", "o0", "Key", "v1", "Main.getValue@0")
+	s.Materialize("Main.getValue", "o0", "v9", "b2", "StoreStatic", "Main.getValue@0")
+	s.MergeMaterialize("Main.getValue", "o0", "b4", "merge-mixed", "Main.getValue@0")
+	s.VMRematerialize("Main.getValue", "vobj0", "Key", "Main.getValue@0")
+	s.LockElide("Main.getValue", "o0", "v5", "monitorenter", "Main.getValue@0")
+	s.LockElide("Main.getValue", "o0", "v6", "monitorexit", "Main.getValue@0")
+	// Site B (inlined allocation: site method differs from compiled
+	// method): escapes into a non-inlined call.
+	s.Materialize("Main.main", "o1", "v20", "b1", "Invoke", "Helper.make@3")
+	s.EAVerdict("Main.main", "v2", "escapes", "call-argument", "Helper.make@3")
+	// Site-less event (hand-built graph): attributed to the method.
+	s.Virtualize("M.m", "o0", "T", "v1", "")
+
+	snap := et.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("got %d sites, want 3: %+v", len(snap), snap)
+	}
+	bySite := make(map[string]SiteStats)
+	for _, s := range snap {
+		bySite[s.Site] = s
+	}
+
+	a := bySite["Main.getValue@0"]
+	if a.Virtualized != 2 || a.Materialized != 2 || a.Remats != 1 || a.LocksElided != 2 {
+		t.Errorf("site A counts = %+v", a)
+	}
+	if a.Class != "Key" {
+		t.Errorf("site A class = %q, want Key", a.Class)
+	}
+	if a.Reasons["escape-op"] != 1 || a.Reasons["merge"] != 1 || a.Reasons["deopt-remat"] != 1 {
+		t.Errorf("site A reasons = %v", a.Reasons)
+	}
+	// Three buckets tie at 1; the dominant bucket breaks ties
+	// alphabetically for determinism.
+	if !strings.HasPrefix(a.DominantReason, "deopt-remat") {
+		t.Errorf("site A dominant = %q", a.DominantReason)
+	}
+
+	b := bySite["Helper.make@3"]
+	if b.Materialized != 1 || b.Escaped != 1 || b.Reasons["non-inlined-call"] != 1 {
+		t.Errorf("site B = %+v", b)
+	}
+	if b.DominantReason != "non-inlined-call (Invoke)" {
+		t.Errorf("site B dominant = %q", b.DominantReason)
+	}
+
+	if c := bySite["M.m"]; c.Virtualized != 1 {
+		t.Errorf("site-less fallback = %+v", c)
+	}
+
+	// The totals row agrees with the metrics registry (same events feed
+	// both).
+	var virt, mat, remat, locks int64
+	for _, s := range snap {
+		virt += s.Virtualized
+		mat += s.Materialized
+		remat += s.Remats
+		locks += s.LocksElided
+	}
+	if virt != m.Counter(MetricVirtualized) {
+		t.Errorf("virt total %d != metric %d", virt, m.Counter(MetricVirtualized))
+	}
+	if mat != m.Counter(MetricMaterialized) {
+		t.Errorf("mat total %d != metric %d", mat, m.Counter(MetricMaterialized))
+	}
+	if remat != m.Counter(MetricVMRemats) {
+		t.Errorf("remat total %d != metric %d", remat, m.Counter(MetricVMRemats))
+	}
+	if locks != m.Counter(MetricLocksElided) {
+		t.Errorf("locks total %d != metric %d", locks, m.Counter(MetricLocksElided))
+	}
+
+	table := et.Table()
+	if !strings.Contains(table, "Main.getValue@0") || !strings.Contains(table, "TOTAL") {
+		t.Errorf("table missing site or totals row:\n%s", table)
+	}
+	// Snapshot copies: mutating the snapshot must not leak back.
+	snap[0].Reasons["poison"] = 99
+	if _, ok := et.Snapshot()[0].Reasons["poison"]; ok {
+		t.Error("Snapshot aliases internal reason maps")
+	}
+}

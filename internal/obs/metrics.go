@@ -53,6 +53,9 @@ const (
 	GaugeBrokerQueueDepth  = "broker.queue_depth"
 	GaugeBrokerWorkersBusy = "broker.workers_busy"
 	GaugeBrokerCacheSize   = "broker.cache_size"
+	// GaugeBrokerQueueHighWater tracks the deepest the pending compile
+	// queue has ever been (monotone; updated on submissions).
+	GaugeBrokerQueueHighWater = "broker.queue_highwater"
 )
 
 // PhaseStat aggregates one compiler phase's timer: invocation count, total

@@ -115,6 +115,11 @@ type Event struct {
 	Phase string `json:"phase,omitempty"`
 	// Method is the qualified method name the event concerns.
 	Method string `json:"method,omitempty"`
+	// Site is the allocation-site identity ("Class.method@bci") a PEA/EA
+	// decision or rematerialization is attributed to. Allocation sites are
+	// stable under inlining: the site names the method that contains the
+	// `new` in its bytecode, not the method being compiled.
+	Site string `json:"site,omitempty"`
 	// Detail is a free-form human hint (callee name, class name, …).
 	Detail string `json:"detail,omitempty"`
 	// Obj is a PEA virtual-object id ("o3") or VM vobj index.
@@ -349,45 +354,48 @@ func (s *Sink) Inline(method, callee, node string) {
 	s.Metrics().Add(MetricInlines, 1)
 }
 
-// Virtualize records a PEA allocation-virtualization decision.
-func (s *Sink) Virtualize(method, obj, class, node string) {
+// Virtualize records a PEA allocation-virtualization decision. site is the
+// allocation-site identity ("Class.method@bci") for escape attribution.
+func (s *Sink) Virtualize(method, obj, class, node, site string) {
 	if s == nil {
 		return
 	}
 	s.emit(&Event{Kind: KindVirtualize, Phase: "pea", Method: method,
-		Obj: obj, Detail: class, Node: node})
+		Obj: obj, Detail: class, Node: node, Site: site})
 	s.Metrics().Add(MetricVirtualized, 1)
 }
 
-// Materialize records a PEA materialization with its cause and position.
-func (s *Sink) Materialize(method, obj, node, block, reason string) {
+// Materialize records a PEA materialization with its cause and position,
+// attributed to the allocation site.
+func (s *Sink) Materialize(method, obj, node, block, reason, site string) {
 	if s == nil {
 		return
 	}
 	s.emit(&Event{Kind: KindMaterialize, Phase: "pea", Method: method,
-		Obj: obj, Node: node, Block: block, Reason: reason})
+		Obj: obj, Node: node, Block: block, Reason: reason, Site: site})
 	s.Metrics().Add(MetricMaterialized, 1)
 }
 
 // MergeMaterialize records a materialization forced by a control-flow merge
-// (paper §4.3, Figure 6).
-func (s *Sink) MergeMaterialize(method, obj, block, reason string) {
+// (paper §4.3, Figure 6), attributed to the allocation site.
+func (s *Sink) MergeMaterialize(method, obj, block, reason, site string) {
 	if s == nil {
 		return
 	}
 	s.emit(&Event{Kind: KindMergeMaterialize, Phase: "pea", Method: method,
-		Obj: obj, Block: block, Reason: reason})
+		Obj: obj, Block: block, Reason: reason, Site: site})
 	s.Metrics().Add(MetricMergeMaterialized, 1)
 	s.Metrics().Add(MetricMaterialized, 1)
 }
 
-// LockElide records an elided monitor operation on a virtual object.
-func (s *Sink) LockElide(method, obj, node, op string) {
+// LockElide records an elided monitor operation on a virtual object,
+// attributed to the object's allocation site.
+func (s *Sink) LockElide(method, obj, node, op, site string) {
 	if s == nil {
 		return
 	}
 	s.emit(&Event{Kind: KindLockElide, Phase: "pea", Method: method,
-		Obj: obj, Node: node, Detail: op})
+		Obj: obj, Node: node, Detail: op, Site: site})
 	s.Metrics().Add(MetricLocksElided, 1)
 }
 
@@ -427,13 +435,14 @@ func (s *Sink) PEAState(method, block, state string) {
 }
 
 // EAVerdict records the whole-method escape-analysis baseline verdict for
-// an allocation: verdict is "captured" or "escapes", reason the cause.
-func (s *Sink) EAVerdict(method, node, verdict, reason string) {
+// an allocation: verdict is "captured" or "escapes", reason the cause,
+// site the allocation-site identity.
+func (s *Sink) EAVerdict(method, node, verdict, reason, site string) {
 	if s == nil {
 		return
 	}
 	s.emit(&Event{Kind: KindEAVerdict, Phase: "ea", Method: method,
-		Node: node, Detail: verdict, Reason: reason})
+		Node: node, Detail: verdict, Reason: reason, Site: site})
 	if verdict == "captured" {
 		s.Metrics().Add(MetricEACaptured, 1)
 	} else {
@@ -460,13 +469,14 @@ func (s *Sink) VMDeopt(method, node, reason string) {
 	s.Metrics().Add(MetricVMDeopts, 1)
 }
 
-// VMRematerialize records one virtual object rematerialized during deopt.
-func (s *Sink) VMRematerialize(method, obj, class string) {
+// VMRematerialize records one virtual object rematerialized during deopt,
+// attributed to its original allocation site.
+func (s *Sink) VMRematerialize(method, obj, class, site string) {
 	if s == nil {
 		return
 	}
 	s.emit(&Event{Kind: KindVMRematerialize, Phase: "vm", Method: method,
-		Obj: obj, Detail: class})
+		Obj: obj, Detail: class, Site: site})
 	s.Metrics().Add(MetricVMRemats, 1)
 }
 
@@ -666,6 +676,9 @@ func (b *TextBackend) Write(e *Event) {
 	}
 	if e.Method != "" {
 		fmt.Fprintf(b.w, " method=%s", e.Method)
+	}
+	if e.Site != "" {
+		fmt.Fprintf(b.w, " site=%s", e.Site)
 	}
 	if e.Obj != "" {
 		fmt.Fprintf(b.w, " obj=%s", e.Obj)

@@ -25,18 +25,18 @@ func TestNilSinkNoAllocs(t *testing.T) {
 		s.PhaseStart("pea", "M.m", 10, 2)
 		s.PhaseEnd("pea", "M.m", 10, 2, 8, 2, time.Millisecond)
 		s.Inline("M.m", "M.callee", "v3")
-		s.Virtualize("M.m", "o0", "Key", "v1")
-		s.Materialize("M.m", "o0", "v9", "b2", "StoreStatic")
-		s.MergeMaterialize("M.m", "o0", "b4", "merge-mixed")
-		s.LockElide("M.m", "o0", "v5", "monitorenter")
+		s.Virtualize("M.m", "o0", "Key", "v1", "M.m@0")
+		s.Materialize("M.m", "o0", "v9", "b2", "StoreStatic", "M.m@0")
+		s.MergeMaterialize("M.m", "o0", "b4", "merge-mixed", "M.m@0")
+		s.LockElide("M.m", "o0", "v5", "monitorenter", "M.m@0")
 		s.PEARound("M.m", 1)
 		s.PEAFixpoint("M.m", 2)
 		s.PEABailout("M.m", "no fixpoint")
 		s.PEAState("M.m", "b1", "state")
-		s.EAVerdict("M.m", "v1", "captured", "")
+		s.EAVerdict("M.m", "v1", "captured", "", "M.m@0")
 		s.VMCompile("M.m", 20)
 		s.VMDeopt("M.m", "v7", "branch-mispredict")
-		s.VMRematerialize("M.m", "vobj0", "Key")
+		s.VMRematerialize("M.m", "vobj0", "Key", "M.m@0")
 		s.VMInvalidate("M.m", "deopt")
 		s.VMRecompile("M.m", 1)
 		s.Snapshot("pea", "M.m", nil)
@@ -66,9 +66,9 @@ func TestJSONBackendJSONL(t *testing.T) {
 	s.SetClock(fixedClock())
 
 	s.PhaseStart("pea", "Main.getValue", 40, 8)
-	s.Virtualize("Main.getValue", "o0", "Key", "v1")
-	s.LockElide("Main.getValue", "o0", "v5", "monitorenter")
-	s.Materialize("Main.getValue", "o0", "v10", "b2", "StoreStatic")
+	s.Virtualize("Main.getValue", "o0", "Key", "v1", "Main.getValue@0")
+	s.LockElide("Main.getValue", "o0", "v5", "monitorenter", "Main.getValue@0")
+	s.Materialize("Main.getValue", "o0", "v10", "b2", "StoreStatic", "Main.getValue@0")
 	s.PhaseEnd("pea", "Main.getValue", 40, 8, 36, 8, 0)
 
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -102,18 +102,18 @@ func TestSinkMetricsAgreement(t *testing.T) {
 	s.SetMetrics(m)
 
 	s.Inline("M.m", "M.c", "v1")
-	s.Virtualize("M.m", "o0", "Key", "v1")
-	s.Materialize("M.m", "o0", "v9", "b2", "StoreStatic")
-	s.Materialize("M.m", "o1", "v11", "b3", "Invoke")
-	s.MergeMaterialize("M.m", "o0", "b4", "merge-mixed")
-	s.LockElide("M.m", "o0", "v5", "monitorenter")
-	s.LockElide("M.m", "o0", "v6", "monitorexit")
+	s.Virtualize("M.m", "o0", "Key", "v1", "M.m@0")
+	s.Materialize("M.m", "o0", "v9", "b2", "StoreStatic", "M.m@0")
+	s.Materialize("M.m", "o1", "v11", "b3", "Invoke", "M.m@4")
+	s.MergeMaterialize("M.m", "o0", "b4", "merge-mixed", "M.m@0")
+	s.LockElide("M.m", "o0", "v5", "monitorenter", "M.m@0")
+	s.LockElide("M.m", "o0", "v6", "monitorexit", "M.m@0")
 	s.PEABailout("M.m", "no fixpoint")
-	s.EAVerdict("M.m", "v1", "captured", "")
-	s.EAVerdict("M.m", "v2", "escapes", "returned")
+	s.EAVerdict("M.m", "v1", "captured", "", "M.m@0")
+	s.EAVerdict("M.m", "v2", "escapes", "returned", "M.m@4")
 	s.VMCompile("M.m", 20)
 	s.VMDeopt("M.m", "v7", "speculation-failed")
-	s.VMRematerialize("M.m", "vobj0", "Key")
+	s.VMRematerialize("M.m", "vobj0", "Key", "M.m@0")
 	s.VMInvalidate("M.m", "deopt")
 	s.VMRecompile("M.m", 1)
 

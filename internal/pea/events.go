@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pea/internal/obs"
+	"pea/internal/obs/flight"
 )
 
 // This file connects the analysis to the observability layer. All PEA
@@ -43,6 +44,34 @@ const (
 // only called on paths already guarded by a.sink != nil.
 func (a *analyzer) methodName() string { return a.method }
 
+// siteOf returns the allocation-site identity of id: the method whose
+// bytecode contains the allocation (which survives inlining — the builder
+// tags OpNew/OpNewArray with their defining method) at its bytecode index.
+// Hand-built graphs without site tags fall back to the analyzed method.
+func (a *analyzer) siteOf(id objID) string {
+	n := a.objs[id].allocSite
+	if n == nil {
+		return a.method
+	}
+	if n.Method != nil {
+		return fmt.Sprintf("%s@%d", n.Method.QualifiedName(), n.BCI)
+	}
+	return fmt.Sprintf("%s@%d", a.method, n.BCI)
+}
+
+// flightSite returns the site as flight-recorder scalars: the dense method
+// ID (-1 when untagged) and bytecode index of the allocation.
+func (a *analyzer) flightSite(id objID) (method, bci int32) {
+	method, bci = -1, -1
+	if n := a.objs[id].allocSite; n != nil {
+		bci = int32(n.BCI)
+		if n.Method != nil {
+			method = int32(n.Method.ID)
+		}
+	}
+	return method, bci
+}
+
 // eventVirtualize emits the scalar-replacement decision for one allocation
 // (emit phase only; called exactly when Result.VirtualizedAllocs counts it).
 func (a *analyzer) eventVirtualize(id objID, nodeID int) {
@@ -50,23 +79,28 @@ func (a *analyzer) eventVirtualize(id objID, nodeID int) {
 		return
 	}
 	a.sink.Virtualize(a.methodName(), fmt.Sprintf("o%d", id),
-		a.allocDesc(id), fmt.Sprintf("v%d", nodeID))
+		a.allocDesc(id), fmt.Sprintf("v%d", nodeID), a.siteOf(id))
 }
 
 // eventMaterialize emits a materialization with reason and position (emit
 // phase only; called exactly when Result.MaterializeSites counts it).
 // before == nil marks an edge materialization at the end of b, which is
-// always merge-induced and reported as merge_materialize.
+// always merge-induced and reported as merge_materialize. The decision is
+// also recorded in the always-on flight recorder (independent of the sink).
 func (a *analyzer) eventMaterialize(id objID, b fmt.Stringer, beforeID int, reason string) {
+	if fl := a.conf.Flight; fl != nil {
+		method, bci := a.flightSite(id)
+		fl.Record(flight.KindMaterialize, method, bci, int64(id), 0, fl.Reason(reason))
+	}
 	if a.sink == nil {
 		return
 	}
 	if beforeID >= 0 {
 		a.sink.Materialize(a.methodName(), fmt.Sprintf("o%d", id),
-			fmt.Sprintf("v%d", beforeID), b.String(), reason)
+			fmt.Sprintf("v%d", beforeID), b.String(), reason, a.siteOf(id))
 		return
 	}
-	a.sink.MergeMaterialize(a.methodName(), fmt.Sprintf("o%d", id), b.String(), reason)
+	a.sink.MergeMaterialize(a.methodName(), fmt.Sprintf("o%d", id), b.String(), reason, a.siteOf(id))
 }
 
 // eventLockElide emits one elided monitor operation (emit phase only).
@@ -75,7 +109,7 @@ func (a *analyzer) eventLockElide(id objID, nodeID int, op string) {
 		return
 	}
 	a.sink.LockElide(a.methodName(), fmt.Sprintf("o%d", id),
-		fmt.Sprintf("v%d", nodeID), op)
+		fmt.Sprintf("v%d", nodeID), op, a.siteOf(id))
 }
 
 // allocDesc names the allocated type: class name, or "kind[len]" for arrays.

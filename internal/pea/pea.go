@@ -9,6 +9,7 @@ import (
 	"pea/internal/check"
 	"pea/internal/ir"
 	"pea/internal/obs"
+	"pea/internal/obs/flight"
 	"pea/internal/sched"
 )
 
@@ -51,6 +52,11 @@ type Config struct {
 	// virtualizations, materializations with reason and position, merge
 	// materializations, lock elisions, fixpoint rounds, and bailouts.
 	Sink *obs.Sink
+	// Flight, when non-nil, is the VM's always-on flight recorder.
+	// Materialization decisions are recorded there with their allocation
+	// site regardless of whether a Sink is attached — the recorder is the
+	// black box that stays on when event tracing is off.
+	Flight *flight.Recorder
 	// Trace, when non-nil, receives the same events rendered as a
 	// line-oriented log (compatibility shim over the event sink; see
 	// LegacyTraceBackend).
@@ -468,6 +474,12 @@ func (a *analyzer) virtualNode(id objID) *ir.Node {
 	v.Class = oi.class
 	v.ElemKind = oi.elemKind
 	v.AuxLen = oi.length
+	// Carry the allocation site so deopt-time rematerialization can
+	// attribute the materialized object back to the `new` it replaces.
+	if site := oi.allocSite; site != nil {
+		v.Method = site.Method
+		v.BCI = site.BCI
+	}
 	a.prependEntry(v)
 	a.virtMemo[id] = v
 	return v

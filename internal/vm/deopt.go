@@ -6,6 +6,7 @@ import (
 	"pea/internal/bc"
 	"pea/internal/interp"
 	"pea/internal/ir"
+	"pea/internal/obs/flight"
 	"pea/internal/rt"
 )
 
@@ -27,6 +28,8 @@ func (vm *VM) deopt(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bo
 	if fs == nil {
 		return rt.Value{}, fmt.Errorf("vm: deopt node %s has no frame state", n)
 	}
+	vm.flight.Record(flight.KindDeopt, int32(fs.Method.ID), int32(fs.BCI),
+		0, 0, vm.flight.Reason(n.DeoptReason))
 	// Collect virtual object descriptors from the whole chain.
 	descs := make(map[*ir.Node]*ir.VirtualObjectState)
 	for s := fs; s != nil; s = s.Outer {
@@ -88,6 +91,16 @@ func (vm *VM) deopt(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bo
 			vm.Env.MonitorEnter(obj)
 		}
 		vm.Env.Stats.Materializations++
+		// Attribute the rematerialization to the allocation site PEA
+		// removed: virtual objects carry the (Method, BCI) of the original
+		// OpNew, with the deopting frame's method as a fallback for
+		// hand-built graphs.
+		siteMethod, siteBCI := fs.Method, n.BCI
+		if n.Method != nil {
+			siteMethod = n.Method
+		}
+		vm.flight.Record(flight.KindMaterialize,
+			int32(siteMethod.ID), int32(siteBCI), n.AuxInt, 0, vm.reasonRemat)
 		if s := vm.Opts.Sink; s != nil {
 			desc := ""
 			if n.Class != nil {
@@ -96,7 +109,8 @@ func (vm *VM) deopt(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bo
 				desc = fmt.Sprintf("%s[%d]", n.ElemKind, n.AuxLen)
 			}
 			s.VMRematerialize(fs.Method.QualifiedName(),
-				fmt.Sprintf("vobj%d", n.AuxInt), desc)
+				fmt.Sprintf("vobj%d", n.AuxInt), desc,
+				fmt.Sprintf("%s@%d", siteMethod.QualifiedName(), siteBCI))
 		}
 		return obj, nil
 	}

@@ -223,6 +223,110 @@ func TestTraceEventsCachekey(t *testing.T) {
 	}
 }
 
+// TestEscapeTableListing1 runs the paper's Listing 1 with the escape
+// attribution aggregator attached and golden-matches the rendered table —
+// the per-site Table 1 analogue that peavm -escape-report prints. The
+// single Key allocation site (Main.getValue@0) must show one virtualized
+// object, one materialization on the cache-miss branch dominated by the
+// StoreStatic publication, and both elided monitor operations; the table's
+// totals must equal the metrics registry's counters. The always-on flight
+// recorder must have captured the same materializations without any
+// backend attached.
+func TestEscapeTableListing1(t *testing.T) {
+	prog, err := mj.Compile(listing1, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := obs.NewEscapeTable()
+	met := obs.NewMetrics()
+	machine := New(prog, Options{
+		EA:               EAPartial,
+		CompileThreshold: 3,
+		Sink:             obs.NewSink(esc),
+		Metrics:          met,
+		Validate:         true,
+		MaxSteps:         1_000_000,
+	})
+	getValue := prog.ClassByName("Main").MethodByName("getValue")
+	for i := 0; i < 6; i++ {
+		if _, err := machine.Call(getValue, []rt.Value{rt.IntValue(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m, cerr := range machine.FailedCompilations() {
+		t.Fatalf("compilation of %s failed: %v", m.QualifiedName(), cerr)
+	}
+
+	// Table totals equal the metrics registry counters (the acceptance
+	// contract between the two accounting paths).
+	var virt, mat, remat, locks int64
+	for _, s := range esc.Snapshot() {
+		virt += s.Virtualized
+		mat += s.Materialized
+		remat += s.Remats
+		locks += s.LocksElided
+	}
+	if got := met.Counter(obs.MetricVirtualized); got != virt {
+		t.Errorf("virtualized: table total %d, metric %d", virt, got)
+	}
+	if got := met.Counter(obs.MetricMaterialized); got != mat {
+		t.Errorf("materialized: table total %d, metric %d", mat, got)
+	}
+	if got := met.Counter(obs.MetricVMRemats); got != remat {
+		t.Errorf("remats: table total %d, metric %d", remat, got)
+	}
+	if got := met.Counter(obs.MetricLocksElided); got != locks {
+		t.Errorf("locks elided: table total %d, metric %d", locks, got)
+	}
+
+	// The flight recorder is always on — no flag, no backend — and must
+	// have seen every compile-time materialization the table counted.
+	var flightBuf bytes.Buffer
+	if err := machine.Flight().WriteJSON(&flightBuf); err != nil {
+		t.Fatal(err)
+	}
+	var flightMats, flightCompiles int64
+	for _, ln := range strings.Split(strings.TrimSpace(flightBuf.String()), "\n") {
+		var rec struct {
+			Kind   string `json:"kind"`
+			Reason string `json:"reason"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("flight line is not valid JSON: %v\n%s", err, ln)
+		}
+		switch rec.Kind {
+		case "materialize":
+			if rec.Reason != "deopt-remat" {
+				flightMats++
+			}
+		case "compile_finish":
+			flightCompiles++
+		}
+	}
+	if flightMats != mat {
+		t.Errorf("flight materialize records = %d, table total %d", flightMats, mat)
+	}
+	if flightCompiles == 0 {
+		t.Error("flight recorder captured no compile_finish records")
+	}
+
+	// Golden-match the rendered table.
+	got := esc.Table()
+	golden := filepath.Join("testdata", "cachekey_escape.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("escape table diverged from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // benchmarkCompile measures one full JIT compilation of the paper's
 // cacheKey workload under PEA. The nil-sink variant is the guard for the
 // package's no-overhead-when-disabled contract: its allocation count must

@@ -7,6 +7,7 @@ import (
 	"pea/internal/bc"
 	"pea/internal/interp"
 	"pea/internal/ir"
+	"pea/internal/obs/flight"
 	"pea/internal/rt"
 )
 
@@ -43,6 +44,7 @@ func (vm *VM) osrHook(f *interp.Frame, count int64) (rt.Value, bool, error) {
 		return rt.Value{}, false, nil // compile in flight; keep looping interpreted
 	}
 	atomic.AddInt64(&vm.VMStats.OSRRequests, 1)
+	vm.flight.Record(flight.KindOSRRequest, int32(f.Method.ID), int32(f.PC), count, 0, 0)
 	if s := vm.Opts.Sink; s != nil {
 		s.VMOSRRequest(f.Method.QualifiedName(), f.PC, int(count))
 	}
@@ -100,6 +102,7 @@ func (vm *VM) enterOSR(f *interp.Frame, g *ir.Graph) (rt.Value, bool, error) {
 	copy(args, f.Locals)
 	copy(args[f.Method.NumLocals():], f.Stack)
 	atomic.AddInt64(&vm.VMStats.OSREntries, 1)
+	vm.flight.Record(flight.KindOSREnter, int32(f.Method.ID), int32(f.PC), 0, 0, 0)
 	if s := vm.Opts.Sink; s != nil {
 		s.VMOSREnter(f.Method.QualifiedName(), f.PC)
 	}

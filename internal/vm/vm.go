@@ -45,6 +45,7 @@ import (
 	"pea/internal/interp"
 	"pea/internal/ir"
 	"pea/internal/obs"
+	"pea/internal/obs/flight"
 	"pea/internal/opt"
 	"pea/internal/pea"
 	"pea/internal/rt"
@@ -163,6 +164,13 @@ type Options struct {
 	// Metrics, when non-nil, is attached to the sink (one is created if
 	// Sink is nil) so decision events bump counters and per-phase timers.
 	Metrics *obs.Metrics
+
+	// Flight, when non-nil, is the always-on flight recorder shared by the
+	// VM, the broker, and the PEA pipeline. nil (the default) makes New
+	// create a private recorder with DefaultCapacity — the recorder is
+	// meant to stay on, JFR-style, so every VM has one; pass a recorder
+	// explicitly to share it across VMs or to pick a capacity.
+	Flight *flight.Recorder
 }
 
 // checkLevel folds the legacy Validate switch and the PEA_CHECK
@@ -279,6 +287,12 @@ type VM struct {
 	crashMu       sync.Mutex
 	crashCaptured map[*bc.Method]bool
 
+	// flight is the always-on flight recorder (never nil after New);
+	// reasonRemat is the pre-interned "deopt-remat" reason code so the
+	// deopt path records without a map lookup.
+	flight      *flight.Recorder
+	reasonRemat uint16
+
 	VMStats Stats
 }
 
@@ -305,16 +319,28 @@ func New(prog *bc.Program, opts Options) *VM {
 		// broker's fault points and the pipeline's phase boundaries.
 		opts.InjectFault = broker.FaultFromEnv()
 	}
+	if opts.Flight == nil {
+		opts.Flight = flight.New(0)
+	}
+	// The recorder resolves dense method IDs to names at dump time;
+	// Program.Methods is indexed by Method.ID.
+	names := make([]string, len(prog.Methods))
+	for i, m := range prog.Methods {
+		names[i] = m.QualifiedName()
+	}
+	opts.Flight.SetMethodNames(names)
 	vm := &VM{
-		Prog:      prog,
-		Env:       rt.NewEnv(prog, opts.Seed),
-		Opts:      opts,
-		code:      make([]atomic.Pointer[ir.Graph], len(prog.Methods)),
-		noSpec:    make([]atomic.Bool, len(prog.Methods)),
-		failed:    make(map[failKey]error),
-		hasFailed: make([]atomic.Bool, len(prog.Methods)),
-		retryAt:   make([]atomic.Int64, len(prog.Methods)),
-		retryN:    make([]atomic.Int32, len(prog.Methods)),
+		Prog:        prog,
+		Env:         rt.NewEnv(prog, opts.Seed),
+		Opts:        opts,
+		code:        make([]atomic.Pointer[ir.Graph], len(prog.Methods)),
+		noSpec:      make([]atomic.Bool, len(prog.Methods)),
+		failed:      make(map[failKey]error),
+		hasFailed:   make([]atomic.Bool, len(prog.Methods)),
+		retryAt:     make([]atomic.Int64, len(prog.Methods)),
+		retryN:      make([]atomic.Int32, len(prog.Methods)),
+		flight:      opts.Flight,
+		reasonRemat: opts.Flight.Reason("deopt-remat"),
 	}
 	vm.Interp = interp.New(vm.Env)
 	vm.Interp.MaxSteps = opts.MaxSteps
@@ -345,6 +371,7 @@ func New(prog *bc.Program, opts Options) *VM {
 		Check:       opts.checkLevel(),
 		Sink:        opts.Sink,
 		InjectFault: opts.InjectFault,
+		Flight:      vm.flight,
 	})
 	return vm
 }
@@ -581,6 +608,16 @@ func (vm *VM) recordFailure(m *bc.Method, k broker.Key, err error) {
 	}
 	if broker.Transient(err) {
 		atomic.AddInt64(&vm.VMStats.TransientFailures, 1)
+		// Record the bailout with a compact classification
+		// ("deadline@pea-fixpoint") rather than the full error text, so a
+		// storm of bailouts cannot flood the bounded reason table.
+		reason := "transient"
+		var be *budget.Err
+		if errors.As(err, &be) {
+			reason = be.Kind + "@" + be.Phase
+		}
+		vm.flight.Record(flight.KindBudgetBailout, int32(m.ID), int32(k.EntryBCI),
+			0, 0, vm.flight.Reason(reason))
 		if k.IsOSR() {
 			vm.rearmOSR(m, k.EntryBCI, "transient: "+err.Error())
 		} else {
@@ -698,9 +735,9 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 		var eaErr error
 		switch vm.Opts.EA {
 		case EAFlowInsensitive:
-			_, eaErr = ea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud})
+			_, eaErr = ea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud, Flight: vm.flight})
 		case EAPartial:
-			_, eaErr = pea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud})
+			_, eaErr = pea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud, Flight: vm.flight})
 		}
 		vm.fault(vm.Opts.EA.String(), m)
 		if eaErr != nil {
@@ -767,6 +804,9 @@ func (vm *VM) Close() { vm.jit.Close() }
 
 // Broker exposes the VM's compile broker (stats, cache) to tools and tests.
 func (vm *VM) Broker() *broker.Broker { return vm.jit }
+
+// Flight exposes the VM's always-on flight recorder (never nil).
+func (vm *VM) Flight() *flight.Recorder { return vm.flight }
 
 // Stats returns a consistent snapshot of the VM counters.
 func (vm *VM) Stats() Stats {
