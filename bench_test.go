@@ -16,7 +16,6 @@ import (
 	"pea/internal/bench"
 	"pea/internal/broker"
 	"pea/internal/build"
-	"pea/internal/ir"
 	"pea/internal/mj"
 	"pea/internal/opt"
 	"pea/internal/pea"
@@ -238,8 +237,12 @@ func BenchmarkCompileParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				br := broker.New(broker.Options{
 					Workers: workers,
-					Compile: func(m *bc.Method, k broker.Key) (*ir.Graph, error) {
-						return byMethod[m].Compile(m)
+					Compile: func(m *bc.Method, k broker.Key) (broker.Artifact, error) {
+						g, err := byMethod[m].Compile(m)
+						if err != nil {
+							return nil, err
+						}
+						return g, nil
 					},
 				})
 				for _, t := range tasks {

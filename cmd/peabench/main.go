@@ -6,8 +6,14 @@
 // Usage:
 //
 //	peabench [-suite dacapo|scaladacapo|specjbb|all] [-mode pea|ea]
-//	         [-compare] [-locks] [-compiler] [-full] [-warmup N] [-iters N]
-//	         [-j N] [-jit-async] [-jit-workers N] [-out FILE]
+//	         [-compare] [-backends] [-locks] [-compiler] [-full] [-warmup N]
+//	         [-iters N] [-j N] [-jit-async] [-jit-workers N] [-out FILE]
+//
+// -backends runs the execution-backend experiment: every Table 1 workload
+// plus the OSR hot loop measured under the interpreter, the oracle backend
+// (tree-walking cycle model), and the closure backend (template JIT), with
+// real wall_ns_per_op and allocs_per_op next to the modeled cycles and a
+// cross-backend heap-effect differential check.
 //
 // With -compiler each Table 1 block is followed by a per-benchmark
 // compiler-metrics table (virtualized allocations, materialization sites,
@@ -36,6 +42,7 @@ func main() {
 	mode := flag.String("mode", "pea", "analysis to compare against the no-EA baseline: pea or ea")
 	compare := flag.Bool("compare", false, "run the section-6.2 EA vs PEA comparison instead of Table 1")
 	osr := flag.Bool("osr", false, "run the on-stack-replacement hot-loop experiment instead of Table 1")
+	backends := flag.Bool("backends", false, "run the execution-backend experiment (interp vs oracle vs closure, wall-clock) instead of Table 1")
 	ablate := flag.Bool("ablate", false, "run the ablation study over PEA's design choices")
 	locks := flag.Bool("locks", false, "also print monitor-operation changes (section 6.1)")
 	compiler := flag.Bool("compiler", false, "also print per-benchmark compiler metrics (decision counters, phase times, JSON)")
@@ -55,6 +62,25 @@ func main() {
 		Async:      *jitAsync,
 		JITWorkers: *jitWorkers,
 		Share:      bench.NewShared(),
+	}
+
+	if *backends {
+		res, err := bench.RunBackendExperiment(rc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatBackendTable(res))
+		if *out != "" {
+			data, err := res.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
 	}
 
 	if *osr {

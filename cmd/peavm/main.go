@@ -6,12 +6,24 @@
 // Usage:
 //
 //	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S]
+//	      [-backend oracle|closure|both]
 //	      [-osr-threshold N] [-jit-async] [-jit-workers N] [-jit-queue-cap N]
 //	      [-compile-deadline D] [-max-ir-nodes N] [-crash-dir DIR]
 //	      [-check off|basic|strict] [-trace-events out.jsonl] [-metrics]
 //	      [-escape-report] [-flight-dump out.jsonl] [-trace-chrome out.json]
 //	      [-debug-addr host:port]
 //	      prog.mj
+//
+// -backend selects how compiled methods execute: "closure" (the default)
+// runs graphs lowered to closure sequences — a template JIT with real
+// wall-clock speedups — while "oracle" runs the tree-walking reference
+// executor that also charges the repo's machine-independent cycle model.
+// "both" runs the program on two VMs, one per backend, in lockstep and
+// cross-checks per-run results and errors, printed output, and (in the
+// deterministic synchronous configuration) the guest-visible heap effects:
+// allocation, monitor, field, deoptimization and rematerialization
+// counters. Any divergence is a lowering bug and exits nonzero. Stats and
+// observability flags describe the closure VM in this mode.
 //
 // With -jit-async hot methods are compiled on background broker workers
 // while the interpreter keeps running them (tier-up); the default compiles
@@ -76,6 +88,7 @@ import (
 
 func main() {
 	eaMode := flag.String("ea", "pea", "escape analysis: off, ea (flow-insensitive), or pea")
+	backendName := flag.String("backend", "closure", "execution backend: oracle (tree-walking cycle model), closure (template JIT), or both (lockstep cross-check)")
 	speculate := flag.Bool("speculate", false, "enable speculative branch pruning with deoptimization")
 	interpret := flag.Bool("interpret", false, "disable the JIT entirely")
 	runs := flag.Int("runs", 1, "number of times to run Main.main (later runs execute compiled code)")
@@ -184,6 +197,27 @@ func main() {
 		opts.Metrics = met
 	}
 
+	// Backend selection. In -backend=both mode the closure VM is primary
+	// (it owns stdout, stats and observability); a second VM runs the same
+	// program on the oracle backend and every observable effect is compared.
+	var shadow *vm.VM
+	if *backendName == "both" {
+		opts.Backend = vm.BackendClosure
+		sopts := opts
+		sopts.Backend = vm.BackendOracle
+		sopts.Sink = nil
+		sopts.Metrics = nil
+		sopts.CrashDir = ""
+		shadow = vm.New(prog, sopts)
+		defer shadow.Close()
+	} else {
+		b, err := vm.ParseBackend(*backendName)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Backend = b
+	}
+
 	machine := vm.New(prog, opts)
 	defer machine.Close()
 	if *debugAddr != "" {
@@ -195,11 +229,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/pea/flight\n", ln.Addr())
 	}
 	for i := 0; i < *runs; i++ {
-		if _, err := machine.Run(); err != nil {
+		v, err := machine.Run()
+		if shadow != nil {
+			ov, oerr := shadow.Run()
+			if (err != nil) != (oerr != nil) {
+				fatal(fmt.Errorf("backend divergence on run %d: closure error %v, oracle error %v", i, err, oerr))
+			}
+			if err == nil && !v.Equal(ov) {
+				fatal(fmt.Errorf("backend divergence on run %d: closure result %v, oracle result %v", i, v, ov))
+			}
+		}
+		if err != nil {
 			fatal(err)
 		}
 	}
 	machine.DrainJIT()
+	if shadow != nil {
+		shadow.DrainJIT()
+		if err := crossCheck(machine, shadow, opts.Async); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "backend cross-check: closure matches oracle")
+	}
 	for _, v := range machine.Env.Output {
 		fmt.Println(v)
 	}
@@ -248,6 +299,45 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// crossCheck compares everything the guest program could observe between
+// the closure-backend VM and its oracle shadow: printed output always, and
+// in the deterministic synchronous configuration also the heap-effect
+// counters. With -jit-async the install timing of compiled code varies
+// between the two VMs, so calls legitimately split differently between
+// interpreter and compiled code and the counters are not comparable.
+func crossCheck(closure, oracle *vm.VM, async bool) error {
+	co, oo := closure.Env.Output, oracle.Env.Output
+	if len(co) != len(oo) {
+		return fmt.Errorf("backend divergence: closure printed %d values, oracle %d", len(co), len(oo))
+	}
+	for i := range co {
+		if co[i] != oo[i] {
+			return fmt.Errorf("backend divergence: output[%d] is %d under closure, %d under oracle", i, co[i], oo[i])
+		}
+	}
+	if async {
+		return nil
+	}
+	cs, rs := closure.Env.Stats, oracle.Env.Stats
+	for _, c := range []struct {
+		name     string
+		got, ref int64
+	}{
+		{"allocations", cs.Allocations, rs.Allocations},
+		{"allocated bytes", cs.AllocatedBytes, rs.AllocatedBytes},
+		{"monitor ops", cs.MonitorOps, rs.MonitorOps},
+		{"field loads", cs.FieldLoads, rs.FieldLoads},
+		{"field stores", cs.FieldStores, rs.FieldStores},
+		{"deoptimizations", cs.Deopts, rs.Deopts},
+		{"materializations", cs.Materializations, rs.Materializations},
+	} {
+		if c.got != c.ref {
+			return fmt.Errorf("backend divergence: %s %d under closure, %d under oracle", c.name, c.got, c.ref)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

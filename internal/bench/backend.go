@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"pea/internal/mj"
+	"pea/internal/rt"
+	"pea/internal/vm"
+)
+
+// BackendCell is one executor's measurement of one workload.
+type BackendCell struct {
+	// WallNSPerOp is measured wall-clock nanoseconds per iteration.
+	WallNSPerOp float64 `json:"wall_ns_per_op"`
+	// AllocsPerOp is Go-heap allocations per iteration (executor
+	// overhead, not guest allocations).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// ItersPerMin is the modeled-cycle throughput (only the interpreter
+	// and the oracle backend charge cycles; 0 for closure, which has no
+	// cost model).
+	ItersPerMin float64 `json:"modeled_iters_per_min,omitempty"`
+	// GuestKAllocs is guest allocations per iteration in thousands —
+	// the heap effect that must be identical across backends.
+	GuestKAllocs float64 `json:"guest_kallocs_per_iter"`
+}
+
+// BackendRow compares the interpreter, the oracle backend, and the closure
+// backend on one workload (all compiled configurations run EAPartial).
+type BackendRow struct {
+	Workload string      `json:"workload"`
+	Suite    string      `json:"suite,omitempty"`
+	Interp   BackendCell `json:"interp"`
+	Oracle   BackendCell `json:"oracle"`
+	Closure  BackendCell `json:"closure"`
+	// ClosureVsOracle and ClosureVsInterp are wall-clock speedups (>1 =
+	// closure faster).
+	ClosureVsOracle float64 `json:"closure_vs_oracle"`
+	ClosureVsInterp float64 `json:"closure_vs_interp"`
+}
+
+// BackendReport is the committed artifact of the backend experiment.
+type BackendReport struct {
+	Config ReportConfig `json:"config"`
+	Rows   []BackendRow `json:"rows"`
+	// OSR is the hot-loop row: one 100k-iteration invocation, compiled
+	// code entered mid-loop via on-stack replacement.
+	OSR BackendRow `json:"osr_hot_loop"`
+}
+
+// JSON renders the report with stable indentation for committing.
+func (r BackendReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// cell converts a Measure result into the experiment's cell shape.
+func cell(m Metrics) BackendCell {
+	return BackendCell{
+		WallNSPerOp:  m.WallNSPerOp,
+		AllocsPerOp:  m.GoAllocsPerOp,
+		ItersPerMin:  m.ItersPerMin,
+		GuestKAllocs: m.KAllocsPerIter,
+	}
+}
+
+// speedup returns base/new (how many times faster new is), 0 if undefined.
+func speedup(base, new float64) float64 {
+	if new <= 0 {
+		return 0
+	}
+	return base / new
+}
+
+// RunBackendExperiment measures every Table-1 workload under three
+// executors — the interpreter, the oracle backend, and the closure backend
+// (compiled configurations at EAPartial) — and the OSR hot loop. Beyond
+// timing, it is a differential check: the guest-visible heap effects of the
+// two compiled backends must match exactly, or the experiment fails.
+func RunBackendExperiment(rc RunConfig) (BackendReport, error) {
+	report := BackendReport{Config: ReportConfig{
+		Warmup: rc.Warmup, Iters: rc.Iters, Jobs: rc.Jobs,
+		Async: rc.Async, JITWorkers: rc.JITWorkers,
+	}}
+	for _, w := range Suites() {
+		row := BackendRow{Workload: w.Name, Suite: w.Suite}
+
+		ic := rc
+		ic.Mode = vm.EAOff
+		ic.Interpret = true
+		im, err := Measure(w, ic)
+		if err != nil {
+			return report, fmt.Errorf("interp %s: %w", w.Name, err)
+		}
+		row.Interp = cell(im)
+
+		oc := rc
+		oc.Mode = vm.EAPartial
+		oc.Backend = vm.BackendOracle
+		om, err := Measure(w, oc)
+		if err != nil {
+			return report, fmt.Errorf("oracle %s: %w", w.Name, err)
+		}
+		row.Oracle = cell(om)
+
+		cc := rc
+		cc.Mode = vm.EAPartial
+		cc.Backend = vm.BackendClosure
+		cm, err := Measure(w, cc)
+		if err != nil {
+			return report, fmt.Errorf("closure %s: %w", w.Name, err)
+		}
+		row.Closure = cell(cm)
+
+		// Cross-backend heap-effect check: same graphs, same guest
+		// behavior — any divergence is a lowering bug.
+		if cm.KAllocsPerIter != om.KAllocsPerIter || cm.MBPerIter != om.MBPerIter ||
+			cm.MonOpsPerIter != om.MonOpsPerIter {
+			return report, fmt.Errorf(
+				"%s: closure heap effects diverge from oracle (allocs %v vs %v, MB %v vs %v, monitors %v vs %v)",
+				w.Name, cm.KAllocsPerIter, om.KAllocsPerIter,
+				cm.MBPerIter, om.MBPerIter, cm.MonOpsPerIter, om.MonOpsPerIter)
+		}
+
+		row.ClosureVsOracle = speedup(row.Oracle.WallNSPerOp, row.Closure.WallNSPerOp)
+		row.ClosureVsInterp = speedup(row.Interp.WallNSPerOp, row.Closure.WallNSPerOp)
+		report.Rows = append(report.Rows, row)
+	}
+
+	osr, err := runOSRBackendRow()
+	if err != nil {
+		return report, err
+	}
+	report.OSR = osr
+	return report, nil
+}
+
+// runOSRBackendRow measures the OSR hot loop (one long invocation; compiled
+// code only reachable mid-loop) under the three executors.
+func runOSRBackendRow() (BackendRow, error) {
+	cfg := DefaultOSRConfig
+	row := BackendRow{Workload: "osr-hot-loop"}
+
+	run := func(opts vm.Options) (BackendCell, int64, error) {
+		p, err := mj.Compile(osrLoopSrc, "Main.main")
+		if err != nil {
+			return BackendCell{}, 0, err
+		}
+		opts.MaxSteps = 2_000_000_000
+		machine := vm.New(p, opts)
+		defer machine.Close()
+		hot := p.ClassByName("Main").MethodByName("hot")
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		v, err := machine.Call(hot, []rt.Value{rt.IntValue(int64(cfg.Iterations))})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return BackendCell{}, 0, err
+		}
+		machine.DrainJIT()
+		for m, cerr := range machine.FailedCompilations() {
+			return BackendCell{}, 0, fmt.Errorf("compiling %s: %w", m.QualifiedName(), cerr)
+		}
+		return BackendCell{
+			WallNSPerOp:  float64(wall.Nanoseconds()),
+			AllocsPerOp:  float64(ms1.Mallocs - ms0.Mallocs),
+			GuestKAllocs: float64(machine.Env.Stats.Allocations) / 1000,
+		}, v.I, nil
+	}
+
+	im, ichk, err := run(vm.Options{Interpret: true})
+	if err != nil {
+		return row, fmt.Errorf("osr interp: %w", err)
+	}
+	om, ochk, err := run(vm.Options{
+		EA: cfg.Mode, Backend: vm.BackendOracle,
+		CompileThreshold: 1 << 30, OSRThreshold: cfg.Threshold,
+	})
+	if err != nil {
+		return row, fmt.Errorf("osr oracle: %w", err)
+	}
+	cm, cchk, err := run(vm.Options{
+		EA: cfg.Mode, Backend: vm.BackendClosure,
+		CompileThreshold: 1 << 30, OSRThreshold: cfg.Threshold,
+	})
+	if err != nil {
+		return row, fmt.Errorf("osr closure: %w", err)
+	}
+	if ichk != ochk || ichk != cchk {
+		return row, fmt.Errorf("osr checksums diverge: interp %d, oracle %d, closure %d", ichk, ochk, cchk)
+	}
+	if om.GuestKAllocs != cm.GuestKAllocs {
+		return row, fmt.Errorf("osr guest allocations diverge: oracle %v, closure %v",
+			om.GuestKAllocs, cm.GuestKAllocs)
+	}
+	row.Interp, row.Oracle, row.Closure = im, om, cm
+	row.ClosureVsOracle = speedup(om.WallNSPerOp, cm.WallNSPerOp)
+	row.ClosureVsInterp = speedup(im.WallNSPerOp, cm.WallNSPerOp)
+	return row, nil
+}
+
+// FormatBackendTable renders the experiment as a fixed-width table.
+func FormatBackendTable(r BackendReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Execution backends (wall-clock per iteration, EAPartial; interp/oracle/closure)\n")
+	fmt.Fprintf(&b, "%-14s %14s %14s %14s %10s %10s\n",
+		"benchmark", "interp ns", "oracle ns", "closure ns", "vs oracle", "vs interp")
+	rows := append(append([]BackendRow(nil), r.Rows...), r.OSR)
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-14s %14.0f %14.0f %14.0f %9.2fx %9.2fx\n",
+			row.Workload, row.Interp.WallNSPerOp, row.Oracle.WallNSPerOp,
+			row.Closure.WallNSPerOp, row.ClosureVsOracle, row.ClosureVsInterp)
+	}
+	return b.String()
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -28,6 +29,15 @@ type Metrics struct {
 	// ItersPerMin derives from the deterministic cycle model at the
 	// paper's 2.9 GHz clock.
 	ItersPerMin float64
+	// WallNSPerOp is measured wall-clock nanoseconds per iteration — the
+	// honest number next to the modeled ItersPerMin, and the one the
+	// closure backend actually improves.
+	WallNSPerOp float64
+	// GoAllocsPerOp is Go-heap allocations per iteration (runtime
+	// mallocs, not the guest program's rt allocations), measuring
+	// executor overhead: the closure backend's steady state should pin
+	// this near zero for call-free workloads.
+	GoAllocsPerOp float64
 	// Compiler summarizes the JIT's decision counters and per-phase
 	// compile time for the whole run (warmup included: compilation
 	// happens during warmup).
@@ -127,6 +137,12 @@ func pct(without, with float64) float64 {
 // RunConfig describes one measurement run.
 type RunConfig struct {
 	Mode vm.EAMode
+	// Backend selects the execution backend compiled code runs on
+	// (vm.BackendOracle by default).
+	Backend vm.Backend
+	// Interpret disables the JIT entirely (the interpreter row of the
+	// backend experiment).
+	Interpret bool
 	// Warmup iterations before measurement (JIT threshold is 10).
 	Warmup int
 	// Iters measured iterations.
@@ -240,6 +256,8 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 	esc := obs.NewEscapeTable()
 	machine := vm.New(prog, vm.Options{
 		EA:               rc.Mode,
+		Backend:          rc.Backend,
+		Interpret:        rc.Interpret,
 		CompileThreshold: 10,
 		Speculate:        rc.Speculate,
 		Seed:             uint64(len(w.Name))*2654435761 + 7,
@@ -269,11 +287,16 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 	}
 	startStats := machine.Env.Stats
 	startCycles := machine.Env.Cycles
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	wallStart := time.Now()
 	for i := 0; i < rc.Iters; i++ {
 		if _, err := machine.Call(iter, nil); err != nil {
 			return Metrics{}, fmt.Errorf("bench %s measure: %w", w.Name, err)
 		}
 	}
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&ms1)
 	d := machine.Env.Stats.Sub(startStats)
 	cycles := machine.Env.Cycles - startCycles
 	n := float64(rc.Iters)
@@ -281,6 +304,8 @@ func Measure(w WorkloadSpec, rc RunConfig) (Metrics, error) {
 		MBPerIter:      float64(d.AllocatedBytes) / n / (1 << 20),
 		KAllocsPerIter: float64(d.Allocations) / n / 1000,
 		MonOpsPerIter:  float64(d.MonitorOps) / n,
+		WallNSPerOp:    float64(wall.Nanoseconds()) / n,
+		GoAllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / n,
 	}
 	if cycles > 0 {
 		m.ItersPerMin = cost.CyclesPerMinute / (float64(cycles) / n)

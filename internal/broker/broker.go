@@ -25,7 +25,6 @@ import (
 
 	"pea/internal/bc"
 	"pea/internal/check"
-	"pea/internal/ir"
 	"pea/internal/obs"
 	"pea/internal/obs/flight"
 )
@@ -46,14 +45,16 @@ type Options struct {
 	// program.
 	Cache *Cache
 
-	// Compile runs the full pipeline for one request. It must be safe for
+	// Compile runs the full pipeline (and backend lowering) for one
+	// request, returning the installable artifact. It must be safe for
 	// concurrent use (the VM's pipeline carries no shared mutable state
-	// beyond the locked profile and observability registries).
-	Compile func(m *bc.Method, k Key) (*ir.Graph, error)
+	// beyond the locked profile and observability registries). A bare
+	// *ir.Graph is a valid artifact for graph-level consumers.
+	Compile func(m *bc.Method, k Key) (Artifact, error)
 	// Install publishes finished code. It is called from worker
 	// goroutines (or the submitting goroutine in synchronous mode) and
 	// must publish atomically. fromCache reports a code-cache replay.
-	Install func(m *bc.Method, k Key, g *ir.Graph, fromCache bool)
+	Install func(m *bc.Method, k Key, a Artifact, fromCache bool)
 	// Fail records a permanent compilation failure. The key identifies
 	// which artifact failed (a standard compile vs. one OSR entry point
 	// of the same method).
@@ -329,7 +330,7 @@ func (b *Broker) compileOne(t *task, worker int) {
 
 	name := t.m.QualifiedName()
 	fl.Record(flight.KindCompileStart, int32(t.m.ID), int32(t.key.EntryBCI), t.hotness, 0, 0)
-	if g, ok := b.cache.Get(t.key); ok {
+	if a, ok := b.cache.Get(t.key); ok {
 		b.mu.Lock()
 		b.stats.CacheHits++
 		b.stats.Installed++
@@ -338,7 +339,7 @@ func (b *Broker) compileOne(t *task, worker int) {
 		fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
 			time.Since(start).Nanoseconds(), 0, fl.Reason("cache"))
 		if b.opts.Install != nil {
-			b.opts.Install(t.m, t.key, g, true)
+			b.opts.Install(t.m, t.key, a, true)
 		}
 		return
 	}
@@ -346,7 +347,7 @@ func (b *Broker) compileOne(t *task, worker int) {
 	b.stats.CacheMisses++
 	b.mu.Unlock()
 
-	g, err := b.runCompile(t, name)
+	a, err := b.runCompile(t, name)
 	if err != nil {
 		b.mu.Lock()
 		b.stats.Failed++
@@ -364,17 +365,17 @@ func (b *Broker) compileOne(t *task, worker int) {
 	}
 	// First writer wins so every VM sharing the cache installs the same
 	// canonical artifact.
-	g = b.cache.Put(t.key, g)
+	a = b.cache.Put(t.key, a)
 	b.mu.Lock()
 	b.stats.Compiled++
 	b.stats.Installed++
 	b.mu.Unlock()
 	b.opts.Sink.BrokerInstall(name, "compiled")
 	fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
-		time.Since(start).Nanoseconds(), 0, 0)
+		time.Since(start).Nanoseconds(), 0, fl.Reason(t.key.Backend))
 	b.setGauge(obs.GaugeBrokerCacheSize, int64(b.cache.Len()))
 	if b.opts.Install != nil {
-		b.opts.Install(t.m, t.key, g, false)
+		b.opts.Install(t.m, t.key, a, false)
 	}
 }
 
@@ -385,10 +386,10 @@ func (b *Broker) compileOne(t *task, worker int) {
 // CompileBroker discipline, where a crashing compile is a per-method event
 // rather than a process death. Successful graphs are re-verified before
 // they may enter the shared code cache.
-func (b *Broker) runCompile(t *task, name string) (g *ir.Graph, err error) {
+func (b *Broker) runCompile(t *task, name string) (a Artifact, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			g = nil
+			a = nil
 			err = &PanicError{Method: name, Value: r, Stack: string(debug.Stack())}
 			b.mu.Lock()
 			b.stats.Panics++
@@ -402,11 +403,11 @@ func (b *Broker) runCompile(t *task, name string) (g *ir.Graph, err error) {
 	if f := b.opts.InjectFault; f != nil {
 		f(FaultCompile, name)
 	}
-	g, err = b.opts.Compile(t.m, t.key)
+	a, err = b.opts.Compile(t.m, t.key)
 	if err == nil {
 		// Re-verify before the artifact becomes shared state: the cache
-		// replays graphs into other VMs without another pipeline run.
-		if cerr := check.Graph(g, check.Effective(b.opts.Check)); cerr != nil {
+		// replays artifacts into other VMs without another pipeline run.
+		if cerr := check.Graph(a.Graph(), check.Effective(b.opts.Check)); cerr != nil {
 			err = fmt.Errorf("broker: refusing to install %s: %w", name, cerr)
 			b.opts.Sink.CheckViolation("broker-install", name, cerr.Error(), "")
 		}
@@ -416,7 +417,7 @@ func (b *Broker) runCompile(t *task, name string) (g *ir.Graph, err error) {
 			f(FaultInstall, name)
 		}
 	}
-	return g, err
+	return a, err
 }
 
 func (b *Broker) setGauge(name string, v int64) {

@@ -49,8 +49,8 @@ func TestSynchronousSubmitCompilesInline(t *testing.T) {
 	var installed []*bc.Method
 	b := New(Options{
 		Workers: 0,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return mustBuild(m), nil },
-		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
+		Compile: func(m *bc.Method, k Key) (Artifact, error) { return mustBuild(m), nil },
+		Install: func(m *bc.Method, k Key, a Artifact, fromCache bool) {
 			if fromCache {
 				t.Error("first compile must not come from cache")
 			}
@@ -77,8 +77,8 @@ func TestCacheReplay(t *testing.T) {
 	compiles := 0
 	var fromCacheSeen []bool
 	b := New(Options{
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { compiles++; return mustBuild(m), nil },
-		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
+		Compile: func(m *bc.Method, k Key) (Artifact, error) { compiles++; return mustBuild(m), nil },
+		Install: func(m *bc.Method, k Key, a Artifact, fromCache bool) {
 			fromCacheSeen = append(fromCacheSeen, fromCache)
 		},
 	})
@@ -109,8 +109,8 @@ func TestCompileFailureRoutesToFail(t *testing.T) {
 	boom := errors.New("boom")
 	var failed error
 	b := New(Options{
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return nil, boom },
-		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) { t.Error("failed compile installed") },
+		Compile: func(m *bc.Method, k Key) (Artifact, error) { return nil, boom },
+		Install: func(m *bc.Method, k Key, a Artifact, fromCache bool) { t.Error("failed compile installed") },
 		Fail:    func(m *bc.Method, k Key, err error) { failed = err },
 	})
 	b.Submit(ms[0], 1, key(ms[0]))
@@ -129,7 +129,7 @@ func TestAsyncDedupAndQueueBound(t *testing.T) {
 	b := New(Options{
 		Workers:  1,
 		QueueCap: 2,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) {
+		Compile: func(m *bc.Method, k Key) (Artifact, error) {
 			select {
 			case started <- struct{}{}:
 			default:
@@ -172,7 +172,7 @@ func TestAsyncPriorityOrder(t *testing.T) {
 	var order []*bc.Method
 	b := New(Options{
 		Workers: 1,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) {
+		Compile: func(m *bc.Method, k Key) (Artifact, error) {
 			select {
 			case started <- struct{}{}:
 			default:
@@ -220,7 +220,7 @@ func TestDrainWaitsForWorkers(t *testing.T) {
 	var mu sync.Mutex
 	b := New(Options{
 		Workers: 3,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) {
+		Compile: func(m *bc.Method, k Key) (Artifact, error) {
 			mu.Lock()
 			done++
 			mu.Unlock()
@@ -243,7 +243,7 @@ func TestClosedBrokerRejects(t *testing.T) {
 	ms := testMethods(t, 1)
 	b := New(Options{
 		Workers: 1,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return mustBuild(m), nil },
+		Compile: func(m *bc.Method, k Key) (Artifact, error) { return mustBuild(m), nil },
 	})
 	b.Close()
 	if b.Submit(ms[0], 1, key(ms[0])) {

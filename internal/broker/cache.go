@@ -26,12 +26,17 @@ import (
 //     a regular method compile, or the loop-header bytecode index of the
 //     alternate OSR entry. OSR artifacts for different headers of the same
 //     method coexist in the cache alongside the standard compile.
+//   - Backend names the execution backend the artifact was lowered for
+//     ("oracle", "closure"; empty when the caller caches plain graphs).
+//     Artifacts lowered by one backend are never replayed into a VM
+//     running another.
 type Key struct {
 	Method      *bc.Method
 	Mode        int
 	Spec        bool
 	Fingerprint uint64
 	EntryBCI    int
+	Backend     string
 }
 
 // NoOSR is the EntryBCI value of a regular (method-entry) compilation.
@@ -42,53 +47,62 @@ const NoOSR = -1
 // IsOSR reports whether the key identifies an on-stack-replacement compile.
 func (k Key) IsOSR() bool { return k.EntryBCI >= 0 }
 
-// Cache is a concurrency-safe compiled-code cache. Graphs are installed
+// Artifact is one compilation product: at minimum the scheduled graph it
+// was built from (for install-boundary verification and tools), typically a
+// backend-lowered executable wrapping it. *ir.Graph itself satisfies
+// Artifact, so graph-level consumers need no wrapper type.
+type Artifact interface {
+	Graph() *ir.Graph
+}
+
+// Cache is a concurrency-safe compiled-code cache. Artifacts are installed
 // read-only (execution state lives in per-invocation frames), so one cached
-// graph may be shared by any number of VMs running the same program — the
-// usual deduplicated-artifact-store shape. A nil *Cache is valid and always
-// misses.
+// artifact may be shared by any number of VMs running the same program —
+// the usual deduplicated-artifact-store shape. Caching the lowered artifact
+// rather than the bare graph means warm hits and recompiles skip backend
+// lowering entirely. A nil *Cache is valid and always misses.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[Key]*ir.Graph
+	entries map[Key]Artifact
 	hits    int64
 	misses  int64
 }
 
 // NewCache creates an empty code cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[Key]*ir.Graph)}
+	return &Cache{entries: make(map[Key]Artifact)}
 }
 
-// Get returns the cached graph for k, counting a hit or miss.
-func (c *Cache) Get(k Key) (*ir.Graph, bool) {
+// Get returns the cached artifact for k, counting a hit or miss.
+func (c *Cache) Get(k Key) (Artifact, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	g, ok := c.entries[k]
+	a, ok := c.entries[k]
 	if ok {
 		c.hits++
 	} else {
 		c.misses++
 	}
-	return g, ok
+	return a, ok
 }
 
-// Put stores the graph for k. First writer wins: concurrent compiles of the
-// same key keep the already-published artifact so every consumer observes
-// one canonical graph.
-func (c *Cache) Put(k Key, g *ir.Graph) *ir.Graph {
+// Put stores the artifact for k. First writer wins: concurrent compiles of
+// the same key keep the already-published artifact so every consumer
+// observes one canonical artifact.
+func (c *Cache) Put(k Key, a Artifact) Artifact {
 	if c == nil {
-		return g
+		return a
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.entries[k]; ok {
 		return prev
 	}
-	c.entries[k] = g
-	return g
+	c.entries[k] = a
+	return a
 }
 
 // Len returns the number of cached artifacts.

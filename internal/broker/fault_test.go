@@ -9,7 +9,6 @@ import (
 
 	"pea/internal/bc"
 	"pea/internal/budget"
-	"pea/internal/ir"
 )
 
 // TestSyncPanicContained pins the containment contract in synchronous
@@ -21,8 +20,8 @@ func TestSyncPanicContained(t *testing.T) {
 	ms := testMethods(t, 1)
 	var failed error
 	b := New(Options{
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { panic("compiler bug") },
-		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) { t.Error("panicked compile installed") },
+		Compile: func(m *bc.Method, k Key) (Artifact, error) { panic("compiler bug") },
+		Install: func(m *bc.Method, k Key, a Artifact, fromCache bool) { t.Error("panicked compile installed") },
 		Fail:    func(m *bc.Method, k Key, err error) { failed = err },
 	})
 	if !b.Submit(ms[0], 1, key(ms[0])) {
@@ -55,13 +54,13 @@ func TestAsyncPanicDoesNotKillWorker(t *testing.T) {
 	var failures []error
 	b := New(Options{
 		Workers: 1,
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) {
+		Compile: func(m *bc.Method, k Key) (Artifact, error) {
 			if m == victim {
 				panic("boom on " + m.Name)
 			}
 			return mustBuild(m), nil
 		},
-		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
+		Install: func(m *bc.Method, k Key, a Artifact, fromCache bool) {
 			mu.Lock()
 			installed[m] = true
 			mu.Unlock()
@@ -113,8 +112,8 @@ func TestInstallPointPanicContained(t *testing.T) {
 	ms := testMethods(t, 1)
 	var failed error
 	b := New(Options{
-		Compile: func(m *bc.Method, k Key) (*ir.Graph, error) { return mustBuild(m), nil },
-		Install: func(m *bc.Method, k Key, g *ir.Graph, fromCache bool) {
+		Compile: func(m *bc.Method, k Key) (Artifact, error) { return mustBuild(m), nil },
+		Install: func(m *bc.Method, k Key, a Artifact, fromCache bool) {
 			t.Error("install ran past an install-point panic")
 		},
 		Fail: func(m *bc.Method, k Key, err error) { failed = err },

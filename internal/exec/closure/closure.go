@@ -1,0 +1,312 @@
+// Package closure is the template-JIT execution backend: it compiles each
+// scheduled ir.Graph once, at install time, into flat per-block closure
+// sequences (threaded code). Every node becomes a small Go func with its
+// operands pre-resolved to dense value-slot indices and constants folded
+// into captures; block successors are pre-linked, so steady-state dispatch
+// is a tight loop over []func(*frame) plus one terminator func per block
+// returning the next block index — no map lookups, no switch on n.Op, and
+// zero allocations per invocation (value slots live in a pooled frame
+// arena).
+//
+// The backend pays no cost-model overhead: modeled cycles are the oracle
+// backend's job (internal/exec). Heap effects (allocations, field and
+// monitor counters, materializations, deopts) are mirrored exactly, so the
+// differential fuzzer can compare the two backends observation for
+// observation.
+//
+// Traps and invoke errors propagate by panicking with an abort wrapper,
+// recovered once per Run — the steady-state loop carries no error returns.
+// Deoptimization reuses the engine's shared transfer path: the lowered code
+// exposes an eval hook backed by the node→slot map recorded at compile
+// time, which the deopt runtime uses to read FrameState inputs out of the
+// live frame.
+package closure
+
+import (
+	"fmt"
+	"sync"
+
+	"pea/internal/exec"
+	"pea/internal/ir"
+	"pea/internal/rt"
+)
+
+// Backend lowers scheduled graphs to threaded closure code.
+type Backend struct{}
+
+// New returns the closure backend.
+func New() exec.Backend { return Backend{} }
+
+// Name identifies the backend in cache keys and flight records.
+func (Backend) Name() string { return "closure" }
+
+// Compile lowers g once into a Code artifact. The artifact is immutable and
+// safe for concurrent Run calls: per-invocation state lives in pooled
+// frames.
+func (Backend) Compile(g *ir.Graph) (exec.Code, error) { return compile(g) }
+
+// op executes one lowered node against the frame.
+type op func(f *frame)
+
+// term executes a block terminator, performing the successor edge's phi
+// parallel copy, and returns the next dense block index (done = -1).
+type term func(f *frame) int
+
+const done = -1
+
+// block is one lowered basic block.
+type block struct {
+	ops  []op
+	term term
+	// steps is the node count charged against Engine.MaxSteps per entry
+	// (nodes + terminator, mirroring the oracle's per-node accounting
+	// closely enough for the budget to stay a runaway guard).
+	steps int64
+}
+
+// Code is a compiled graph: flat per-block closure sequences plus the frame
+// layout metadata needed to start, deoptimize from, and pool executions.
+type Code struct {
+	g      *ir.Graph
+	blocks []block
+	entry  int
+
+	nSlots int
+	nPhi   int // widest phi parallel copy; sizes the frame scratch
+	params []paramSlot
+	consts []constSlot
+	// slot maps value nodes to their frame slot. Used at compile time to
+	// resolve operands and at deopt time to serve the eval hook; never
+	// touched by steady-state dispatch.
+	slot map[*ir.Node]int
+
+	pool sync.Pool
+}
+
+type paramSlot struct {
+	arg, slot int
+}
+
+type constSlot struct {
+	slot int
+	v    rt.Value
+}
+
+// frame is the per-invocation value arena. Frames are pooled per Code:
+// constant slots are written once when the frame is built and never
+// overwritten, so a reused frame skips constant initialization entirely.
+type frame struct {
+	slots []rt.Value
+	tmp   []rt.Value // phi parallel-copy scratch
+	ret   rt.Value
+	eng   *exec.Engine
+	env   *rt.Env
+	code  *Code
+}
+
+// abort carries a trap or invoke error out of the dispatch loop; Run
+// recovers it once per invocation.
+type abort struct{ err error }
+
+// Graph returns the scheduled IR this code was lowered from.
+func (c *Code) Graph() *ir.Graph { return c.g }
+
+// Run executes the code. Steady state allocates nothing: the frame comes
+// from the pool, values move between dense slots, and the only allocations
+// happen on program-visible paths (object allocations, invoke argument
+// vectors) or error paths (traps, deopts).
+func (c *Code) Run(e *exec.Engine, args []rt.Value) (ret rt.Value, err error) {
+	f := c.pool.Get().(*frame)
+	f.eng, f.env = e, e.Env
+	for _, p := range c.params {
+		f.slots[p.slot] = args[p.arg]
+	}
+	defer func() {
+		f.eng, f.env = nil, nil
+		c.pool.Put(f)
+		if r := recover(); r != nil {
+			ab, ok := r.(abort)
+			if !ok {
+				panic(r)
+			}
+			ret, err = rt.Value{}, ab.err
+		}
+	}()
+	bounded := e.MaxSteps > 0
+	bi := c.entry
+	for {
+		b := &c.blocks[bi]
+		if bounded {
+			if serr := e.ChargeSteps(b.steps, c.g); serr != nil {
+				return rt.Value{}, serr
+			}
+		}
+		for _, o := range b.ops {
+			o(f)
+		}
+		if bi = b.term(f); bi < 0 {
+			return f.ret, nil
+		}
+	}
+}
+
+// move copies one phi input slot to the phi's slot along a CFG edge.
+type move struct {
+	src, dst int32
+}
+
+// copyEdge performs the edge's phi parallel copy in two phases through the
+// frame scratch, so phis that read other phis of the same block observe
+// the pre-copy values (SSA semantics).
+func (f *frame) copyEdge(moves []move) {
+	tmp := f.tmp
+	for i, mv := range moves {
+		tmp[i] = f.slots[mv.src]
+	}
+	for i, mv := range moves {
+		f.slots[mv.dst] = tmp[i]
+	}
+}
+
+// compiler carries the per-compile lowering state.
+type compiler struct {
+	g      *ir.Graph
+	code   *Code
+	blkIdx map[*ir.Block]int
+}
+
+func compile(g *ir.Graph) (*Code, error) {
+	if len(g.Blocks) == 0 {
+		return nil, fmt.Errorf("closure: %s has no blocks", g.Method.QualifiedName())
+	}
+	c := &Code{g: g, slot: make(map[*ir.Node]int)}
+	cc := &compiler{g: g, code: c, blkIdx: make(map[*ir.Block]int, len(g.Blocks))}
+
+	// Pass 1: dense block numbering and value-slot assignment. Every
+	// placed node except OpVirtualObject (which exists only inside frame
+	// states) gets a slot; constants and parameters additionally record
+	// their initialization so no per-node op is needed for them at run
+	// time.
+	for i, b := range g.Blocks {
+		cc.blkIdx[b] = i
+		if len(b.Phis) > c.nPhi {
+			c.nPhi = len(b.Phis)
+		}
+		for _, phi := range b.Phis {
+			cc.assign(phi)
+		}
+		for _, n := range b.Nodes {
+			if n.Op == ir.OpVirtualObject {
+				continue
+			}
+			s := cc.assign(n)
+			// oplint:ignore — only params and constants need slot
+			// pre-population; every other op is handled by lowerNode.
+			switch n.Op {
+			case ir.OpParam:
+				c.params = append(c.params, paramSlot{arg: int(n.AuxInt), slot: s})
+			case ir.OpConst:
+				c.consts = append(c.consts, constSlot{slot: s, v: rt.IntValue(n.AuxInt)})
+			case ir.OpConstNull:
+				c.consts = append(c.consts, constSlot{slot: s, v: rt.Null})
+			}
+		}
+	}
+	entry := g.Entry()
+	if len(entry.Phis) > 0 {
+		return nil, fmt.Errorf("closure: %s entry block has phis", g.Method.QualifiedName())
+	}
+	c.entry = cc.blkIdx[entry]
+
+	// Pass 2: lower every block to its closure sequence and pre-linked
+	// terminator.
+	c.blocks = make([]block, len(g.Blocks))
+	for i, b := range g.Blocks {
+		ops := make([]op, 0, len(b.Nodes))
+		for _, n := range b.Nodes {
+			o, err := cc.lowerNode(n)
+			if err != nil {
+				return nil, err
+			}
+			if o != nil {
+				ops = append(ops, o)
+			}
+		}
+		if b.Term == nil {
+			return nil, fmt.Errorf("closure: %s has no terminator", b)
+		}
+		t, err := cc.lowerTerm(b, b.Term)
+		if err != nil {
+			return nil, err
+		}
+		c.blocks[i] = block{ops: ops, term: t, steps: int64(len(b.Nodes)) + 1}
+	}
+
+	c.pool.New = func() any {
+		f := &frame{
+			slots: make([]rt.Value, c.nSlots),
+			tmp:   make([]rt.Value, c.nPhi),
+			code:  c,
+		}
+		for _, cs := range c.consts {
+			f.slots[cs.slot] = cs.v
+		}
+		return f
+	}
+	return c, nil
+}
+
+// assign gives n a dense slot (idempotent) and returns it.
+func (cc *compiler) assign(n *ir.Node) int {
+	if s, ok := cc.code.slot[n]; ok {
+		return s
+	}
+	s := cc.code.nSlots
+	cc.code.slot[n] = s
+	cc.code.nSlots++
+	return s
+}
+
+// slotOf resolves an operand to its slot; a missing slot is a scheduling
+// bug surfaced as a compile error rather than a runtime panic.
+func (cc *compiler) slotOf(n *ir.Node) (int32, error) {
+	s, ok := cc.code.slot[n]
+	if !ok {
+		return 0, fmt.Errorf("closure: %s: operand %s has no slot (unscheduled?)",
+			cc.g.Method.QualifiedName(), n)
+	}
+	return int32(s), nil
+}
+
+// in resolves input i of n.
+func (cc *compiler) in(n *ir.Node, i int) (int32, error) { return cc.slotOf(n.Inputs[i]) }
+
+// edge builds the phi parallel-copy move list for the CFG edge from → to.
+// A nil phi input is lowered to a runtime abort matching the oracle's
+// error, so graphs that never take the broken edge still execute.
+func (cc *compiler) edge(from, to *ir.Block) ([]move, error) {
+	if len(to.Phis) == 0 {
+		return nil, nil
+	}
+	idx := to.PredIndex(from)
+	if idx < 0 {
+		return nil, fmt.Errorf("closure: %s is not a predecessor of %s", from, to)
+	}
+	moves := make([]move, 0, len(to.Phis))
+	for _, phi := range to.Phis {
+		in := phi.Inputs[idx]
+		if in == nil {
+			return nil, fmt.Errorf("exec: phi v%d missing input %d", phi.ID, idx)
+		}
+		src, err := cc.slotOf(in)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := cc.slotOf(phi)
+		if err != nil {
+			return nil, err
+		}
+		moves = append(moves, move{src: src, dst: dst})
+	}
+	return moves, nil
+}

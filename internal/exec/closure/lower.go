@@ -1,0 +1,556 @@
+package closure
+
+import (
+	"fmt"
+
+	"pea/internal/bc"
+	"pea/internal/ir"
+	"pea/internal/rt"
+)
+
+// trap aborts the invocation with the same trap the oracle raises at this
+// node. Only ever called on error paths, so the allocation is fine.
+func trap(reason string, m *bc.Method, bci int) {
+	panic(abort{rt.NewTrap(reason, m, bci)})
+}
+
+// lowerNode lowers one non-terminator node to a closure with operands
+// pre-resolved to slot indices and auxiliaries folded into captures. A nil
+// op (with nil error) means the node needs no runtime work (constants and
+// parameters are frame-initialization, virtual objects are
+// deopt-metadata-only).
+func (cc *compiler) lowerNode(n *ir.Node) (op, error) {
+	m, bci := cc.g.Method, n.BCI
+	// oplint:ignore — intentionally partial: lowerNode sees only placed
+	// non-terminator ops (phis are lowered into edge copies, terminators
+	// by lowerTerm), and the default below rejects anything else at
+	// compile time instead of at run time.
+	switch n.Op {
+	case ir.OpParam, ir.OpConst, ir.OpConstNull, ir.OpVirtualObject:
+		return nil, nil
+
+	case ir.OpArith:
+		return cc.lowerArith(n)
+
+	case ir.OpNeg:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) { f.slots[d] = rt.IntValue(-f.slots[a].I) }, nil
+
+	case ir.OpCmp:
+		a, b, d, err := cc.binDst(n)
+		if err != nil {
+			return nil, err
+		}
+		cond := n.Cond
+		return func(f *frame) {
+			f.slots[d] = rt.BoolValue(cond.EvalInt(f.slots[a].I, f.slots[b].I))
+		}, nil
+
+	case ir.OpRefEq:
+		a, b, d, err := cc.binDst(n)
+		if err != nil {
+			return nil, err
+		}
+		if n.Cond == bc.CondNE {
+			return func(f *frame) {
+				f.slots[d] = rt.BoolValue(f.slots[a].Ref != f.slots[b].Ref)
+			}, nil
+		}
+		return func(f *frame) {
+			f.slots[d] = rt.BoolValue(f.slots[a].Ref == f.slots[b].Ref)
+		}, nil
+
+	case ir.OpInstanceOf:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		cls := n.Class
+		return func(f *frame) {
+			v := f.slots[a]
+			f.slots[d] = rt.BoolValue(v.Ref != nil && !v.Ref.IsArray() && v.Ref.Class.IsSubclassOf(cls))
+		}, nil
+
+	case ir.OpNew:
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		cls := n.Class
+		return func(f *frame) { f.slots[d] = rt.RefValue(f.env.AllocObject(cls)) }, nil
+
+	case ir.OpNewArray:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		ek := n.ElemKind
+		return func(f *frame) {
+			ln := f.slots[a].I
+			if ln < 0 {
+				trap(fmt.Sprintf("negative array size %d", ln), m, bci)
+			}
+			f.slots[d] = rt.RefValue(f.env.AllocArray(ek, ln))
+		}, nil
+
+	case ir.OpMaterialize:
+		return cc.lowerMaterialize(n)
+
+	case ir.OpLoadField:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		off := n.Field.Offset
+		name := n.Field.QualifiedName()
+		return func(f *frame) {
+			o := f.slots[a]
+			if o.Ref == nil {
+				trap("null dereference in getfield "+name, m, bci)
+			}
+			f.env.Stats.FieldLoads++
+			f.slots[d] = o.Ref.Fields[off]
+		}, nil
+
+	case ir.OpStoreField:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := cc.in(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		off := n.Field.Offset
+		name := n.Field.QualifiedName()
+		return func(f *frame) {
+			o := f.slots[a]
+			if o.Ref == nil {
+				trap("null dereference in putfield "+name, m, bci)
+			}
+			f.env.Stats.FieldStores++
+			o.Ref.Fields[off] = f.slots[v]
+		}, nil
+
+	case ir.OpLoadStatic:
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		fld := n.Field
+		return func(f *frame) { f.slots[d] = f.env.GetStatic(fld) }, nil
+
+	case ir.OpStoreStatic:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		fld := n.Field
+		return func(f *frame) { f.env.SetStatic(fld, f.slots[a]) }, nil
+
+	case ir.OpLoadIndexed:
+		a, i, d, err := cc.binDst(n)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) {
+			arr := f.slots[a]
+			idx := f.slots[i].I
+			if arr.Ref == nil {
+				trap("null dereference in arrayload", m, bci)
+			}
+			if idx < 0 || idx >= int64(arr.Ref.Len()) {
+				trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()), m, bci)
+			}
+			f.slots[d] = arr.Ref.Fields[idx]
+		}, nil
+
+	case ir.OpStoreIndexed:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		i, err := cc.in(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := cc.in(n, 2)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) {
+			arr := f.slots[a]
+			idx := f.slots[i].I
+			if arr.Ref == nil {
+				trap("null dereference in arraystore", m, bci)
+			}
+			if idx < 0 || idx >= int64(arr.Ref.Len()) {
+				trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()), m, bci)
+			}
+			arr.Ref.Fields[idx] = f.slots[v]
+		}, nil
+
+	case ir.OpArrayLength:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) {
+			arr := f.slots[a]
+			if arr.Ref == nil {
+				trap("null dereference in arraylen", m, bci)
+			}
+			f.slots[d] = rt.IntValue(int64(arr.Ref.Len()))
+		}, nil
+
+	case ir.OpMonitorEnter:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) {
+			o := f.slots[a]
+			if o.Ref == nil {
+				trap("null dereference in monitorenter", m, bci)
+			}
+			f.env.MonitorEnter(o.Ref)
+		}, nil
+
+	case ir.OpMonitorExit:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) {
+			o := f.slots[a]
+			if o.Ref == nil {
+				trap("null dereference in monitorexit", m, bci)
+			}
+			if merr := f.env.MonitorExit(o.Ref); merr != nil {
+				trap(merr.Error(), m, bci)
+			}
+		}, nil
+
+	case ir.OpInvoke:
+		return cc.lowerInvoke(n)
+
+	case ir.OpPrint:
+		a, err := cc.in(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) { f.env.Print(f.slots[a].I) }, nil
+
+	case ir.OpRand:
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		mod := n.AuxInt
+		return func(f *frame) { f.slots[d] = rt.IntValue(f.env.Rand(mod)) }, nil
+
+	default:
+		return nil, fmt.Errorf("closure: cannot lower %s in %s", n, cc.g.Method.QualifiedName())
+	}
+}
+
+// binDst resolves the two inputs and the destination slot of a binary node.
+func (cc *compiler) binDst(n *ir.Node) (a, b int32, d int32, err error) {
+	if a, err = cc.in(n, 0); err != nil {
+		return
+	}
+	if b, err = cc.in(n, 1); err != nil {
+		return
+	}
+	d, err = cc.slotOf(n)
+	return
+}
+
+// lowerArith specializes each arithmetic opcode into its own closure, with
+// the shift masking and division trap semantics of interp.EvalArith baked
+// in (the three executors must agree exactly).
+func (cc *compiler) lowerArith(n *ir.Node) (op, error) {
+	a, b, d, err := cc.binDst(n)
+	if err != nil {
+		return nil, err
+	}
+	m, bci := cc.g.Method, n.BCI
+	// oplint:ignore — Aux2 on OpArith holds only the arithmetic subset of
+	// bc.Op (interp.EvalArith's domain); the default case rejects the rest.
+	switch n.Aux2 {
+	case bc.OpAdd:
+		return func(f *frame) { f.slots[d] = rt.IntValue(f.slots[a].I + f.slots[b].I) }, nil
+	case bc.OpSub:
+		return func(f *frame) { f.slots[d] = rt.IntValue(f.slots[a].I - f.slots[b].I) }, nil
+	case bc.OpMul:
+		return func(f *frame) { f.slots[d] = rt.IntValue(f.slots[a].I * f.slots[b].I) }, nil
+	case bc.OpDiv:
+		return func(f *frame) {
+			bv := f.slots[b].I
+			if bv == 0 {
+				trap("division by zero", m, bci)
+			}
+			f.slots[d] = rt.IntValue(f.slots[a].I / bv)
+		}, nil
+	case bc.OpRem:
+		return func(f *frame) {
+			bv := f.slots[b].I
+			if bv == 0 {
+				trap("division by zero", m, bci)
+			}
+			f.slots[d] = rt.IntValue(f.slots[a].I % bv)
+		}, nil
+	case bc.OpAnd:
+		return func(f *frame) { f.slots[d] = rt.IntValue(f.slots[a].I & f.slots[b].I) }, nil
+	case bc.OpOr:
+		return func(f *frame) { f.slots[d] = rt.IntValue(f.slots[a].I | f.slots[b].I) }, nil
+	case bc.OpXor:
+		return func(f *frame) { f.slots[d] = rt.IntValue(f.slots[a].I ^ f.slots[b].I) }, nil
+	case bc.OpShl:
+		return func(f *frame) {
+			f.slots[d] = rt.IntValue(f.slots[a].I << uint64(f.slots[b].I&63))
+		}, nil
+	case bc.OpShr:
+		return func(f *frame) {
+			f.slots[d] = rt.IntValue(f.slots[a].I >> uint64(f.slots[b].I&63))
+		}, nil
+	case bc.OpUShr:
+		return func(f *frame) {
+			f.slots[d] = rt.IntValue(int64(uint64(f.slots[a].I) >> uint64(f.slots[b].I&63)))
+		}, nil
+	default:
+		return nil, fmt.Errorf("closure: %s: not an arithmetic op: %s", cc.g.Method.QualifiedName(), n.Aux2)
+	}
+}
+
+// lowerMaterialize validates the shape at compile time (field/value count
+// mismatches are compile errors here, runtime traps in the oracle — both
+// only reachable from malformed IR), leaving a pure fill at run time.
+func (cc *compiler) lowerMaterialize(n *ir.Node) (op, error) {
+	d, err := cc.slotOf(n)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]int32, len(n.Inputs))
+	for i := range n.Inputs {
+		if srcs[i], err = cc.in(n, i); err != nil {
+			return nil, err
+		}
+	}
+	locks := n.AuxLock
+	if n.Class != nil {
+		cls := n.Class
+		if len(n.Inputs) != cls.NumFields() {
+			return nil, fmt.Errorf("closure: materialize %s with %d values for %d fields",
+				cls.Name, len(n.Inputs), cls.NumFields())
+		}
+		return func(f *frame) {
+			obj := f.env.AllocObject(cls)
+			for i, s := range srcs {
+				obj.Fields[i] = f.slots[s]
+			}
+			for k := 0; k < locks; k++ {
+				f.env.MonitorEnter(obj)
+			}
+			f.env.Stats.Materializations++
+			f.slots[d] = rt.RefValue(obj)
+		}, nil
+	}
+	ek, ln := n.ElemKind, n.AuxInt
+	if int64(len(n.Inputs)) != ln {
+		return nil, fmt.Errorf("closure: materialize array with %d values for length %d",
+			len(n.Inputs), ln)
+	}
+	return func(f *frame) {
+		obj := f.env.AllocArray(ek, ln)
+		for i, s := range srcs {
+			obj.Fields[i] = f.slots[s]
+		}
+		for k := 0; k < locks; k++ {
+			f.env.MonitorEnter(obj)
+		}
+		f.env.Stats.Materializations++
+		f.slots[d] = rt.RefValue(obj)
+	}, nil
+}
+
+// lowerInvoke pre-resolves the callee, dispatch kind, and argument slots.
+// The argument vector is allocated per call — the callee owns it, exactly
+// as in the oracle and the interpreter.
+func (cc *compiler) lowerInvoke(n *ir.Node) (op, error) {
+	m, bci := cc.g.Method, n.BCI
+	argSlots := make([]int32, len(n.Inputs))
+	for i := range n.Inputs {
+		var err error
+		if argSlots[i], err = cc.in(n, i); err != nil {
+			return nil, err
+		}
+	}
+	var d int32
+	hasDst := n.Kind != bc.KindVoid
+	if hasDst {
+		var err error
+		if d, err = cc.slotOf(n); err != nil {
+			return nil, err
+		}
+	}
+	callee := n.Method
+	dispatch := n.Aux2
+	vslot := callee.VSlot
+	return func(f *frame) {
+		args := make([]rt.Value, len(argSlots))
+		for i, s := range argSlots {
+			args[i] = f.slots[s]
+		}
+		target := callee
+		if dispatch != bc.OpInvokeStatic {
+			recv := args[0]
+			if recv.Ref == nil {
+				trap("null receiver calling "+callee.QualifiedName(), m, bci)
+			}
+			if dispatch == bc.OpInvokeVirtual {
+				target = recv.Ref.Class.VTable[vslot]
+			}
+		}
+		if f.eng.Invoke == nil {
+			trap("no invoke handler for "+target.QualifiedName(), m, bci)
+		}
+		r, cerr := f.eng.Invoke(target, args)
+		if cerr != nil {
+			panic(abort{cerr})
+		}
+		if hasDst {
+			f.slots[d] = r
+		}
+	}, nil
+}
+
+// lowerTerm lowers a block terminator: successor indices are pre-linked and
+// each outgoing edge's phi parallel copy is baked into the returned func.
+func (cc *compiler) lowerTerm(b *ir.Block, t *ir.Node) (term, error) {
+	m, bci := cc.g.Method, t.BCI
+	// oplint:ignore — intentionally partial: only terminators reach
+	// lowerTerm (value and fixed ops go through lowerNode), and the
+	// default rejects the rest at compile time.
+	switch t.Op {
+	case ir.OpGoto:
+		succ := b.Succs[0]
+		next := cc.blkIdx[succ]
+		moves, err := cc.edge(b, succ)
+		if err != nil {
+			return nil, err
+		}
+		if len(moves) == 0 {
+			return func(f *frame) int { return next }, nil
+		}
+		return func(f *frame) int {
+			f.copyEdge(moves)
+			return next
+		}, nil
+
+	case ir.OpIf:
+		c, err := cc.in(t, 0)
+		if err != nil {
+			return nil, err
+		}
+		tSucc, fSucc := b.Succs[0], b.Succs[1]
+		tNext, fNext := cc.blkIdx[tSucc], cc.blkIdx[fSucc]
+		tMoves, err := cc.edge(b, tSucc)
+		if err != nil {
+			return nil, err
+		}
+		fMoves, err := cc.edge(b, fSucc)
+		if err != nil {
+			return nil, err
+		}
+		if len(tMoves) == 0 && len(fMoves) == 0 {
+			return func(f *frame) int {
+				if f.slots[c].I != 0 {
+					return tNext
+				}
+				return fNext
+			}, nil
+		}
+		return func(f *frame) int {
+			if f.slots[c].I != 0 {
+				f.copyEdge(tMoves)
+				return tNext
+			}
+			f.copyEdge(fMoves)
+			return fNext
+		}, nil
+
+	case ir.OpReturn:
+		if len(t.Inputs) == 1 {
+			v, err := cc.in(t, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(f *frame) int {
+				f.ret = f.slots[v]
+				return done
+			}, nil
+		}
+		return func(f *frame) int {
+			f.ret = rt.Value{}
+			return done
+		}, nil
+
+	case ir.OpThrow:
+		v, err := cc.in(t, 0)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) int {
+			x := f.slots[v]
+			if x.Ref == nil {
+				trap("null dereference in throw", m, bci)
+			}
+			trap("uncaught exception "+x.Ref.String(), m, bci)
+			return done // unreachable
+		}, nil
+
+	case ir.OpDeopt:
+		g, n, code := cc.g, t, cc.code
+		return func(f *frame) int {
+			v, derr := f.eng.DeoptTransfer(g, n, func(x *ir.Node) (rt.Value, bool) {
+				s, ok := code.slot[x]
+				if !ok {
+					return rt.Value{}, false
+				}
+				return f.slots[s], true
+			})
+			if derr != nil {
+				panic(abort{derr})
+			}
+			f.ret = v
+			return done
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("closure: bad terminator %s in %s", t, cc.g.Method.QualifiedName())
+	}
+}

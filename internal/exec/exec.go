@@ -1,24 +1,58 @@
 // Package exec executes compiled IR graphs against the shared runtime
 // environment. It plays the role of machine code in the paper's system: the
-// JIT "installs" a graph, and this engine runs it, charging the cycle cost
-// model, performing dynamic dispatch through the VM-provided Invoke hook,
-// and transferring to the interpreter through the Deopt hook when an
-// OpDeopt node is reached (at which point scalar-replaced objects are
-// materialized from the FrameState by the deopt runtime).
+// JIT "installs" a compilation artifact, and an execution backend runs it,
+// performing dynamic dispatch through the VM-provided Invoke hook and
+// transferring to the interpreter through the Deopt hook when an OpDeopt
+// node is reached (at which point scalar-replaced objects are materialized
+// from the FrameState by the deopt runtime).
+//
+// Two backends implement the Backend interface:
+//
+//   - the oracle (this package, oracle.go): a tree-walking engine that
+//     evaluates the scheduled graph node by node and charges the
+//     deterministic cycle cost model. It is slow but simple enough to audit,
+//     and serves as the differential-testing oracle for every other backend.
+//   - closure (package exec/closure): a template JIT that lowers the graph
+//     once, at install time, into flat per-block closure sequences with
+//     operands pre-resolved to dense value slots — real wall-clock speed,
+//     no cost model.
+//
+// The Engine carries the per-VM runtime hooks (environment, invoke, deopt,
+// step budget) shared by all backends; per-invocation state lives in
+// backend-private frames, so one installed Code may run concurrently on any
+// number of goroutines.
 package exec
 
 import (
 	"fmt"
 
 	"pea/internal/bc"
-	"pea/internal/cost"
-	"pea/internal/interp"
 	"pea/internal/ir"
 	"pea/internal/obs"
 	"pea/internal/rt"
 )
 
-// Engine runs IR graphs.
+// Backend lowers scheduled IR graphs into executable artifacts.
+type Backend interface {
+	// Name identifies the backend ("oracle", "closure"). It participates
+	// in compiled-code cache keys, so artifacts lowered by one backend are
+	// never replayed into a VM running another.
+	Name() string
+	// Compile lowers g once, at install time. The returned Code must be
+	// immutable and safe for concurrent Run calls.
+	Compile(g *ir.Graph) (Code, error)
+}
+
+// Code is one installed compilation product.
+type Code interface {
+	// Graph returns the scheduled IR the code was lowered from, for
+	// install-boundary verification, OSR entry checks, and tools.
+	Graph() *ir.Graph
+	// Run executes the code against the engine's environment and hooks.
+	Run(e *Engine, args []rt.Value) (rt.Value, error)
+}
+
+// Engine carries the runtime hooks every execution backend needs.
 type Engine struct {
 	Env *rt.Env
 
@@ -41,355 +75,39 @@ type Engine struct {
 	// recorded deopt reason) each time compiled code deoptimizes.
 	Sink *obs.Sink
 
-	// MaxSteps bounds executed nodes (0 = unbounded).
+	// MaxSteps bounds executed nodes across all Run calls of this engine
+	// (0 = unbounded). The oracle charges per node; the closure backend
+	// charges per block entered, so the budget stays a runaway guard
+	// without per-node bookkeeping on the fast path.
 	MaxSteps int64
 	steps    int64
 }
 
-// frame holds the evaluation state of one graph execution.
-type frame struct {
-	values map[*ir.Node]rt.Value
-	args   []rt.Value
-}
-
-func (f *frame) set(n *ir.Node, v rt.Value) { f.values[n] = v }
-
-func (f *frame) get(n *ir.Node) rt.Value {
-	v, ok := f.values[n]
-	if !ok {
-		panic(fmt.Sprintf("exec: use of unevaluated %s", n))
-	}
-	return v
-}
-
-// Run executes g with the given arguments and returns the method result.
-func (e *Engine) Run(g *ir.Graph, args []rt.Value) (rt.Value, error) {
-	e.Env.Cycles += g.CodeCycles
-	f := &frame{values: make(map[*ir.Node]rt.Value, 64), args: args}
-	block := g.Entry()
-	var prev *ir.Block
-	for {
-		// Evaluate phis first, as a parallel copy based on the edge
-		// we arrived through.
-		if len(block.Phis) > 0 {
-			idx := block.PredIndex(prev)
-			if idx < 0 {
-				return rt.Value{}, fmt.Errorf("exec: %s entered from non-predecessor", block)
-			}
-			tmp := make([]rt.Value, len(block.Phis))
-			for i, phi := range block.Phis {
-				in := phi.Inputs[idx]
-				if in == nil {
-					return rt.Value{}, fmt.Errorf("exec: phi v%d missing input %d", phi.ID, idx)
-				}
-				tmp[i] = f.get(in)
-			}
-			for i, phi := range block.Phis {
-				f.set(phi, tmp[i])
-			}
-		}
-		for _, n := range block.Nodes {
-			if err := e.checkBudget(g); err != nil {
-				return rt.Value{}, err
-			}
-			done, ret, err := e.evalNode(g, f, n)
-			if err != nil {
-				return rt.Value{}, err
-			}
-			if done {
-				return ret, nil
-			}
-		}
-		t := block.Term
-		if err := e.checkBudget(g); err != nil {
-			return rt.Value{}, err
-		}
-		e.Env.Cycles += costOf(t)
-		// oplint:ignore — t is a block terminator; value and fixed ops
-		// are dispatched by evalNode, and the default rejects anything
-		// that is not a terminator.
-		switch t.Op {
-		case ir.OpGoto:
-			prev, block = block, block.Succs[0]
-		case ir.OpIf:
-			cond := f.get(t.Inputs[0])
-			if cond.I != 0 {
-				prev, block = block, block.Succs[0]
-			} else {
-				prev, block = block, block.Succs[1]
-			}
-		case ir.OpReturn:
-			if len(t.Inputs) == 1 {
-				return f.get(t.Inputs[0]), nil
-			}
-			return rt.Value{}, nil
-		case ir.OpThrow:
-			v := f.get(t.Inputs[0])
-			if v.Ref == nil {
-				return rt.Value{}, e.trap(g, t, "null dereference in throw")
-			}
-			return rt.Value{}, e.trap(g, t, "uncaught exception "+v.Ref.String())
-		case ir.OpDeopt:
-			return e.deopt(g, f, t)
-		default:
-			return rt.Value{}, fmt.Errorf("exec: bad terminator %s", t)
-		}
-	}
-}
-
-func (e *Engine) checkBudget(g *ir.Graph) error {
+// ChargeSteps charges n executed nodes against the engine's step budget
+// (shared across backends and nested invocations). It returns an error once
+// the budget is exhausted; with MaxSteps <= 0 it never fails.
+func (e *Engine) ChargeSteps(n int64, g *ir.Graph) error {
 	if e.MaxSteps <= 0 {
 		return nil
 	}
-	e.steps++
+	e.steps += n
 	if e.steps > e.MaxSteps {
 		return fmt.Errorf("exec: step budget of %d exhausted in %s", e.MaxSteps, g.Method.QualifiedName())
 	}
 	return nil
 }
 
-func (e *Engine) trap(g *ir.Graph, n *ir.Node, reason string) error {
-	return rt.NewTrap(reason, g.Method, n.BCI)
-}
-
-// evalNode executes one non-terminator node. done=true means the whole
-// method completed (a deopt path returned through the interpreter).
-func (e *Engine) evalNode(g *ir.Graph, f *frame, n *ir.Node) (done bool, ret rt.Value, err error) {
-	e.Env.Cycles += costOf(n)
-	// oplint:ignore — evalNode sees only non-terminators (phis and
-	// terminators are handled in the block loop); the default rejects
-	// the rest.
-	switch n.Op {
-	case ir.OpParam:
-		f.set(n, f.args[n.AuxInt])
-	case ir.OpConst:
-		f.set(n, rt.IntValue(n.AuxInt))
-	case ir.OpConstNull:
-		f.set(n, rt.Null)
-	case ir.OpArith:
-		a, b := f.get(n.Inputs[0]).I, f.get(n.Inputs[1]).I
-		r, aerr := interp.EvalArith(n.Aux2, a, b)
-		if aerr != nil {
-			return false, rt.Value{}, e.trap(g, n, aerr.Error())
-		}
-		f.set(n, rt.IntValue(r))
-	case ir.OpNeg:
-		f.set(n, rt.IntValue(-f.get(n.Inputs[0]).I))
-	case ir.OpCmp:
-		a, b := f.get(n.Inputs[0]).I, f.get(n.Inputs[1]).I
-		f.set(n, rt.BoolValue(n.Cond.EvalInt(a, b)))
-	case ir.OpRefEq:
-		a, b := f.get(n.Inputs[0]), f.get(n.Inputs[1])
-		eq := a.Ref == b.Ref
-		if n.Cond == bc.CondNE {
-			eq = !eq
-		}
-		f.set(n, rt.BoolValue(eq))
-	case ir.OpInstanceOf:
-		v := f.get(n.Inputs[0])
-		ok := v.Ref != nil && !v.Ref.IsArray() && v.Ref.Class.IsSubclassOf(n.Class)
-		f.set(n, rt.BoolValue(ok))
-	case ir.OpNew:
-		e.Env.Cycles += cost.AllocPerField * int64(n.Class.NumFields())
-		f.set(n, rt.RefValue(e.Env.AllocObject(n.Class)))
-	case ir.OpNewArray:
-		ln := f.get(n.Inputs[0]).I
-		if ln < 0 {
-			return false, rt.Value{}, e.trap(g, n, fmt.Sprintf("negative array size %d", ln))
-		}
-		e.Env.Cycles += cost.AllocPerField * ln
-		f.set(n, rt.RefValue(e.Env.AllocArray(n.ElemKind, ln)))
-	case ir.OpMaterialize:
-		v, merr := e.materializeNode(f, n)
-		if merr != nil {
-			return false, rt.Value{}, e.trap(g, n, merr.Error())
-		}
-		f.set(n, v)
-	case ir.OpLoadField:
-		obj := f.get(n.Inputs[0])
-		if obj.Ref == nil {
-			return false, rt.Value{}, e.trap(g, n, "null dereference in getfield "+n.Field.QualifiedName())
-		}
-		e.Env.Stats.FieldLoads++
-		f.set(n, obj.Ref.Fields[n.Field.Offset])
-	case ir.OpStoreField:
-		obj := f.get(n.Inputs[0])
-		if obj.Ref == nil {
-			return false, rt.Value{}, e.trap(g, n, "null dereference in putfield "+n.Field.QualifiedName())
-		}
-		e.Env.Stats.FieldStores++
-		obj.Ref.Fields[n.Field.Offset] = f.get(n.Inputs[1])
-	case ir.OpLoadStatic:
-		f.set(n, e.Env.GetStatic(n.Field))
-	case ir.OpStoreStatic:
-		e.Env.SetStatic(n.Field, f.get(n.Inputs[0]))
-	case ir.OpLoadIndexed:
-		arr := f.get(n.Inputs[0])
-		idx := f.get(n.Inputs[1]).I
-		if arr.Ref == nil {
-			return false, rt.Value{}, e.trap(g, n, "null dereference in arrayload")
-		}
-		if idx < 0 || idx >= int64(arr.Ref.Len()) {
-			return false, rt.Value{}, e.trap(g, n,
-				fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
-		}
-		f.set(n, arr.Ref.Fields[idx])
-	case ir.OpStoreIndexed:
-		arr := f.get(n.Inputs[0])
-		idx := f.get(n.Inputs[1]).I
-		if arr.Ref == nil {
-			return false, rt.Value{}, e.trap(g, n, "null dereference in arraystore")
-		}
-		if idx < 0 || idx >= int64(arr.Ref.Len()) {
-			return false, rt.Value{}, e.trap(g, n,
-				fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
-		}
-		arr.Ref.Fields[idx] = f.get(n.Inputs[2])
-	case ir.OpArrayLength:
-		arr := f.get(n.Inputs[0])
-		if arr.Ref == nil {
-			return false, rt.Value{}, e.trap(g, n, "null dereference in arraylen")
-		}
-		f.set(n, rt.IntValue(int64(arr.Ref.Len())))
-	case ir.OpMonitorEnter:
-		obj := f.get(n.Inputs[0])
-		if obj.Ref == nil {
-			return false, rt.Value{}, e.trap(g, n, "null dereference in monitorenter")
-		}
-		e.Env.MonitorEnter(obj.Ref)
-	case ir.OpMonitorExit:
-		obj := f.get(n.Inputs[0])
-		if obj.Ref == nil {
-			return false, rt.Value{}, e.trap(g, n, "null dereference in monitorexit")
-		}
-		if merr := e.Env.MonitorExit(obj.Ref); merr != nil {
-			return false, rt.Value{}, e.trap(g, n, merr.Error())
-		}
-	case ir.OpInvoke:
-		args := make([]rt.Value, len(n.Inputs))
-		for i, in := range n.Inputs {
-			args[i] = f.get(in)
-		}
-		callee := n.Method
-		if n.Aux2 != bc.OpInvokeStatic {
-			recv := args[0]
-			if recv.Ref == nil {
-				return false, rt.Value{}, e.trap(g, n, "null receiver calling "+callee.QualifiedName())
-			}
-			if n.Aux2 == bc.OpInvokeVirtual {
-				callee = recv.Ref.Class.VTable[callee.VSlot]
-			}
-		}
-		if e.Invoke == nil {
-			return false, rt.Value{}, e.trap(g, n, "no invoke handler for "+callee.QualifiedName())
-		}
-		r, cerr := e.Invoke(callee, args)
-		if cerr != nil {
-			return false, rt.Value{}, cerr
-		}
-		if n.Kind != bc.KindVoid {
-			f.set(n, r)
-		}
-	case ir.OpPrint:
-		e.Env.Print(f.get(n.Inputs[0]).I)
-	case ir.OpRand:
-		f.set(n, rt.IntValue(e.Env.Rand(n.AuxInt)))
-	case ir.OpVirtualObject:
-		// No runtime effect: virtual objects exist only inside frame
-		// states and are materialized by the deoptimization runtime.
-	default:
-		return false, rt.Value{}, fmt.Errorf("exec: unhandled node %s", n)
-	}
-	return false, rt.Value{}, nil
-}
-
-// materializeNode allocates and initializes an object or array from an
-// OpMaterialize node, re-establishing elided locks.
-func (e *Engine) materializeNode(f *frame, n *ir.Node) (rt.Value, error) {
-	var obj *rt.Object
-	if n.Class != nil {
-		e.Env.Cycles += cost.AllocPerField * int64(n.Class.NumFields())
-		obj = e.Env.AllocObject(n.Class)
-		if len(n.Inputs) != n.Class.NumFields() {
-			return rt.Value{}, fmt.Errorf("materialize %s with %d values for %d fields",
-				n.Class.Name, len(n.Inputs), n.Class.NumFields())
-		}
-	} else {
-		e.Env.Cycles += cost.AllocPerField * n.AuxInt
-		obj = e.Env.AllocArray(n.ElemKind, n.AuxInt)
-		if int64(len(n.Inputs)) != n.AuxInt {
-			return rt.Value{}, fmt.Errorf("materialize array with %d values for length %d",
-				len(n.Inputs), n.AuxInt)
-		}
-	}
-	for i, in := range n.Inputs {
-		obj.Fields[i] = f.get(in)
-	}
-	for k := 0; k < n.AuxLock; k++ {
-		e.Env.MonitorEnter(obj)
-	}
-	e.Env.Stats.Materializations++
-	return rt.RefValue(obj), nil
-}
-
-// deopt hands control to the interpreter via the Deopt hook.
-func (e *Engine) deopt(g *ir.Graph, f *frame, n *ir.Node) (rt.Value, error) {
+// DeoptTransfer hands control to the interpreter via the Deopt hook,
+// recording the deopt event and runtime stats. Backends call it when
+// execution reaches an OpDeopt terminator; cost-model charging (the
+// oracle's deopt penalty) stays with the oracle.
+func (e *Engine) DeoptTransfer(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bool)) (rt.Value, error) {
 	if e.Deopt == nil {
-		return rt.Value{}, e.trap(g, n, "deopt without handler: "+n.DeoptReason)
+		return rt.Value{}, rt.NewTrap("deopt without handler: "+n.DeoptReason, g.Method, n.BCI)
 	}
 	if e.Sink != nil {
 		e.Sink.VMDeopt(g.Method.QualifiedName(), fmt.Sprintf("v%d", n.ID), n.DeoptReason)
 	}
 	e.Env.Stats.Deopts++
-	e.Env.Cycles += cost.DeoptPenalty
-	return e.Deopt(g, n, func(x *ir.Node) (rt.Value, bool) {
-		v, ok := f.values[x]
-		return v, ok
-	})
-}
-
-// costOf maps an IR node to its cycle cost in compiled code.
-func costOf(n *ir.Node) int64 {
-	switch n.Op {
-	case ir.OpParam, ir.OpConst, ir.OpConstNull, ir.OpPhi, ir.OpVirtualObject:
-		return 0 // register-allocated; no runtime work
-	case ir.OpNeg, ir.OpCmp, ir.OpRefEq:
-		return cost.ALU
-	case ir.OpArith:
-		return cost.OfOp(n.Aux2)
-	case ir.OpInstanceOf:
-		return cost.TypeCheck
-	case ir.OpNew, ir.OpNewArray, ir.OpMaterialize:
-		return cost.AllocBase
-	case ir.OpLoadField, ir.OpStoreField:
-		return cost.FieldAccess
-	case ir.OpLoadStatic, ir.OpStoreStatic:
-		return cost.StaticAccess
-	case ir.OpLoadIndexed, ir.OpStoreIndexed:
-		return cost.ArrayAccess
-	case ir.OpArrayLength:
-		return cost.ALU
-	case ir.OpMonitorEnter, ir.OpMonitorExit:
-		return cost.Monitor
-	case ir.OpInvoke:
-		c := int64(cost.CallOverhead)
-		if n.Aux2 == bc.OpInvokeVirtual {
-			c += cost.VirtualDispatch
-		}
-		return c
-	case ir.OpPrint:
-		return cost.Print
-	case ir.OpRand:
-		return cost.Rand
-	case ir.OpIf:
-		return cost.Branch
-	case ir.OpGoto:
-		return 1
-	case ir.OpReturn:
-		return 2
-	case ir.OpThrow, ir.OpDeopt:
-		return 0 // charged separately
-	default:
-		return cost.ALU
-	}
+	return e.Deopt(g, n, eval)
 }

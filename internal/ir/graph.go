@@ -69,6 +69,10 @@ func NewGraph(m *bc.Method) *Graph {
 // Entry returns the entry block.
 func (g *Graph) Entry() *Block { return g.Blocks[0] }
 
+// Graph returns g itself, letting a bare graph stand in wherever a
+// compilation artifact (anything wrapping a scheduled graph) is expected.
+func (g *Graph) Graph() *Graph { return g }
+
 // NewBlock appends a fresh empty block.
 func (g *Graph) NewBlock() *Block {
 	b := &Block{ID: g.nextBlockID}

@@ -1,0 +1,54 @@
+package vm
+
+import (
+	"fmt"
+
+	"pea/internal/exec"
+	"pea/internal/exec/closure"
+)
+
+// Backend selects the execution backend installed code runs on.
+type Backend int
+
+const (
+	// BackendOracle is the tree-walking engine with the deterministic
+	// cycle cost model (the default): slow, auditable, and the
+	// differential-testing oracle for every other backend.
+	BackendOracle Backend = iota
+	// BackendClosure is the template JIT: graphs are lowered once at
+	// install time into flat per-block closure sequences with dense value
+	// slots — real wall-clock speed, no cycle model.
+	BackendClosure
+)
+
+// String names the backend as the -backend flag spells it.
+func (b Backend) String() string {
+	switch b {
+	case BackendOracle:
+		return "oracle"
+	case BackendClosure:
+		return "closure"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "oracle":
+		return BackendOracle, nil
+	case "closure":
+		return BackendClosure, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want oracle or closure)", s)
+	}
+}
+
+// impl returns the exec-level backend implementation.
+func (b Backend) impl() exec.Backend {
+	if b == BackendClosure {
+		return closure.New()
+	}
+	return exec.Oracle()
+}

@@ -40,7 +40,11 @@ func deoptAtReturn(t *testing.T, machine *VM, m *bc.Method, action ir.DeoptActio
 	if err := ir.Verify(g); err != nil {
 		t.Fatal(err)
 	}
-	machine.code[m.ID].Store(g)
+	code, err := machine.lower(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.code[m.ID].Store(&codeCell{code: code})
 }
 
 // TestNonSpeculativeDeoptKeepsCode is the regression test for the

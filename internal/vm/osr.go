@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"pea/internal/bc"
+	"pea/internal/exec"
 	"pea/internal/interp"
 	"pea/internal/ir"
 	"pea/internal/obs/flight"
@@ -31,8 +32,8 @@ func (vm *VM) osrHook(f *interp.Frame, count int64) (rt.Value, bool, error) {
 		return rt.Value{}, false, nil
 	}
 	site := osrSite{f.Method, f.PC}
-	if g := vm.osrGraph(site); g != nil {
-		return vm.enterOSR(f, g)
+	if c := vm.osrInstalled(site); c != nil {
+		return vm.enterOSR(f, c)
 	}
 	if vm.hasFailed[f.Method.ID].Load() || vm.osrHasFailed(site) {
 		return rt.Value{}, false, nil
@@ -56,14 +57,14 @@ func (vm *VM) osrHook(f *interp.Frame, count int64) (rt.Value, bool, error) {
 	}
 	// A synchronous broker has installed (or failed) the artifact by now;
 	// an asynchronous one publishes later and this lookup stays nil.
-	if g := vm.osrGraph(site); g != nil {
-		return vm.enterOSR(f, g)
+	if c := vm.osrInstalled(site); c != nil {
+		return vm.enterOSR(f, c)
 	}
 	return rt.Value{}, false, nil
 }
 
-// osrGraph returns the installed OSR graph for site (nil if none).
-func (vm *VM) osrGraph(site osrSite) *ir.Graph {
+// osrInstalled returns the installed OSR code for site (nil if none).
+func (vm *VM) osrInstalled(site osrSite) exec.Code {
 	vm.osrMu.Lock()
 	defer vm.osrMu.Unlock()
 	return vm.osrCode[site]
@@ -93,10 +94,10 @@ func (vm *VM) osrHasFailed(site osrSite) bool {
 // the compiled code runs from the loop header through the method's return
 // (or deoptimizes back into a fresh interpreter frame, which the deopt
 // runtime resumes transparently).
-func (vm *VM) enterOSR(f *interp.Frame, g *ir.Graph) (rt.Value, bool, error) {
-	if g.OSREntryBCI != f.PC {
+func (vm *VM) enterOSR(f *interp.Frame, c exec.Code) (rt.Value, bool, error) {
+	if bci := c.Graph().OSREntryBCI; bci != f.PC {
 		return rt.Value{}, false, fmt.Errorf("vm: OSR graph for %s entered at bci %d, frame at %d",
-			f.Method.QualifiedName(), g.OSREntryBCI, f.PC)
+			f.Method.QualifiedName(), bci, f.PC)
 	}
 	args := make([]rt.Value, f.Method.NumLocals()+len(f.Stack))
 	copy(args, f.Locals)
@@ -106,18 +107,22 @@ func (vm *VM) enterOSR(f *interp.Frame, g *ir.Graph) (rt.Value, bool, error) {
 	if s := vm.Opts.Sink; s != nil {
 		s.VMOSREnter(f.Method.QualifiedName(), f.PC)
 	}
-	ret, err := vm.Engine.Run(g, args)
+	ret, err := c.Run(vm.Engine, args)
 	if err != nil {
 		return rt.Value{}, false, err
 	}
 	return ret, true, nil
 }
 
-// OSRGraph returns the installed OSR graph for (m, entryBCI), or nil. Safe
-// to call concurrently with compilation; exposed for tests and tools.
+// OSRGraph returns the scheduled graph behind the installed OSR code for
+// (m, entryBCI), or nil. Safe to call concurrently with compilation;
+// exposed for tests and tools.
 func (vm *VM) OSRGraph(m *bc.Method, entryBCI int) *ir.Graph {
 	if vm.osrCode == nil {
 		return nil
 	}
-	return vm.osrGraph(osrSite{m, entryBCI})
+	if c := vm.osrInstalled(osrSite{m, entryBCI}); c != nil {
+		return c.Graph()
+	}
+	return nil
 }

@@ -81,6 +81,10 @@ func (m EAMode) String() string {
 // Options configures a VM.
 type Options struct {
 	EA EAMode
+	// Backend selects the execution backend compiled graphs are lowered
+	// for and run on: BackendOracle (default) is the tree-walking
+	// cycle-model engine, BackendClosure the wall-clock template JIT.
+	Backend Backend
 	// Interpret disables the JIT entirely.
 	Interpret bool
 	// CompileThreshold is the invocation count that triggers
@@ -237,20 +241,25 @@ type VM struct {
 	Interp *interp.Interp
 	Engine *exec.Engine
 
+	// backend lowers scheduled graphs into installable code (selected by
+	// Options.Backend, resolved once at construction).
+	backend exec.Backend
+
 	// code is the installed-code table, indexed by bc.Method.ID. Entries
 	// are published with atomic stores by the broker's install callback
-	// and loaded without locks on the execution path.
-	code []atomic.Pointer[ir.Graph]
+	// and loaded without locks on the execution path (codeCell wraps the
+	// exec.Code interface so atomic.Pointer has a concrete type).
+	code []atomic.Pointer[codeCell]
 	// noSpec marks methods whose speculative code deoptimized; they are
 	// recompiled without speculation.
 	noSpec []atomic.Bool
 
-	// osrCode holds installed on-stack-replacement graphs keyed by
+	// osrCode holds installed on-stack-replacement code keyed by
 	// (method, loop-header BCI). OSR entries are consulted only on
 	// interpreter back-edges (orders of magnitude rarer than calls), so a
 	// mutex-guarded map suffices where the method code table needs atomics.
 	osrMu     sync.Mutex
-	osrCode   map[osrSite]*ir.Graph
+	osrCode   map[osrSite]exec.Code
 	osrFailed map[osrSite]bool
 
 	jit *broker.Broker
@@ -303,6 +312,12 @@ type failKey struct {
 	entryBCI int
 }
 
+// codeCell wraps installed exec.Code so the lock-free code table can use
+// atomic.Pointer (which needs a concrete element type, not an interface).
+type codeCell struct {
+	code exec.Code
+}
+
 // New creates a VM for the program.
 func New(prog *bc.Program, opts Options) *VM {
 	if opts.Seed == 0 {
@@ -333,7 +348,8 @@ func New(prog *bc.Program, opts Options) *VM {
 		Prog:        prog,
 		Env:         rt.NewEnv(prog, opts.Seed),
 		Opts:        opts,
-		code:        make([]atomic.Pointer[ir.Graph], len(prog.Methods)),
+		backend:     opts.Backend.impl(),
+		code:        make([]atomic.Pointer[codeCell], len(prog.Methods)),
 		noSpec:      make([]atomic.Bool, len(prog.Methods)),
 		failed:      make(map[failKey]error),
 		hasFailed:   make([]atomic.Bool, len(prog.Methods)),
@@ -346,7 +362,7 @@ func New(prog *bc.Program, opts Options) *VM {
 	vm.Interp.MaxSteps = opts.MaxSteps
 	vm.Interp.CallHook = vm.interpCallHook
 	if opts.OSRThreshold > 0 && !opts.Interpret {
-		vm.osrCode = make(map[osrSite]*ir.Graph)
+		vm.osrCode = make(map[osrSite]exec.Code)
 		vm.osrFailed = make(map[osrSite]bool)
 		vm.Interp.OSRHook = vm.osrHook
 	}
@@ -386,16 +402,16 @@ func (vm *VM) Run() (rt.Value, error) {
 
 // Call invokes m with args under the VM's execution policy.
 func (vm *VM) Call(m *bc.Method, args []rt.Value) (rt.Value, error) {
-	if g := vm.maybeCompiled(m); g != nil {
-		return vm.Engine.Run(g, args)
+	if c := vm.maybeCompiled(m); c != nil {
+		return c.Run(vm.Engine, args)
 	}
 	return vm.Interp.Call(m, args)
 }
 
 // interpCallHook diverts interpreted calls to compiled code when available.
 func (vm *VM) interpCallHook(m *bc.Method, args []rt.Value) (rt.Value, bool, error) {
-	if g := vm.maybeCompiled(m); g != nil {
-		v, err := vm.Engine.Run(g, args)
+	if c := vm.maybeCompiled(m); c != nil {
+		v, err := c.Run(vm.Engine, args)
 		return v, true, err
 	}
 	return rt.Value{}, false, nil
@@ -403,29 +419,40 @@ func (vm *VM) interpCallHook(m *bc.Method, args []rt.Value) (rt.Value, bool, err
 
 // engineInvoke handles calls made from compiled code.
 func (vm *VM) engineInvoke(m *bc.Method, args []rt.Value) (rt.Value, error) {
-	if g := vm.maybeCompiled(m); g != nil {
-		return vm.Engine.Run(g, args)
+	if c := vm.maybeCompiled(m); c != nil {
+		return c.Run(vm.Engine, args)
 	}
 	return vm.Interp.Call(m, args)
 }
 
 // installed returns the currently published code for m (nil if none).
-func (vm *VM) installed(m *bc.Method) *ir.Graph { return vm.code[m.ID].Load() }
+func (vm *VM) installed(m *bc.Method) exec.Code {
+	if cell := vm.code[m.ID].Load(); cell != nil {
+		return cell.code
+	}
+	return nil
+}
 
-// CompiledGraph returns the installed compiled code for m, or nil if the
-// method is interpreted. Safe to call concurrently with compilation.
-func (vm *VM) CompiledGraph(m *bc.Method) *ir.Graph { return vm.installed(m) }
+// CompiledGraph returns the scheduled graph behind m's installed code, or
+// nil if the method is interpreted. Safe to call concurrently with
+// compilation.
+func (vm *VM) CompiledGraph(m *bc.Method) *ir.Graph {
+	if c := vm.installed(m); c != nil {
+		return c.Graph()
+	}
+	return nil
+}
 
-// maybeCompiled returns the compiled graph for m, requesting compilation if
+// maybeCompiled returns the installed code for m, requesting compilation if
 // it just became hot. In synchronous mode the request completes before this
 // returns; in asynchronous mode the interpreter keeps executing m until the
 // broker publishes code.
-func (vm *VM) maybeCompiled(m *bc.Method) *ir.Graph {
+func (vm *VM) maybeCompiled(m *bc.Method) exec.Code {
 	if vm.Opts.Interpret {
 		return nil
 	}
-	if g := vm.installed(m); g != nil {
-		return g
+	if c := vm.installed(m); c != nil {
+		return c
 	}
 	if vm.hasFailed[m.ID].Load() {
 		return nil
@@ -513,6 +540,7 @@ func (vm *VM) cacheKey(m *bc.Method) broker.Key {
 		Spec:        spec,
 		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), 0),
 		EntryBCI:    broker.NoOSR,
+		Backend:     vm.backend.Name(),
 	}
 }
 
@@ -528,12 +556,37 @@ func (vm *VM) osrCacheKey(m *bc.Method, entryBCI int) broker.Key {
 		Spec:        spec,
 		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), vm.Opts.OSRThreshold),
 		EntryBCI:    entryBCI,
+		Backend:     vm.backend.Name(),
 	}
 }
 
-// compileForKey is the broker's compile callback.
-func (vm *VM) compileForKey(m *bc.Method, k broker.Key) (*ir.Graph, error) {
-	return vm.compileEntry(m, k.Spec, k.EntryBCI)
+// compileForKey is the broker's compile callback: the full pipeline
+// followed by backend lowering, so the broker caches the lowered artifact
+// and warm hits skip both.
+func (vm *VM) compileForKey(m *bc.Method, k broker.Key) (broker.Artifact, error) {
+	g, err := vm.compileEntry(m, k.Spec, k.EntryBCI)
+	if err != nil {
+		return nil, err
+	}
+	return vm.lower(m, g)
+}
+
+// lower compiles a scheduled graph into the selected backend's executable
+// form. It runs inside the broker's fault boundary, with its own phase span
+// and fault point, so lowering bugs are contained like any pipeline phase.
+func (vm *VM) lower(m *bc.Method, g *ir.Graph) (exec.Code, error) {
+	sink := vm.Opts.Sink
+	var span obs.PhaseSpan
+	if sink != nil {
+		span = obs.StartPhase(sink, "lower", m.QualifiedName(), g.NumNodes(), len(g.Blocks))
+	}
+	code, err := vm.backend.Compile(g)
+	vm.fault("lower", m)
+	if err != nil {
+		return nil, fmt.Errorf("vm: lowering %s for %s: %w", m.QualifiedName(), vm.backend.Name(), err)
+	}
+	span.End(g.NumNodes(), len(g.Blocks))
+	return code, nil
 }
 
 // fault invokes the fault-injection hook at a named pipeline point. A nil
@@ -544,9 +597,22 @@ func (vm *VM) fault(point string, m *bc.Method) {
 	}
 }
 
-// install is the broker's installation callback. It publishes g atomically
-// into the code table; it may run on a broker worker goroutine.
-func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
+// install is the broker's installation callback. It publishes the lowered
+// code atomically into the code table; it may run on a broker worker
+// goroutine.
+func (vm *VM) install(m *bc.Method, k broker.Key, a broker.Artifact, fromCache bool) {
+	code, ok := a.(exec.Code)
+	if !ok {
+		// A foreign cache entry holding a bare graph (possible when a
+		// shared cache is pre-populated by graph-level tools): lower it
+		// here so installation always publishes runnable code.
+		var err error
+		code, err = vm.lower(m, a.Graph())
+		if err != nil {
+			vm.recordFailure(m, k, err)
+			return
+		}
+	}
 	if k.Spec && vm.noSpec[m.ID].Load() {
 		// The method deoptimized while this speculative compile was in
 		// flight; installing it would immediately deoptimize again.
@@ -557,7 +623,7 @@ func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
 	if k.IsOSR() {
 		site := osrSite{m, k.EntryBCI}
 		vm.osrMu.Lock()
-		vm.osrCode[site] = g
+		vm.osrCode[site] = code
 		// A successful install clears the site's transient-failure backoff.
 		delete(vm.osrRetryAt, site)
 		delete(vm.osrRetryN, site)
@@ -569,7 +635,7 @@ func (vm *VM) install(m *bc.Method, k broker.Key, g *ir.Graph, fromCache bool) {
 		}
 		return
 	}
-	vm.code[m.ID].Store(g)
+	vm.code[m.ID].Store(&codeCell{code: code})
 	// A successful install clears the transient-failure backoff, so a later
 	// invalidation re-enters the retry ladder from the bottom.
 	vm.retryN[m.ID].Store(0)
