@@ -246,7 +246,7 @@ func BenchmarkCompileParallel(b *testing.B) {
 					},
 				})
 				for _, t := range tasks {
-					br.Submit(t.m, 1, broker.Key{Method: t.m})
+					br.Submit(t.m, 1, broker.Key{MethodFP: uint64(t.m.ID) + 1, Name: t.m.QualifiedName()})
 				}
 				br.Drain()
 				br.Close()

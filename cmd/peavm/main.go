@@ -80,6 +80,7 @@ import (
 	"os"
 	"time"
 
+	"pea/internal/broker"
 	"pea/internal/check"
 	"pea/internal/mj"
 	"pea/internal/obs"
@@ -102,6 +103,7 @@ func main() {
 	compileDeadline := flag.Duration("compile-deadline", 0, "per-compile wall-clock budget; overruns degrade the method to the interpreter with backoff (0 = unbounded)")
 	maxIRNodes := flag.Int("max-ir-nodes", 0, "per-compile IR node budget checked at phase boundaries (0 = unbounded)")
 	crashDir := flag.String("crash-dir", "", "write minimized crash reproducers for contained compiler panics to this directory")
+	storeDir := flag.String("store", "", "persistent artifact store directory: compiled graphs are written through and replayed on later runs over the same directory (empty = memory-only cache)")
 	checkMode := flag.String("check", "off", "compiler sanitizer level: off, basic, or strict (floored by PEA_CHECK)")
 	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
 	traceText := flag.Bool("trace-text", false, "also render events human-readably to stderr")
@@ -154,6 +156,13 @@ func main() {
 		fatal(err)
 	}
 	opts.CheckLevel = lvl
+	if *storeDir != "" {
+		store, err := broker.NewStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = store
+	}
 
 	// Observability: events to JSONL/text/chrome-trace, escape attribution,
 	// metrics registry.
@@ -267,9 +276,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "osr:              requests %d, compiled %d, entries %d\n",
 			vs.OSRRequests, vs.OSRCompilations, vs.OSREntries)
 		bs := machine.Broker().Stats()
-		fmt.Fprintf(os.Stderr, "jit broker:       submitted %d, compiled %d, cache hits %d/%d, dedup %d, rejected %d, max queue %d, busy %s\n",
-			bs.Submitted, bs.Compiled, bs.CacheHits, bs.CacheHits+bs.CacheMisses, bs.Dedup, bs.Rejected, bs.MaxQueue,
+		fmt.Fprintf(os.Stderr, "jit broker:       submitted %d, compiled %d, cache hits %d/%d, disk hits %d, dedup %d, rejected %d, max queue %d, busy %s\n",
+			bs.Submitted, bs.Compiled, bs.CacheHits, bs.CacheHits+bs.CacheMisses, bs.DiskHits, bs.Dedup, bs.Rejected, bs.MaxQueue,
 			time.Duration(bs.BusyNS).Round(time.Microsecond))
+		if st := machine.Broker().Store(); st != nil {
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "artifact store:   %s: %d artifacts, loads %d hit / %d miss / %d rejected, writes %d (%d failed)\n",
+				st.Dir(), st.Len(), ss.Hits, ss.Misses, ss.Rejected, ss.Writes, ss.WriteErrors)
+		}
 		for i, ns := range bs.WorkerBusyNS {
 			if ns > 0 {
 				fmt.Fprintf(os.Stderr, "  jit worker %d:   busy %s\n", i, time.Duration(ns).Round(time.Microsecond))

@@ -3,6 +3,7 @@ package bc
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Instr is one bytecode instruction. Operand fields are used according to
@@ -162,6 +163,11 @@ type Program struct {
 	Main    *Method   // entry point: a static method
 
 	classByName map[string]*Class
+
+	// Content fingerprint, computed lazily (see fingerprint.go). Programs
+	// are immutable after link, so one computation serves forever.
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // ClassByName returns the class with the given name, or nil.

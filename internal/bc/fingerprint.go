@@ -1,0 +1,136 @@
+package bc
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable content hash of the whole linked program:
+// every class (name, superclass, field and static layout) and every method
+// (signature, local slots, linked bytecode with operands resolved to
+// qualified names). Two independent links of the same source produce the
+// same fingerprint; any semantic change anywhere in the program changes it.
+//
+// The hash deliberately covers the entire program rather than a single
+// method because a compilation artifact can embed any reachable method body
+// (the inliner splices callees into the caller's graph), so per-method
+// hashing alone could replay an artifact whose inlined callee has changed.
+// Diagnostic-only data (source line numbers) is excluded: shifting a
+// comment must not invalidate the artifact store.
+//
+// The fingerprint is computed once per program (programs are immutable
+// after link) and cached.
+func (p *Program) Fingerprint() uint64 {
+	p.fpOnce.Do(func() { p.fp = p.computeFingerprint() })
+	return p.fp
+}
+
+// MethodFingerprint returns the content-addressed identity of one method of
+// the program: the program fingerprint mixed with the method's qualified
+// name and signature. It is stable across process restarts and across
+// independent links of the same source, which makes it usable as a
+// persistent compiled-code cache key (see internal/broker.Key).
+func (p *Program) MethodFingerprint(m *Method) uint64 {
+	h := fnv.New64a()
+	hashUint64(h, p.Fingerprint())
+	hashString(h, m.Class.Name)
+	hashString(h, m.Name)
+	hashKinds(h, m.Params)
+	hashByte(h, byte(m.Ret))
+	hashBool(h, m.Static)
+	return h.Sum64()
+}
+
+func (p *Program) computeFingerprint() uint64 {
+	h := fnv.New64a()
+	// Classes are in deterministic link order (Class.ID order).
+	hashInt(h, len(p.Classes))
+	for _, c := range p.Classes {
+		hashString(h, c.Name)
+		if c.Super != nil {
+			hashString(h, c.Super.Name)
+		} else {
+			hashString(h, "")
+		}
+		hashInt(h, len(c.Fields))
+		for _, f := range c.Fields {
+			hashString(h, f.Class.Name)
+			hashString(h, f.Name)
+			hashByte(h, byte(f.Kind))
+		}
+		hashInt(h, len(c.Statics))
+		for _, f := range c.Statics {
+			hashString(h, f.Name)
+			hashByte(h, byte(f.Kind))
+		}
+		hashInt(h, len(c.Methods))
+		for _, m := range c.Methods {
+			hashMethod(h, m)
+		}
+	}
+	if p.Main != nil {
+		hashString(h, p.Main.QualifiedName())
+	}
+	return h.Sum64()
+}
+
+func hashMethod(h hash.Hash64, m *Method) {
+	hashString(h, m.Name)
+	hashKinds(h, m.Params)
+	hashByte(h, byte(m.Ret))
+	hashBool(h, m.Static)
+	hashKinds(h, m.LocalKinds)
+	hashInt(h, len(m.Code))
+	for i := range m.Code {
+		in := &m.Code[i]
+		hashByte(h, byte(in.Op))
+		hashUint64(h, uint64(in.A))
+		hashByte(h, byte(in.Cond))
+		hashByte(h, byte(in.Kind))
+		switch {
+		case in.Class != nil:
+			hashString(h, in.Class.Name)
+		case in.Field != nil:
+			hashString(h, in.Field.Class.Name)
+			hashString(h, in.Field.Name)
+			hashBool(h, in.Field.Static)
+		case in.Method != nil:
+			hashString(h, in.Method.Class.Name)
+			hashString(h, in.Method.Name)
+		default:
+			hashByte(h, 0)
+		}
+		// Instr.Line is diagnostics only and deliberately excluded.
+	}
+}
+
+func hashString(h hash.Hash64, s string) {
+	hashInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func hashKinds(h hash.Hash64, ks []Kind) {
+	hashInt(h, len(ks))
+	for _, k := range ks {
+		hashByte(h, byte(k))
+	}
+}
+
+func hashInt(h hash.Hash64, v int) { hashUint64(h, uint64(int64(v))) }
+
+func hashUint64(h hash.Hash64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+func hashByte(h hash.Hash64, b byte) { h.Write([]byte{b}) }
+
+func hashBool(h hash.Hash64, v bool) {
+	if v {
+		hashByte(h, 1)
+	} else {
+		hashByte(h, 0)
+	}
+}

@@ -1,0 +1,123 @@
+package bc_test
+
+import (
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/mj"
+)
+
+const fpSrc = `
+class Main {
+    static void main() {
+        Point p = new Point(3, 4);
+        print(p.dist2());
+    }
+}
+class Point {
+    int x;
+    int y;
+    Point(int x, int y) { this.x = x; this.y = y; }
+    int dist2() { return this.x * this.x + this.y * this.y; }
+}
+`
+
+// Two independent links of the same source must fingerprint identically —
+// that is the whole point of content addressing: artifacts compiled by one
+// process are valid for any other process running the same program.
+func TestFingerprintStableAcrossLinks(t *testing.T) {
+	p1, err := mj.Compile(fpSrc, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := mj.Compile(fpSrc, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("expected two distinct program instances")
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatalf("program fingerprints differ across links: %x vs %x",
+			p1.Fingerprint(), p2.Fingerprint())
+	}
+	for _, m1 := range p1.Methods {
+		m2 := p2.ClassByName(m1.Class.Name).MethodByName(m1.Name)
+		if m2 == nil {
+			t.Fatalf("method %s missing from relink", m1.QualifiedName())
+		}
+		if p1.MethodFingerprint(m1) != p2.MethodFingerprint(m2) {
+			t.Errorf("method fingerprint of %s differs across links", m1.QualifiedName())
+		}
+	}
+}
+
+// Any semantic change anywhere in the program must change every method's
+// fingerprint: artifacts can embed inlined callee bodies, so a stale callee
+// must never be replayed into an unchanged caller.
+func TestFingerprintSensitiveToContent(t *testing.T) {
+	base, err := mj.Compile(fpSrc, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := `
+class Main {
+    static void main() {
+        Point p = new Point(3, 4);
+        print(p.dist2());
+    }
+}
+class Point {
+    int x;
+    int y;
+    Point(int x, int y) { this.x = x; this.y = y; }
+    int dist2() { return this.x * this.x - this.y * this.y; }
+}
+`
+	alt, err := mj.Compile(changed, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() == alt.Fingerprint() {
+		t.Fatal("program fingerprint unchanged after editing Point.dist2")
+	}
+	// Main.main's own bytecode is identical in both programs, but its
+	// fingerprint must still change: it may have inlined Point.dist2.
+	if base.MethodFingerprint(base.Main) == alt.MethodFingerprint(alt.Main) {
+		t.Fatal("Main.main fingerprint unchanged after editing a callee")
+	}
+}
+
+// Distinct methods of one program must not collide.
+func TestFingerprintDistinguishesMethods(t *testing.T) {
+	p, err := mj.Compile(fpSrc, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]string)
+	for _, m := range p.Methods {
+		fp := p.MethodFingerprint(m)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision: %s vs %s", prev, m.QualifiedName())
+		}
+		seen[fp] = m.QualifiedName()
+	}
+}
+
+// Source line numbers are diagnostics, not semantics: shifting code down a
+// line must not invalidate the artifact store.
+func TestFingerprintIgnoresLines(t *testing.T) {
+	p1, err := mj.Compile(fpSrc, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := mj.Compile("\n\n\n"+fpSrc, "Main.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatal("fingerprint changed when only source line numbers moved")
+	}
+}
+
+var _ = bc.Kind(0) // keep the bc import if mj-only paths change

@@ -210,8 +210,9 @@ func (s *Shared) program(w WorkloadSpec) (*bc.Program, error) {
 }
 
 // cache returns the workload's compiled-code cache, creating it once.
-// Caches are per-workload because cache keys contain *bc.Method pointers:
-// an artifact is only meaningful to VMs running the same program instance.
+// Keys are content fingerprints, so one shared cache would be sound; the
+// caches stay per-workload so hit/miss counts can be attributed per suite
+// entry and one workload's artifacts can't evict another's under a bound.
 func (s *Shared) cache(name string) *broker.Cache {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -25,6 +25,7 @@ import (
 
 	"pea/internal/bc"
 	"pea/internal/check"
+	"pea/internal/ir"
 	"pea/internal/obs"
 	"pea/internal/obs/flight"
 )
@@ -44,6 +45,18 @@ type Options struct {
 	// a shared one to reuse artifacts across VMs running the same
 	// program.
 	Cache *Cache
+	// Store, when non-nil, is the disk-backed artifact store behind the
+	// in-memory cache: a memory miss tries the store before running the
+	// pipeline (loads are decoded against the submission's Resolver and
+	// re-verified at the install boundary; anything suspect is a miss),
+	// and fresh compiles are written through so later processes sharing
+	// the directory warm-start.
+	Store *Store
+	// Resolver decodes store artifacts for submissions made through
+	// Submit (per-submission hooks carry their own; see SubmitHooks).
+	// Typically the *bc.Program the broker's VM runs. nil disables store
+	// loads for default submissions.
+	Resolver ir.Resolver
 
 	// Compile runs the full pipeline (and backend lowering) for one
 	// request, returning the installable artifact. It must be safe for
@@ -111,11 +124,16 @@ type Stats struct {
 	Failed      int64 // pipeline runs that errored (including contained panics)
 	Panics      int64 // pipeline runs that panicked and were contained
 	Installed   int64 // successful installations (compiled + cache replays)
-	CacheHits   int64 // installations served from the code cache
-	CacheMisses int64 // submissions that had to run the pipeline
-	Dedup       int64 // submissions coalesced with an in-flight compile
-	Rejected    int64 // submissions dropped on a full queue
-	MaxQueue    int64 // high-water mark of the pending queue
+	CacheHits   int64 // installations served from the in-memory code cache
+	CacheMisses int64 // submissions that missed the in-memory cache
+	// DiskHits counts in-memory misses resolved by loading, re-verifying,
+	// and installing a persisted artifact instead of running the pipeline
+	// (each also counts as a CacheMiss: hit rate over both tiers is
+	// (CacheHits+DiskHits) / (CacheHits+CacheMisses)).
+	DiskHits int64
+	Dedup    int64 // submissions coalesced with an in-flight compile
+	Rejected int64 // submissions dropped on a full queue
+	MaxQueue int64 // high-water mark of the pending queue
 	// BusyNS is the total wall-clock time spent resolving compilations
 	// (pipeline runs and cache replays). WorkerBusyNS breaks it down per
 	// background worker (empty in synchronous mode, where compiles run on
@@ -124,10 +142,28 @@ type Stats struct {
 	WorkerBusyNS []int64
 }
 
+// Hooks carries the per-submission callbacks of one compilation request.
+// A broker owned by a single VM never touches this type — its Options
+// callbacks serve every submission. A broker shared by several VMs (the
+// multi-tenant server) passes per-tenant Hooks through SubmitHooks so one
+// worker pool compiles for all tenants while each install lands in the
+// right VM's code table and each decode resolves against the right
+// program.
+type Hooks struct {
+	// Compile, Install, and Fail mirror the Options callbacks.
+	Compile func(m *bc.Method, k Key) (Artifact, error)
+	Install func(m *bc.Method, k Key, a Artifact, fromCache bool)
+	Fail    func(m *bc.Method, k Key, err error)
+	// Resolver decodes persisted artifacts against the submitting VM's
+	// program.
+	Resolver ir.Resolver
+}
+
 // task is one pending compilation.
 type task struct {
 	m       *bc.Method
 	key     Key
+	hooks   *Hooks
 	hotness int64
 	seq     int64 // FIFO tie-break for equal hotness (determinism)
 }
@@ -165,6 +201,9 @@ type inflightKey struct {
 type Broker struct {
 	opts  Options
 	cache *Cache
+	// defaults serves Submit calls (the single-VM path); SubmitHooks
+	// overrides per submission.
+	defaults Hooks
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals workers (work available / closing)
@@ -188,8 +227,14 @@ func New(opts Options) *Broker {
 		opts.InjectFault = FaultFromEnv()
 	}
 	b := &Broker{
-		opts:     opts,
-		cache:    opts.Cache,
+		opts:  opts,
+		cache: opts.Cache,
+		defaults: Hooks{
+			Compile:  opts.Compile,
+			Install:  opts.Install,
+			Fail:     opts.Fail,
+			Resolver: opts.Resolver,
+		},
 		inflight: make(map[inflightKey]bool),
 	}
 	if b.cache == nil {
@@ -207,6 +252,10 @@ func New(opts Options) *Broker {
 
 // Cache returns the broker's code cache.
 func (b *Broker) Cache() *Cache { return b.cache }
+
+// Store returns the broker's persistent artifact store, or nil when the
+// broker is memory-only.
+func (b *Broker) Store() *Store { return b.opts.Store }
 
 // Async reports whether the broker compiles on background workers.
 func (b *Broker) Async() bool { return b.opts.workers() > 0 }
@@ -231,12 +280,28 @@ func (b *Broker) Pending(m *bc.Method, entryBCI int) bool {
 // are coalesced and submissions over the queue bound are rejected. The
 // return value reports whether the submission was accepted.
 func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
+	return b.SubmitHooks(m, hotness, k, nil)
+}
+
+// SubmitHooks is Submit with per-submission callbacks, the entry point for
+// several VMs sharing one broker (worker pool + cache + store): each
+// tenant submits with its own Hooks so installs and failures land in the
+// submitting VM. nil hooks (and nil individual fields) fall back to the
+// broker's Options callbacks.
+//
+// Deduplication nuance under sharing: concurrent in-flight submissions of
+// the same compilation unit coalesce, and only the first submitter's
+// hooks run. The losing tenant's VM simply resubmits on its next hot call
+// and replays the now-cached artifact — convergent, at the cost of one
+// extra trip through the queue.
+func (b *Broker) SubmitHooks(m *bc.Method, hotness int64, k Key, h *Hooks) bool {
+	h = b.resolveHooks(h)
 	if !b.Async() {
 		b.mu.Lock()
 		b.stats.Submitted++
 		b.mu.Unlock()
 		b.opts.Sink.BrokerSubmit(m.QualifiedName(), int(hotness), 0)
-		b.compileOne(&task{m: m, key: k, hotness: hotness}, -1)
+		b.compileOne(&task{m: m, key: k, hooks: h, hotness: hotness}, -1)
 		return true
 	}
 
@@ -259,7 +324,7 @@ func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
 		return false
 	}
 	b.seq++
-	heap.Push(&b.queue, &task{m: m, key: k, hotness: hotness, seq: b.seq})
+	heap.Push(&b.queue, &task{m: m, key: k, hooks: h, hotness: hotness, seq: b.seq})
 	b.inflight[ik] = true
 	b.stats.Submitted++
 	if int64(len(b.queue)) > b.stats.MaxQueue {
@@ -275,6 +340,27 @@ func (b *Broker) Submit(m *bc.Method, hotness int64, k Key) bool {
 	b.setGauge(obs.GaugeBrokerQueueHighWater, highwater)
 	b.cond.Signal()
 	return true
+}
+
+// resolveHooks fills nil hook fields from the broker's Options callbacks.
+func (b *Broker) resolveHooks(h *Hooks) *Hooks {
+	if h == nil {
+		return &b.defaults
+	}
+	r := *h
+	if r.Compile == nil {
+		r.Compile = b.defaults.Compile
+	}
+	if r.Install == nil {
+		r.Install = b.defaults.Install
+	}
+	if r.Fail == nil {
+		r.Fail = b.defaults.Fail
+	}
+	if r.Resolver == nil {
+		r.Resolver = b.defaults.Resolver
+	}
+	return &r
 }
 
 // worker is the compile loop of one background goroutine; i is the
@@ -338,14 +424,36 @@ func (b *Broker) compileOne(t *task, worker int) {
 		b.opts.Sink.BrokerInstall(name, "cache")
 		fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
 			time.Since(start).Nanoseconds(), 0, fl.Reason("cache"))
-		if b.opts.Install != nil {
-			b.opts.Install(t.m, t.key, a, true)
+		if t.hooks.Install != nil {
+			t.hooks.Install(t.m, t.key, a, true)
 		}
 		return
 	}
 	b.mu.Lock()
 	b.stats.CacheMisses++
 	b.mu.Unlock()
+
+	// Second tier: a persisted artifact from an earlier process (or an
+	// entry evicted from the bounded memory cache). Load re-verifies at
+	// the install boundary; anything suspect was already counted as a
+	// rejection by the store and falls through to a fresh compile.
+	if b.opts.Store != nil {
+		if g, ok := b.opts.Store.Load(t.key, t.hooks.Resolver, b.opts.Check); ok {
+			a := b.cache.Put(t.key, g)
+			b.mu.Lock()
+			b.stats.DiskHits++
+			b.stats.Installed++
+			b.mu.Unlock()
+			b.opts.Sink.BrokerInstall(name, "disk")
+			fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
+				time.Since(start).Nanoseconds(), 0, fl.Reason("disk"))
+			b.setGauge(obs.GaugeBrokerCacheSize, int64(b.cache.Len()))
+			if t.hooks.Install != nil {
+				t.hooks.Install(t.m, t.key, a, true)
+			}
+			return
+		}
+	}
 
 	a, err := b.runCompile(t, name)
 	if err != nil {
@@ -358,14 +466,20 @@ func (b *Broker) compileOne(t *task, worker int) {
 		}
 		fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
 			time.Since(start).Nanoseconds(), 1, fl.Reason(outcome))
-		if b.opts.Fail != nil {
-			b.opts.Fail(t.m, t.key, err)
+		if t.hooks.Fail != nil {
+			t.hooks.Fail(t.m, t.key, err)
 		}
 		return
 	}
 	// First writer wins so every VM sharing the cache installs the same
 	// canonical artifact.
 	a = b.cache.Put(t.key, a)
+	// Write-through: persist the scheduled graph (not the backend-lowered
+	// closure, which is process-local) so future processes warm-start.
+	// Best effort — a failed write costs nothing but the counter.
+	if b.opts.Store != nil {
+		_ = b.opts.Store.Put(t.key, a.Graph())
+	}
 	b.mu.Lock()
 	b.stats.Compiled++
 	b.stats.Installed++
@@ -374,8 +488,8 @@ func (b *Broker) compileOne(t *task, worker int) {
 	fl.Record(flight.KindCompileFinish, int32(t.m.ID), int32(t.key.EntryBCI),
 		time.Since(start).Nanoseconds(), 0, fl.Reason(t.key.Backend))
 	b.setGauge(obs.GaugeBrokerCacheSize, int64(b.cache.Len()))
-	if b.opts.Install != nil {
-		b.opts.Install(t.m, t.key, a, false)
+	if t.hooks.Install != nil {
+		t.hooks.Install(t.m, t.key, a, false)
 	}
 }
 
@@ -403,7 +517,7 @@ func (b *Broker) runCompile(t *task, name string) (a Artifact, err error) {
 	if f := b.opts.InjectFault; f != nil {
 		f(FaultCompile, name)
 	}
-	a, err = b.opts.Compile(t.m, t.key)
+	a, err = t.hooks.Compile(t.m, t.key)
 	if err == nil {
 		// Re-verify before the artifact becomes shared state: the cache
 		// replays artifacts into other VMs without another pipeline run.

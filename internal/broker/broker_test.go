@@ -31,7 +31,9 @@ func testMethods(t *testing.T, n int) []*bc.Method {
 	return out
 }
 
-func key(m *bc.Method) Key { return Key{Method: m} }
+func key(m *bc.Method) Key {
+	return Key{MethodFP: uint64(m.ID) + 1, Name: m.QualifiedName()}
+}
 
 // mustBuild produces a real, verifiable graph: the broker re-checks every
 // fresh compile before caching it (and PEA_CHECK may floor that check up),
@@ -98,7 +100,9 @@ func TestCacheReplay(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 	// A different fingerprint is a different artifact.
-	b.Submit(ms[0], 1, Key{Method: ms[0], Fingerprint: 99})
+	k2 := key(ms[0])
+	k2.Fingerprint = 99
+	b.Submit(ms[0], 1, k2)
 	if compiles != 2 {
 		t.Fatalf("compiles = %d, want 2 after fingerprint change", compiles)
 	}

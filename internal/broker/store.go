@@ -1,0 +1,225 @@
+package broker
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"pea/internal/check"
+	"pea/internal/ir"
+)
+
+// StoreVersion is the on-disk envelope format version. Bump it whenever
+// the envelope or the ir JSON payload changes incompatibly; files written
+// under any other version are treated as misses, never decoded.
+const StoreVersion = 1
+
+// envelope is the on-disk artifact file: the format version, the full
+// content-addressed key the artifact was compiled under, and the
+// ir.EncodeJSON payload. The key is stored in full (not just its hash) so
+// a filename collision between two different keys is detected by
+// comparison instead of silently replaying the wrong artifact.
+type envelope struct {
+	Version int             `json:"version"`
+	Key     Key             `json:"key"`
+	Graph   json.RawMessage `json:"graph"`
+}
+
+// StoreStats counts store traffic with atomics (the store is shared by
+// broker workers and, through the directory, by other processes).
+type StoreStats struct {
+	Hits        int64 // artifacts loaded, verified, and returned
+	Misses      int64 // no file for the key
+	Rejected    int64 // file present but refused (corrupt, stale version, key mismatch, failed check)
+	Writes      int64 // artifacts persisted
+	WriteErrors int64 // failed persist attempts (artifact stays cached in memory only)
+}
+
+// Store is a disk-backed, content-addressed artifact store behind the
+// in-memory code cache. Each artifact is one JSON envelope file named by
+// the hash of its key, written atomically (temp file + rename on the same
+// filesystem), so any number of processes can share one store directory:
+// readers never observe a partial file, and concurrent writers of the same
+// key race benignly (last rename wins; both files hold equivalent content
+// because keys are content-addressed).
+//
+// Everything read back is treated as untrusted input — the trust-boundary
+// stance the GraalVM IR formal-semantics work argues for: the envelope
+// must parse, carry the current version, and echo the exact key; the graph
+// must decode against the local program (every class/field/method name
+// resolving) and pass the install-boundary check pass at Basic or the
+// configured level, whichever is stricter. Any failure is a cache miss,
+// never an error the compile path has to handle and never a crash.
+//
+// A nil *Store is valid and always misses.
+type Store struct {
+	dir   string
+	stats struct {
+		hits        atomic.Int64
+		misses      atomic.Int64
+		rejected    atomic.Int64
+		writes      atomic.Int64
+		writeErrors atomic.Int64
+	}
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("broker: opening artifact store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// path returns the artifact filename for k: a 64-bit FNV-1a hash over every
+// key field. Collisions are harmless — Load compares the envelope's full
+// key — they just alias two artifacts onto one file slot.
+func (s *Store) path(k Key) string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], k.MethodFP)
+	h.Write(b[:])
+	h.Write([]byte(k.Name))
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(k.Mode)))
+	h.Write(b[:])
+	if k.Spec {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	binary.LittleEndian.PutUint64(b[:], k.Fingerprint)
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(k.EntryBCI)))
+	h.Write(b[:])
+	h.Write([]byte(k.Backend))
+	return filepath.Join(s.dir, fmt.Sprintf("%016x.json", h.Sum64()))
+}
+
+// Put persists the scheduled graph compiled under k. The write is atomic
+// (temp + rename); a failure leaves no partial file behind and is reported
+// to the caller, who typically just counts it — the artifact is still in
+// the in-memory cache, the store is an optimization, not a durability
+// contract.
+func (s *Store) Put(k Key, g *ir.Graph) error {
+	if s == nil {
+		return nil
+	}
+	err := s.put(k, g)
+	if err != nil {
+		s.stats.writeErrors.Add(1)
+		return err
+	}
+	s.stats.writes.Add(1)
+	return nil
+}
+
+func (s *Store) put(k Key, g *ir.Graph) error {
+	payload, err := ir.EncodeJSON(g)
+	if err != nil {
+		return fmt.Errorf("broker: encoding artifact %s: %w", k.Name, err)
+	}
+	data, err := json.Marshal(&envelope{Version: StoreVersion, Key: k, Graph: payload})
+	if err != nil {
+		return fmt.Errorf("broker: marshaling envelope %s: %w", k.Name, err)
+	}
+	final := s.path(k)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+	}
+	return nil
+}
+
+// Load returns the verified graph stored under k, decoded against r's
+// program, or (nil, false) — there is no error: a missing, corrupt, stale,
+// or unverifiable file is indistinguishable from a cold cache by design.
+// lvl is the broker's configured check level; loads are always verified at
+// least at check.Basic regardless (and the PEA_CHECK floor applies on top).
+func (s *Store) Load(k Key, r ir.Resolver, lvl check.Level) (*ir.Graph, bool) {
+	if s == nil || r == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.stats.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.stats.rejected.Add(1)
+		return nil, false
+	}
+	if env.Version != StoreVersion || env.Key != k {
+		s.stats.rejected.Add(1)
+		return nil, false
+	}
+	g, err := ir.DecodeJSON(env.Graph, r)
+	if err != nil {
+		s.stats.rejected.Add(1)
+		return nil, false
+	}
+	if err := check.Graph(g, check.Effective(check.Max(lvl, check.Basic))); err != nil {
+		s.stats.rejected.Add(1)
+		return nil, false
+	}
+	s.stats.hits.Add(1)
+	return g, true
+}
+
+// Len returns the number of artifact files currently in the store.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	return StoreStats{
+		Hits:        s.stats.hits.Load(),
+		Misses:      s.stats.misses.Load(),
+		Rejected:    s.stats.rejected.Load(),
+		Writes:      s.stats.writes.Load(),
+		WriteErrors: s.stats.writeErrors.Load(),
+	}
+}

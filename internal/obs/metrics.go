@@ -34,6 +34,7 @@ const (
 	MetricBrokerCompiles    = "broker.compiles"
 	MetricBrokerCacheHits   = "broker.cache_hits"
 	MetricBrokerCacheMisses = "broker.cache_misses"
+	MetricBrokerDiskHits    = "broker.disk_hits"
 	MetricBrokerDedups      = "broker.dedups"
 	MetricBrokerRejects     = "broker.rejects"
 	MetricBrokerPanics      = "broker.panics"

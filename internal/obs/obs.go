@@ -533,16 +533,20 @@ func (s *Sink) BrokerSubmit(method string, hotness, depth int) {
 }
 
 // BrokerInstall records compiled code being published for a method. source
-// is "compiled" for a fresh pipeline run or "cache" for a code-cache
-// replay; the cache counters are bumped accordingly.
+// is "compiled" for a fresh pipeline run, "cache" for an in-memory
+// code-cache replay, or "disk" for an artifact reloaded and re-verified
+// from the persistent store; the cache counters are bumped accordingly.
 func (s *Sink) BrokerInstall(method, source string) {
 	if s == nil {
 		return
 	}
 	s.emit(&Event{Kind: KindBrokerInstall, Phase: "broker", Method: method, Detail: source})
-	if source == "cache" {
+	switch source {
+	case "cache":
 		s.Metrics().Add(MetricBrokerCacheHits, 1)
-	} else {
+	case "disk":
+		s.Metrics().Add(MetricBrokerDiskHits, 1)
+	default:
 		s.Metrics().Add(MetricBrokerCacheMisses, 1)
 		s.Metrics().Add(MetricBrokerCompiles, 1)
 	}

@@ -43,12 +43,13 @@ func runCanonOnce(g *ir.Graph) bool {
 		for _, n := range append([]*ir.Node(nil), b.Nodes...) {
 			if v := canonValue(g, b, n); v != nil && v != n {
 				g.ReplaceAllUsages(n, v)
-				// Division and remainder are not Pure() because they
-				// can trap — but canonValue only rewrites them when
-				// evaluation succeeded (non-zero divisor), so the
-				// original node is removable; leaving it would refold
-				// it forever.
-				if n.Pure() || n.Op == ir.OpArith {
+				// Division, remainder, and ArrayLength are not Pure()
+				// because they can trap — but canonValue only rewrites
+				// them when the trap provably cannot happen (non-zero
+				// constant divisor; array from a non-null NewArray or
+				// Materialize), so the original node is removable;
+				// leaving it would refold it forever.
+				if n.Pure() || n.Op == ir.OpArith || n.Op == ir.OpArrayLength {
 					g.RemoveNode(n)
 				}
 				changed = true

@@ -1,0 +1,340 @@
+// Package serve is the multi-tenant VM server behind cmd/peaserve: a
+// long-lived HTTP front end that accepts MiniJava programs, runs each
+// tenant in its own VM — private code table, private profile, per-tenant
+// compile budgets, the PR-5 fault containment — while every tenant shares
+// one compile broker: one worker pool, one bounded in-memory code cache,
+// and one content-addressed persistent artifact store. Because cache keys
+// are content fingerprints, two tenants posting the same program share
+// compiled artifacts, and a restarted server warm-starts from the store
+// directory instead of recompiling its working set.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pea/internal/bc"
+	"pea/internal/broker"
+	"pea/internal/check"
+	"pea/internal/mj"
+	"pea/internal/vm"
+)
+
+// Options configures a Server.
+type Options struct {
+	// EA selects the escape-analysis configuration tenants compile under.
+	EA vm.EAMode
+	// Backend selects the execution backend (default vm.BackendClosure is
+	// NOT applied here; the zero value is the vm package default).
+	Backend vm.Backend
+	// CompileThreshold is the tenant VMs' hotness threshold (0 = vm default).
+	CompileThreshold int64
+	// CompileDeadline and MaxIRNodes are the per-tenant compile budgets: a
+	// tenant whose program drives a compile past either bound degrades that
+	// method to interpretation (transient failure, backoff) without
+	// affecting other tenants sharing the worker pool.
+	CompileDeadline time.Duration
+	MaxIRNodes      int
+	// CheckLevel is the sanitizer level for tenant compiles and for
+	// re-verification of artifacts crossing the cache/store boundary.
+	CheckLevel check.Level
+	// Workers sizes the shared broker's background pool. 0 compiles
+	// synchronously on request goroutines — still shared-cache, still
+	// concurrent across tenants, and deterministic per tenant.
+	Workers int
+	// CacheEntries bounds the shared in-memory code cache
+	// (0 = broker.DefaultCacheEntries).
+	CacheEntries int
+	// StoreDir, when non-empty, backs the shared cache with a persistent
+	// artifact store rooted there. Restarting the server on the same
+	// directory replays persisted artifacts instead of recompiling.
+	StoreDir string
+	// MaxSourceBytes bounds a request body (default 1 MiB).
+	MaxSourceBytes int64
+	// MaxRuns bounds the per-request run count (default 64).
+	MaxRuns int
+	// MaxPrograms bounds the linked-program memo (default 128). Tenants
+	// posting byte-identical sources share one immutable *bc.Program.
+	MaxPrograms int
+	// InjectFault is threaded into tenant VMs (tests drive the containment
+	// layer through it; see vm.Options.InjectFault).
+	InjectFault func(point, method string)
+}
+
+func (o Options) maxSourceBytes() int64 {
+	if o.MaxSourceBytes > 0 {
+		return o.MaxSourceBytes
+	}
+	return 1 << 20
+}
+
+func (o Options) maxRuns() int {
+	if o.MaxRuns > 0 {
+		return o.MaxRuns
+	}
+	return 64
+}
+
+func (o Options) maxPrograms() int {
+	if o.MaxPrograms > 0 {
+		return o.MaxPrograms
+	}
+	return 128
+}
+
+// Server shares one broker across tenant VMs and serves the HTTP API:
+//
+//	POST /run     {"source": "...", "runs": N} → RunResponse
+//	GET  /stats   → StatsResponse
+//	GET  /healthz → 200 "ok"
+type Server struct {
+	opts  Options
+	jit   *broker.Broker
+	store *broker.Store
+	mux   *http.ServeMux
+
+	progMu sync.Mutex
+	progs  map[uint64]*bc.Program
+
+	tenants   atomic.Int64 // requests served (each is one tenant VM)
+	active    atomic.Int64 // requests currently executing
+	panicked  atomic.Int64 // handler panics contained (server stayed up)
+	badSource atomic.Int64 // requests rejected at the front door
+}
+
+// New creates a Server. The store directory is opened (and created) up
+// front so a misconfigured path fails at startup, not per request.
+func New(opts Options) (*Server, error) {
+	var store *broker.Store
+	if opts.StoreDir != "" {
+		var err error
+		if store, err = broker.NewStore(opts.StoreDir); err != nil {
+			return nil, err
+		}
+	}
+	cacheMax := opts.CacheEntries
+	if cacheMax == 0 {
+		cacheMax = broker.DefaultCacheEntries
+	}
+	s := &Server{
+		opts:  opts,
+		store: store,
+		jit: broker.New(broker.Options{
+			Workers: opts.Workers,
+			Cache:   broker.NewCacheSize(cacheMax),
+			Store:   store,
+			Check:   opts.CheckLevel,
+		}),
+		progs: make(map[uint64]*bc.Program),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler with a panic boundary per request: a
+// bug escaping the broker's per-compile containment kills the request, not
+// the server (and not the other tenants).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panicked.Add(1)
+			http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			fmt.Fprintf(os.Stderr, "serve: contained handler panic: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close shuts down the shared broker (drains background workers). In-flight
+// HTTP requests are the http.Server's to drain.
+func (s *Server) Close() { s.jit.Close() }
+
+// Broker exposes the shared broker for tests and stats tooling.
+func (s *Server) Broker() *broker.Broker { return s.jit }
+
+// RunRequest is the POST /run payload.
+type RunRequest struct {
+	// Source is a MiniJava program with a static Main.main.
+	Source string `json:"source"`
+	// Runs is how many times to invoke Main.main (default 1). Later runs
+	// execute whatever the JIT has installed.
+	Runs int `json:"runs"`
+}
+
+// RunResponse reports one tenant's execution.
+type RunResponse struct {
+	// Output is everything the program printed, across all runs.
+	Output []int64 `json:"output"`
+	Runs   int     `json:"runs"`
+	// CompiledMethods counts methods the tenant's VM installed (from the
+	// pipeline or either cache tier); PipelineCompiles counts how many of
+	// this request's submissions actually ran the pipeline (0 on a fully
+	// warm cache).
+	CompiledMethods  int64 `json:"compiled_methods"`
+	PipelineCompiles int64 `json:"pipeline_compiles"`
+	// FailedCompiles counts methods that permanently failed to compile and
+	// degraded to interpretation (contained panics included).
+	FailedCompiles int `json:"failed_compiles"`
+	// WallNS is the server-side execution time of all runs.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// StatsResponse is the GET /stats payload.
+type StatsResponse struct {
+	Tenants  int64              `json:"tenants"`
+	Active   int64              `json:"active"`
+	Panicked int64              `json:"panicked"`
+	Rejected int64              `json:"rejected_requests"`
+	Programs int                `json:"programs"`
+	Broker   broker.Stats       `json:"broker"`
+	Store    *broker.StoreStats `json:"store,omitempty"`
+	// HitRate is the fraction of submissions resolved without a pipeline
+	// run, over both cache tiers: (CacheHits+DiskHits)/(CacheHits+CacheMisses).
+	HitRate        float64 `json:"hit_rate"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	StoreArtifacts int     `json:"store_artifacts,omitempty"`
+}
+
+// program links source, memoized by content hash so identical tenant
+// programs share one immutable *bc.Program (and therefore hit the shared
+// cache without rebinding). The memo is bounded; on overflow it is simply
+// cleared — programs relink cheaply and artifacts live in the cache/store.
+func (s *Server) program(source string) (*bc.Program, error) {
+	h := fnv.New64a()
+	h.Write([]byte(source))
+	key := h.Sum64()
+	s.progMu.Lock()
+	if p, ok := s.progs[key]; ok {
+		s.progMu.Unlock()
+		return p, nil
+	}
+	s.progMu.Unlock()
+
+	p, err := mj.Compile(source, "Main.main")
+	if err != nil {
+		return nil, err
+	}
+	s.progMu.Lock()
+	if len(s.progs) >= s.opts.maxPrograms() {
+		s.progs = make(map[uint64]*bc.Program)
+	}
+	s.progs[key] = p
+	s.progMu.Unlock()
+	return p, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RunRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxSourceBytes())
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.badSource.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, "source too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Runs <= 0 {
+		req.Runs = 1
+	}
+	if req.Runs > s.opts.maxRuns() {
+		s.badSource.Add(1)
+		http.Error(w, fmt.Sprintf("runs capped at %d", s.opts.maxRuns()), http.StatusBadRequest)
+		return
+	}
+	prog, err := s.program(req.Source)
+	if err != nil {
+		s.badSource.Add(1)
+		http.Error(w, "compile error: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.tenants.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	before := s.jit.Stats()
+	machine := vm.New(prog, vm.Options{
+		EA:               s.opts.EA,
+		Backend:          s.opts.Backend,
+		CompileThreshold: s.opts.CompileThreshold,
+		CompileDeadline:  s.opts.CompileDeadline,
+		MaxIRNodes:       s.opts.MaxIRNodes,
+		CheckLevel:       s.opts.CheckLevel,
+		InjectFault:      s.opts.InjectFault,
+		JIT:              s.jit,
+	})
+	defer machine.Close()
+
+	start := time.Now()
+	for i := 0; i < req.Runs; i++ {
+		if _, err := machine.Run(); err != nil {
+			http.Error(w, fmt.Sprintf("run %d: %v", i, err), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+	machine.DrainJIT()
+	wall := time.Since(start)
+	after := s.jit.Stats()
+
+	resp := RunResponse{
+		Output:           append([]int64(nil), machine.Env.Output...),
+		Runs:             req.Runs,
+		CompiledMethods:  machine.Stats().CompiledMethods,
+		PipelineCompiles: after.Compiled - before.Compiled,
+		FailedCompiles:   len(machine.FailedCompilations()),
+		WallNS:           wall.Nanoseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.statsLocked())
+}
+
+func (s *Server) statsLocked() StatsResponse {
+	bs := s.jit.Stats()
+	resp := StatsResponse{
+		Tenants:        s.tenants.Load(),
+		Active:         s.active.Load(),
+		Panicked:       s.panicked.Load(),
+		Rejected:       s.badSource.Load(),
+		Broker:         bs,
+		CacheEntries:   s.jit.Cache().Len(),
+		CacheEvictions: s.jit.Cache().Evictions(),
+	}
+	s.progMu.Lock()
+	resp.Programs = len(s.progs)
+	s.progMu.Unlock()
+	if lookups := bs.CacheHits + bs.CacheMisses; lookups > 0 {
+		resp.HitRate = float64(bs.CacheHits+bs.DiskHits) / float64(lookups)
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+		resp.StoreArtifacts = s.store.Len()
+	}
+	return resp
+}

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pea/internal/bench"
+	"pea/internal/check"
+	"pea/internal/vm"
+)
+
+const tenantSrc = `
+class Box {
+	int v;
+	Box(int v) {
+		this.v = v;
+	}
+	int get() {
+		return this.v;
+	}
+}
+class Main {
+	static Box kept;
+	static int f(int i) {
+		Box b = new Box(i * 2);
+		if (i % 11 == 0) {
+			Main.kept = b;
+		}
+		return b.get();
+	}
+	static void main() {
+		int acc = 0;
+		int i = 0;
+		while (i < 120) {
+			acc = acc + Main.f(i);
+			i = i + 1;
+		}
+		print(acc);
+	}
+}
+`
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.CompileThreshold == 0 {
+		opts.CompileThreshold = 5
+	}
+	if opts.CheckLevel == 0 {
+		opts.CheckLevel = check.Basic
+	}
+	opts.EA = vm.EAPartial
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postRun(t *testing.T, url, source string, runs int) (*http.Response, RunResponse) {
+	t.Helper()
+	body, _ := json.Marshal(RunRequest{Source: source, Runs: runs})
+	resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr RunResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, rr
+}
+
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, rr := postRun(t, ts.URL, tenantSrc, 2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	if len(rr.Output) != 2 || rr.Output[0] != rr.Output[1] {
+		t.Fatalf("output = %v, want two equal values", rr.Output)
+	}
+	if rr.CompiledMethods == 0 || rr.PipelineCompiles == 0 {
+		t.Fatalf("hot methods never compiled: %+v", rr)
+	}
+	if rr.FailedCompiles != 0 {
+		t.Fatalf("%d compiles failed", rr.FailedCompiles)
+	}
+}
+
+func TestBadRequestsRejected(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxSourceBytes: 4096, MaxRuns: 4})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"syntax-error", `{"source": "class Main {", "runs": 1}`, http.StatusBadRequest},
+		{"not-json", `this is not json`, http.StatusBadRequest},
+		{"too-many-runs", fmt.Sprintf(`{"source": %q, "runs": 99}`, tenantSrc), http.StatusBadRequest},
+		{"oversized", `{"source": "` + strings.Repeat("x", 8192) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %s, want %d", resp.Status, tc.status)
+			}
+		})
+	}
+	if got := s.badSource.Load(); got != int64(len(cases)) {
+		t.Fatalf("rejected counter = %d, want %d", got, len(cases))
+	}
+	// The server is still healthy after the abuse.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after bad requests: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestTenantsShareCompiledArtifacts: concurrent tenants posting the same
+// program share the broker's cache — the pipeline runs once per method, not
+// once per tenant. Run under -race in CI.
+func TestTenantsShareCompiledArtifacts(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	const tenants = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, tenants)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(RunRequest{Source: tenantSrc, Runs: 2})
+			resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- resp.Status
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := getStats(t, ts.URL)
+	if st.Tenants != tenants {
+		t.Fatalf("tenants = %d, want %d", st.Tenants, tenants)
+	}
+	// Every tenant shares one linked program, so each method compiled at
+	// most once (dedup may make it exactly once; never once per tenant).
+	if st.Broker.Compiled == 0 {
+		t.Fatal("nothing compiled")
+	}
+	if st.Broker.Installed != st.Broker.Compiled+st.Broker.CacheHits+st.Broker.DiskHits ||
+		st.Broker.CacheHits < int64(tenants-1) {
+		t.Fatalf("no artifact sharing visible: compiled %d, cache hits %d, installed %d across %d tenants",
+			st.Broker.Compiled, st.Broker.CacheHits, st.Broker.Installed, tenants)
+	}
+	if st.Programs != 1 {
+		t.Fatalf("program memo holds %d entries, want 1", st.Programs)
+	}
+	if s.panicked.Load() != 0 {
+		t.Fatalf("handler panics: %d", s.panicked.Load())
+	}
+}
+
+// TestWarmRestartOverHTTP is the serving half of the tentpole: stop the
+// server, start a fresh one on the same store directory, replay the same
+// tenant traffic — zero pipeline compiles, everything from disk.
+func TestWarmRestartOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Options{StoreDir: dir})
+	if resp, _ := postRun(t, ts1.URL, tenantSrc, 3); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: %s", resp.Status)
+	}
+	cold := getStats(t, ts1.URL)
+	if cold.Broker.Compiled == 0 || cold.StoreArtifacts == 0 {
+		t.Fatalf("cold server persisted nothing: %+v", cold)
+	}
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, Options{StoreDir: dir})
+	resp, rr := postRun(t, ts2.URL, tenantSrc, 3)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: %s", resp.Status)
+	}
+	if rr.PipelineCompiles != 0 {
+		t.Fatalf("warm restart ran the pipeline %d times", rr.PipelineCompiles)
+	}
+	if rr.CompiledMethods == 0 {
+		t.Fatal("warm restart installed nothing (should replay from disk)")
+	}
+	warm := getStats(t, ts2.URL)
+	if warm.Broker.DiskHits == 0 {
+		t.Fatalf("no disk hits after restart: %+v", warm.Broker)
+	}
+	if warm.HitRate < 0.9 {
+		t.Fatalf("warm hit rate %.2f, want >= 0.9", warm.HitRate)
+	}
+}
+
+// TestLoadHarnessAgainstServer drives the real internal/bench harness at an
+// in-process server — the same path cmd/peaload exercises in CI.
+func TestLoadHarnessAgainstServer(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{StoreDir: dir})
+	rep, err := bench.RunLoad(bench.LoadOptions{URL: ts.URL, Tenants: 8, Requests: 2, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Requests != 16 || rep.Tenants != 8 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("nonsense latencies: p50=%v p99=%v", rep.P50Ms, rep.P99Ms)
+	}
+	if rep.PipelineCompiles == 0 || rep.HitRate == 0 {
+		t.Fatalf("cache metrics missing: %+v", rep)
+	}
+	ts.Close()
+
+	// Warm restart under the harness: fresh server, same store.
+	_, ts2 := newTestServer(t, Options{StoreDir: dir})
+	rep2, err := bench.RunLoad(bench.LoadOptions{URL: ts2.URL, Tenants: 8, Requests: 2, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Errors != 0 {
+		t.Fatalf("warm errors: %d (%s)", rep2.Errors, rep2.FirstError)
+	}
+	if rep2.PipelineCompiles != 0 {
+		t.Fatalf("warm restart recompiled %d methods", rep2.PipelineCompiles)
+	}
+	if rep2.DiskHits == 0 || rep2.HitRate < 0.9 {
+		t.Fatalf("warm restart cache metrics: %+v", rep2)
+	}
+}
+
+// TestPanicContainedPerTenant: a compiler panic in one tenant's compile
+// degrades that tenant's method to interpretation; the request still
+// succeeds and the server keeps serving other tenants.
+func TestPanicContainedPerTenant(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		InjectFault: func(point, method string) {
+			if point == "pea" && strings.Contains(method, "Main.f") {
+				panic("injected compiler bug")
+			}
+		},
+	})
+	resp, rr := postRun(t, ts.URL, tenantSrc, 2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant with poisoned compile got %s, want 200 (interpreted)", resp.Status)
+	}
+	if rr.FailedCompiles == 0 {
+		t.Fatal("panic not recorded as a failed compile")
+	}
+	if len(rr.Output) != 2 || rr.Output[0] != rr.Output[1] {
+		t.Fatalf("interpreted fallback broke the program: %v", rr.Output)
+	}
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -100,9 +101,17 @@ func cloneForRepro(m *bc.Method) *bc.Method {
 }
 
 // sanitizeName maps a qualified method name onto a filesystem-safe file
-// stem (Class.method → Class_method).
+// stem (Class.method → Class_method). Method names come from untrusted
+// source programs (a hostile tenant can name a class "../../../../etc"),
+// so the mapping is an allowlist: anything outside [A-Za-z0-9-] becomes
+// '_', which removes separators, traversal dots, NULs, and shell
+// metacharacters in one pass. Stems longer than maxNameStem — filenames
+// hit filesystem limits around 255 bytes, and two prefixes land on top —
+// are truncated and suffixed with a hash of the full name so distinct
+// long names keep distinct files; an empty name gets the same treatment.
 func sanitizeName(qname string) string {
-	return strings.Map(func(r rune) rune {
+	const maxNameStem = 120
+	s := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
 			return r
@@ -110,4 +119,13 @@ func sanitizeName(qname string) string {
 			return '_'
 		}
 	}, qname)
+	if len(s) <= maxNameStem && s != "" {
+		return s
+	}
+	h := fnv.New64a()
+	h.Write([]byte(qname))
+	if len(s) > maxNameStem {
+		s = s[:maxNameStem]
+	}
+	return fmt.Sprintf("%s-%016x", s, h.Sum64())
 }

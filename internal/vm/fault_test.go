@@ -177,7 +177,7 @@ func TestOSRFailureDoesNotPoisonMethod(t *testing.T) {
 	prog, m := buildCounter(t)
 	machine := New(prog, Options{EA: EAPartial, CompileThreshold: 2, OSRThreshold: 100, Validate: true})
 
-	machine.recordFailure(m, broker.Key{Method: m, EntryBCI: 5}, errors.New("osr boom"))
+	machine.recordFailure(m, broker.Key{Name: m.QualifiedName(), EntryBCI: 5}, errors.New("osr boom"))
 
 	if err := machine.CompileError(m); err != nil {
 		t.Fatalf("OSR-only failure poisoned the method: CompileError = %v", err)

@@ -120,10 +120,29 @@ type Options struct {
 	// (<=0 selects GOMAXPROCS).
 	JITWorkers int
 	// Cache, when non-nil, is a shared compiled-code cache. VMs running
-	// the same *bc.Program can share one cache so repeated runs replay
-	// compilation artifacts instead of re-running the pipeline. nil gives
-	// the VM a private cache.
+	// the same program can share one cache so repeated runs replay
+	// compilation artifacts instead of re-running the pipeline — keys are
+	// content-addressed, so even independently linked *bc.Program
+	// instances of the same source share artifacts (the install path
+	// rebinds foreign graphs onto this VM's program). nil gives the VM a
+	// private cache.
 	Cache *broker.Cache
+	// Store, when non-nil, is a disk-backed artifact store behind the
+	// cache: fresh compiles are written through to it, and cache misses
+	// consult it before running the pipeline, so a restarted process (or
+	// another process sharing the directory) replays persisted artifacts
+	// instead of recompiling. Artifacts loaded from disk are re-verified
+	// at the install boundary; corrupt or stale files are silent misses.
+	// Ignored when JIT is set — a shared broker brings its own store.
+	Store *broker.Store
+	// JIT, when non-nil, is a shared compile broker: many VMs (the
+	// tenants of a server) submit to one broker and share its worker
+	// pool, memory cache, and persistent store. Per-VM callbacks travel
+	// with each submission, so a shared broker still compiles with and
+	// installs into the submitting VM. Close does not shut down a shared
+	// broker — its owner does. nil (the default) gives the VM a private
+	// broker configured from the options above.
+	JIT *broker.Broker
 	// JITQueueCap bounds the broker's pending compile queue (0 keeps the
 	// broker default). Submissions over the bound are rejected and the
 	// method's hotness trigger is re-armed with backoff, so a compilation
@@ -263,6 +282,13 @@ type VM struct {
 	osrFailed map[osrSite]bool
 
 	jit *broker.Broker
+	// ownJIT marks the broker as private to this VM: Close shuts it down.
+	// A shared broker (Options.JIT) outlives any one tenant.
+	ownJIT bool
+	// hooks carries this VM's compile/install/failure callbacks and its
+	// program resolver with every submission, so a broker shared between
+	// VMs dispatches back to the right tenant.
+	hooks broker.Hooks
 
 	// failed records permanent compilation failures per compilation unit
 	// (broker key shape: method + entry point). A failed OSR entry
@@ -370,6 +396,16 @@ func New(prog *bc.Program, opts Options) *VM {
 	vm.Engine.Invoke = vm.engineInvoke
 	vm.Engine.Deopt = vm.deopt
 
+	vm.hooks = broker.Hooks{
+		Compile:  vm.compileForKey,
+		Install:  vm.install,
+		Fail:     vm.recordFailure,
+		Resolver: prog,
+	}
+	if opts.JIT != nil {
+		vm.jit = opts.JIT
+		return vm
+	}
 	workers := 0
 	if opts.Async {
 		workers = opts.JITWorkers
@@ -377,10 +413,13 @@ func New(prog *bc.Program, opts Options) *VM {
 			workers = -1 // GOMAXPROCS
 		}
 	}
+	vm.ownJIT = true
 	vm.jit = broker.New(broker.Options{
 		Workers:     workers,
 		QueueCap:    opts.JITQueueCap,
 		Cache:       opts.Cache,
+		Store:       opts.Store,
+		Resolver:    prog,
 		Compile:     vm.compileForKey,
 		Install:     vm.install,
 		Fail:        vm.recordFailure,
@@ -467,7 +506,7 @@ func (vm *VM) maybeCompiled(m *bc.Method) exec.Code {
 	if vm.jit.Pending(m, broker.NoOSR) {
 		return nil // already queued or being compiled; keep interpreting
 	}
-	if !vm.jit.Submit(m, inv, vm.cacheKey(m)) {
+	if !vm.jit.SubmitHooks(m, inv, vm.cacheKey(m), &vm.hooks) {
 		// Rejected (queue full, closing, or a racing duplicate): re-arm
 		// the hotness trigger with backoff so the method stays
 		// submit-eligible instead of hammering — or silently losing —
@@ -535,7 +574,8 @@ func (vm *VM) rearmOSR(m *bc.Method, entryBCI int, reason string) {
 func (vm *VM) cacheKey(m *bc.Method) broker.Key {
 	spec := vm.Opts.Speculate && !vm.noSpec[m.ID].Load()
 	return broker.Key{
-		Method:      m,
+		MethodFP:    vm.Prog.MethodFingerprint(m),
+		Name:        m.QualifiedName(),
 		Mode:        int(vm.Opts.EA),
 		Spec:        spec,
 		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), 0),
@@ -551,7 +591,8 @@ func (vm *VM) cacheKey(m *bc.Method) broker.Key {
 func (vm *VM) osrCacheKey(m *bc.Method, entryBCI int) broker.Key {
 	spec := vm.Opts.Speculate && !vm.noSpec[m.ID].Load()
 	return broker.Key{
-		Method:      m,
+		MethodFP:    vm.Prog.MethodFingerprint(m),
+		Name:        m.QualifiedName(),
 		Mode:        int(vm.Opts.EA),
 		Spec:        spec,
 		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), vm.Opts.OSRThreshold),
@@ -589,6 +630,28 @@ func (vm *VM) lower(m *bc.Method, g *ir.Graph) (exec.Code, error) {
 	return code, nil
 }
 
+// rebind re-homes a graph compiled against a different link of the same
+// program content onto this VM's program: the graph round-trips through
+// its serialized form so every class/field/method reference re-resolves
+// by name against vm.Prog, then re-verifies at the install boundary.
+// Content-addressed keys guarantee the two links agree on bytecode, so
+// resolution can only fail if an artifact reached the wrong cache.
+func (vm *VM) rebind(g *ir.Graph) (*ir.Graph, error) {
+	name := g.Method.QualifiedName()
+	payload, err := ir.EncodeJSON(g)
+	if err != nil {
+		return nil, fmt.Errorf("vm: rebinding %s: %w", name, err)
+	}
+	ng, err := ir.DecodeJSON(payload, vm.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("vm: rebinding %s: %w", name, err)
+	}
+	if err := check.Graph(ng, check.Max(vm.Opts.checkLevel(), check.Basic)); err != nil {
+		return nil, fmt.Errorf("vm: rebinding %s: %w", name, err)
+	}
+	return ng, nil
+}
+
 // fault invokes the fault-injection hook at a named pipeline point. A nil
 // hook (the default) costs one pointer test.
 func (vm *VM) fault(point string, m *bc.Method) {
@@ -602,12 +665,32 @@ func (vm *VM) fault(point string, m *bc.Method) {
 // goroutine.
 func (vm *VM) install(m *bc.Method, k broker.Key, a broker.Artifact, fromCache bool) {
 	code, ok := a.(exec.Code)
-	if !ok {
-		// A foreign cache entry holding a bare graph (possible when a
-		// shared cache is pre-populated by graph-level tools): lower it
-		// here so installation always publishes runnable code.
+	if !ok || code.Graph().Method != m {
+		// Two ways to land here: the artifact is a bare graph (a disk
+		// load, or a shared cache pre-populated by graph-level tools), or
+		// it is lowered code from another VM running a different link of
+		// the same program content (equal content-addressed keys, distinct
+		// *bc.Method instances). Either way, rebind the graph onto this
+		// VM's program if needed and lower it here, so installation always
+		// publishes code wired to this VM's own bytecode entities.
+		g := a.Graph()
+		if g.Method != m {
+			var err error
+			if g, err = vm.rebind(g); err != nil {
+				// Rebinding failure is environmental (an incompatible
+				// artifact reached us through a shared cache), not a
+				// property of the method: drop the artifact and re-arm
+				// the trigger instead of blacklisting.
+				if k.IsOSR() {
+					vm.rearmOSR(m, k.EntryBCI, "rebind: "+err.Error())
+				} else {
+					vm.rearm(m, "rebind: "+err.Error(), vm.Interp.Profile.Invocations(m))
+				}
+				return
+			}
+		}
 		var err error
-		code, err = vm.lower(m, a.Graph())
+		code, err = vm.lower(m, g)
 		if err != nil {
 			vm.recordFailure(m, k, err)
 			return
@@ -865,8 +948,13 @@ func (vm *VM) DrainJIT() { vm.jit.Drain() }
 
 // Close shuts down the VM's background compile workers (no-op in
 // synchronous mode). The VM keeps executing with whatever code is
-// installed; further hot methods stay interpreted.
-func (vm *VM) Close() { vm.jit.Close() }
+// installed; further hot methods stay interpreted. A shared broker
+// (Options.JIT) is left running — its owner closes it.
+func (vm *VM) Close() {
+	if vm.ownJIT {
+		vm.jit.Close()
+	}
+}
 
 // Broker exposes the VM's compile broker (stats, cache) to tools and tests.
 func (vm *VM) Broker() *broker.Broker { return vm.jit }
