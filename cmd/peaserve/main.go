@@ -46,6 +46,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
 	storeDir := flag.String("store", "", "persistent artifact store directory (empty = memory-only cache)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "byte bound on the -store directory; writes over the bound expel oldest-modified artifacts first (0 = unbounded)")
+	summaries := flag.Bool("summaries", false, "enable inter-procedural escape summaries for tenant compiles (amortized across tenants via the shared broker and store)")
 	eaMode := flag.String("ea", "pea", "escape analysis: off, ea (flow-insensitive), or pea")
 	backendName := flag.String("backend", "closure", "execution backend: oracle or closure")
 	threshold := flag.Int64("threshold", 20, "JIT compile threshold (invocations)")
@@ -65,6 +67,8 @@ func main() {
 		Workers:          *jitWorkers,
 		CacheEntries:     *cacheEntries,
 		StoreDir:         *storeDir,
+		StoreMaxBytes:    *storeMaxBytes,
+		Summaries:        *summaries,
 		MaxSourceBytes:   *maxSourceBytes,
 		MaxRuns:          *maxRuns,
 	}

@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	peavm [-ea off|ea|pea] [-speculate] [-runs N] [-stats] [-seed S]
+//	peavm [-ea off|ea|pea] [-speculate] [-summaries] [-summaries-report]
+//	      [-runs N] [-stats] [-seed S]
 //	      [-backend oracle|closure|both]
+//	      [-store DIR] [-store-max-bytes N]
 //	      [-osr-threshold N] [-jit-async] [-jit-workers N] [-jit-queue-cap N]
 //	      [-compile-deadline D] [-max-ir-nodes N] [-crash-dir DIR]
 //	      [-check off|basic|strict] [-trace-events out.jsonl] [-metrics]
@@ -91,6 +93,8 @@ func main() {
 	eaMode := flag.String("ea", "pea", "escape analysis: off, ea (flow-insensitive), or pea")
 	backendName := flag.String("backend", "closure", "execution backend: oracle (tree-walking cycle model), closure (template JIT), or both (lockstep cross-check)")
 	speculate := flag.Bool("speculate", false, "enable speculative branch pruning with deoptimization")
+	summaries := flag.Bool("summaries", false, "enable inter-procedural escape summaries: EA/PEA keep provably-unobserved call arguments virtual across non-inlined calls, and the inliner prioritizes sites whose inlining unlocks scalar replacement")
+	summariesReport := flag.Bool("summaries-report", false, "print the per-method summary table (param escape lattice, fresh returns, predicates) to stderr after the run; implies -summaries")
 	interpret := flag.Bool("interpret", false, "disable the JIT entirely")
 	runs := flag.Int("runs", 1, "number of times to run Main.main (later runs execute compiled code)")
 	stats := flag.Bool("stats", false, "print VM statistics to stderr")
@@ -104,6 +108,7 @@ func main() {
 	maxIRNodes := flag.Int("max-ir-nodes", 0, "per-compile IR node budget checked at phase boundaries (0 = unbounded)")
 	crashDir := flag.String("crash-dir", "", "write minimized crash reproducers for contained compiler panics to this directory")
 	storeDir := flag.String("store", "", "persistent artifact store directory: compiled graphs are written through and replayed on later runs over the same directory (empty = memory-only cache)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "byte bound on the -store directory; writes over the bound expel oldest-modified artifacts first (0 = unbounded)")
 	checkMode := flag.String("check", "off", "compiler sanitizer level: off, basic, or strict (floored by PEA_CHECK)")
 	traceEvents := flag.String("trace-events", "", "write structured compiler/VM events as JSON lines to this file ('-' for stderr)")
 	traceText := flag.Bool("trace-text", false, "also render events human-readably to stderr")
@@ -128,8 +133,12 @@ func main() {
 		fatal(err)
 	}
 
+	if *summariesReport {
+		*summaries = true
+	}
 	opts := vm.Options{
 		Speculate:        *speculate,
+		Summaries:        *summaries,
 		Interpret:        *interpret,
 		Seed:             *seed,
 		CompileThreshold: *threshold,
@@ -161,6 +170,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		store.SetMaxBytes(*storeMaxBytes)
 		opts.Store = store
 	}
 
@@ -281,8 +291,12 @@ func main() {
 			time.Duration(bs.BusyNS).Round(time.Microsecond))
 		if st := machine.Broker().Store(); st != nil {
 			ss := st.Stats()
-			fmt.Fprintf(os.Stderr, "artifact store:   %s: %d artifacts, loads %d hit / %d miss / %d rejected, writes %d (%d failed)\n",
-				st.Dir(), st.Len(), ss.Hits, ss.Misses, ss.Rejected, ss.Writes, ss.WriteErrors)
+			fmt.Fprintf(os.Stderr, "artifact store:   %s: %d artifacts, loads %d hit / %d miss / %d rejected, writes %d (%d failed), expelled %d\n",
+				st.Dir(), st.Len(), ss.Hits, ss.Misses, ss.Rejected, ss.Writes, ss.WriteErrors, ss.Expelled)
+			if ss.SummaryHits+ss.SummaryMisses+ss.SummaryWrites > 0 {
+				fmt.Fprintf(os.Stderr, "summary store:    loads %d hit / %d miss, writes %d\n",
+					ss.SummaryHits, ss.SummaryMisses, ss.SummaryWrites)
+			}
 		}
 		for i, ns := range bs.WorkerBusyNS {
 			if ns > 0 {
@@ -303,6 +317,11 @@ func main() {
 	}
 	if *escapeReport {
 		fmt.Fprint(os.Stderr, escTable.Table())
+	}
+	if *summariesReport {
+		if s := machine.Summaries(); s != nil {
+			fmt.Fprint(os.Stderr, s.Table())
+		}
 	}
 	if *flightDump != "" {
 		if *flightDump == "-" {

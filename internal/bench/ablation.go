@@ -14,28 +14,33 @@ import (
 	"pea/internal/opt"
 	"pea/internal/pea"
 	"pea/internal/rt"
+	"pea/internal/summary"
 )
 
 // Ablation quantifies the design choices DESIGN.md calls out, on the
 // paper's running example and representative workloads:
 //
 //   - full:        Partial Escape Analysis as in the paper;
+//   - summaries:   PEA plus inter-procedural callee escape summaries
+//     (arguments proven unobserved by non-inlined callees stay virtual);
 //   - no-liveness: without the Figure 6a rule (objects never leave the
 //     state at merges, so mixed merges always materialize);
 //   - no-arrays:   without array virtualization;
 //   - ea:          the flow-insensitive equi-escape-sets baseline;
 //   - none:        no escape analysis.
 type AblationVariant struct {
-	Name    string
-	Conf    pea.Config
-	UseEA   bool // run the ea baseline instead of pea
-	Disable bool // run no analysis at all
+	Name      string
+	Conf      pea.Config
+	UseEA     bool // run the ea baseline instead of pea
+	Disable   bool // run no analysis at all
+	Summaries bool // consult whole-program callee summaries at call sites
 }
 
 // AblationVariants returns the standard variant set.
 func AblationVariants() []AblationVariant {
 	return []AblationVariant{
 		{Name: "full"},
+		{Name: "summaries", Summaries: true},
 		{Name: "no-liveness", Conf: pea.Config{DisableAliasLiveness: true}},
 		{Name: "no-arrays", Conf: pea.Config{DisableArrays: true}},
 		{Name: "ea", UseEA: true},
@@ -118,6 +123,36 @@ class Main {
 			entry: "Main.run", arg: 500, calls: 3,
 		},
 		{
+			// A callee far past the inliner's code budget that never
+			// observes its ref parameter: only the summaries variant can
+			// keep the caller's Point virtual across the out-of-line call.
+			name: "callheavy",
+			source: `
+class Point { int x; int y; Point(int x, int y) { this.x = x; this.y = y; } }
+class Main {
+	static int mix(Point p, int a) {
+		int s = a;
+		s = s + 1; s = s + 2; s = s + 3; s = s + 4; s = s + 5;
+		s = s + 6; s = s + 7; s = s + 8; s = s + 9; s = s + 10;
+		s = s * 3; s = s - 7; s = s + 11; s = s + 12; s = s + 13;
+		s = s + 14; s = s + 15; s = s + 16; s = s + 17; s = s + 18;
+		s = s + 19; s = s + 20; s = s + 21; s = s + 22; s = s + 23;
+		s = s + 24; s = s + 25; s = s + 26; s = s + 27; s = s + 28;
+		return s;
+	}
+	static int run(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) {
+			Point p = new Point(i, i * 2);
+			s += mix(p, i) + p.x + p.y;
+		}
+		return s;
+	}
+	static void main() { print(run(10)); }
+}`,
+			entry: "Main.run", arg: 400, calls: 3,
+		},
+		{
 			// Deep temporary chains (the factorie pattern): every
 			// variant with scalar replacement wins here; "none" shows
 			// the full cost.
@@ -153,13 +188,23 @@ func RunAblation() ([]AblationResult, error) {
 		}
 		dot := strings.LastIndex(ap.entry, ".")
 		m := prog.ClassByName(ap.entry[:dot]).MethodByName(ap.entry[dot+1:])
+		var sums *summary.Set // computed once per program, on demand
 		for _, v := range AblationVariants() {
 			g, err := build.Build(m)
 			if err != nil {
 				return nil, err
 			}
+			conf := v.Conf
+			inl := &opt.Inliner{BuildGraph: build.Build, Program: prog}
+			if v.Summaries {
+				if sums == nil {
+					sums = summary.Compute(prog, summary.Options{})
+				}
+				conf.CalleeNoEscape = sums.ArgSafe
+				inl.Summaries = sums
+			}
 			pipe := &opt.Pipeline{Phases: []opt.Phase{
-				&opt.Inliner{BuildGraph: build.Build, Program: prog},
+				inl,
 				opt.Canonicalize{}, opt.SimplifyCFG{}, opt.GVN{}, opt.DCE{},
 			}}
 			if err := pipe.Run(g); err != nil {
@@ -168,11 +213,11 @@ func RunAblation() ([]AblationResult, error) {
 			switch {
 			case v.Disable:
 			case v.UseEA:
-				if _, err := ea.Run(g, v.Conf); err != nil {
+				if _, err := ea.Run(g, conf); err != nil {
 					return nil, err
 				}
 			default:
-				if _, err := pea.Run(g, v.Conf); err != nil {
+				if _, err := pea.Run(g, conf); err != nil {
 					return nil, err
 				}
 			}

@@ -52,6 +52,30 @@ func TestAblation(t *testing.T) {
 		t.Fatalf("no-arrays variant should match baseline: %d vs %d", noArr.Allocs, noneA.Allocs)
 	}
 
+	// callheavy: the callee is past the inline budget and never observes
+	// its ref argument, so only the summaries variant keeps the caller's
+	// allocation virtual — intra-procedural PEA must materialize at the
+	// call, and the variants must agree on results elsewhere.
+	fullC := get("callheavy", "full")
+	sumC := get("callheavy", "summaries")
+	if sumC.Allocs != 0 {
+		t.Fatalf("callheavy summaries left %d allocations", sumC.Allocs)
+	}
+	if fullC.Allocs == 0 {
+		t.Fatal("callheavy full PEA should materialize at the out-of-line call")
+	}
+	if sumC.Cycles >= fullC.Cycles {
+		t.Fatalf("callheavy summaries not faster: %d vs %d cycles", sumC.Cycles, fullC.Cycles)
+	}
+	// On programs with no summary-shaped call sites the variant is a
+	// no-op, not a regression.
+	for _, prog := range []string{"cachekey", "smallbuffers", "tempchain"} {
+		s, f := get(prog, "summaries"), get(prog, "full")
+		if s.Allocs != f.Allocs {
+			t.Fatalf("%s: summaries changed allocations %d vs %d", prog, s.Allocs, f.Allocs)
+		}
+	}
+
 	// tempchain: every scalar-replacing variant removes all allocations.
 	for _, v := range []string{"full", "no-liveness", "no-arrays", "ea"} {
 		if r := get("tempchain", v); r.Allocs != 0 {

@@ -52,6 +52,11 @@ type Options struct {
 	// and fresh compiles are written through so later processes sharing
 	// the directory warm-start.
 	Store *Store
+	// Summaries is the in-memory cache of inter-procedural escape-summary
+	// sets (see Broker.Summaries). nil creates a private cache; pass a
+	// shared one so VMs with separate brokers still amortize the
+	// whole-program analysis.
+	Summaries *SummaryCache
 	// Resolver decodes store artifacts for submissions made through
 	// Submit (per-submission hooks carry their own; see SubmitHooks).
 	// Typically the *bc.Program the broker's VM runs. nil disables store
@@ -201,6 +206,12 @@ type inflightKey struct {
 type Broker struct {
 	opts  Options
 	cache *Cache
+	// summaries is the memory tier for whole-program escape-summary sets;
+	// sumFlight collapses concurrent first computations per program
+	// fingerprint (guarded by sumFlightMu).
+	summaries   *SummaryCache
+	sumFlightMu sync.Mutex
+	sumFlight   map[uint64]*sync.Once
 	// defaults serves Submit calls (the single-VM path); SubmitHooks
 	// overrides per submission.
 	defaults Hooks
@@ -239,6 +250,10 @@ func New(opts Options) *Broker {
 	}
 	if b.cache == nil {
 		b.cache = NewCache()
+	}
+	b.summaries = opts.Summaries
+	if b.summaries == nil {
+		b.summaries = NewSummaryCache()
 	}
 	b.cond = sync.NewCond(&b.mu)
 	b.idle = sync.NewCond(&b.mu)

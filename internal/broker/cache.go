@@ -44,6 +44,13 @@ import (
 //     ("oracle", "closure"; empty when the caller caches plain graphs).
 //     Artifacts lowered by one backend are never replayed into a VM
 //     running another.
+//   - Summaries records whether the pipeline consumed inter-procedural
+//     escape summaries (internal/summary). Summary-informed code embeds
+//     callee facts (kept-virtual call arguments, inlining order), so a
+//     summaries-on artifact must never replay into a summaries-off VM or
+//     vice versa; the two configurations cache side by side. MethodFP
+//     already covers the whole program's bytecode, so the summaries
+//     themselves need no separate fingerprint here.
 //
 // The key holds no pointers, so it round-trips through the persisted
 // artifact envelope (see Store) unchanged.
@@ -55,6 +62,7 @@ type Key struct {
 	Fingerprint uint64
 	EntryBCI    int
 	Backend     string
+	Summaries   bool
 }
 
 // NoOSR is the EntryBCI value of a regular (method-entry) compilation.

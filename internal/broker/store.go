@@ -7,10 +7,14 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"sync/atomic"
 
+	"pea/internal/bc"
 	"pea/internal/check"
 	"pea/internal/ir"
+	"pea/internal/summary"
 )
 
 // StoreVersion is the on-disk envelope format version. Bump it whenever
@@ -37,6 +41,16 @@ type StoreStats struct {
 	Rejected    int64 // file present but refused (corrupt, stale version, key mismatch, failed check)
 	Writes      int64 // artifacts persisted
 	WriteErrors int64 // failed persist attempts (artifact stays cached in memory only)
+	// Expelled counts files deleted by the MaxBytes size bound
+	// (oldest-modification-time first).
+	Expelled int64
+	// SummaryHits/Misses/Writes count inter-procedural summary-set traffic
+	// (one file per program fingerprint, alongside the code artifacts).
+	// Rejected summary files — corrupt, stale version, or failing
+	// summary.DecodeJSON's validation — count under Rejected above.
+	SummaryHits   int64
+	SummaryMisses int64
+	SummaryWrites int64
 }
 
 // Store is a disk-backed, content-addressed artifact store behind the
@@ -57,13 +71,25 @@ type StoreStats struct {
 //
 // A nil *Store is valid and always misses.
 type Store struct {
-	dir   string
-	stats struct {
-		hits        atomic.Int64
-		misses      atomic.Int64
-		rejected    atomic.Int64
-		writes      atomic.Int64
-		writeErrors atomic.Int64
+	dir string
+	// maxBytes, when positive, bounds the total size of .json files in the
+	// store; writes that push the directory over the bound expel the
+	// oldest-modified files until it fits again (the persisted-cache
+	// equivalent of the memory cache's LRU — mtime approximates recency
+	// because loads do not touch files). evictMu serializes the enforcement
+	// scan; concurrent expellers would redundantly stat and double-count.
+	maxBytes atomic.Int64
+	evictMu  sync.Mutex
+	stats    struct {
+		hits          atomic.Int64
+		misses        atomic.Int64
+		rejected      atomic.Int64
+		writes        atomic.Int64
+		writeErrors   atomic.Int64
+		expelled      atomic.Int64
+		summaryHits   atomic.Int64
+		summaryMisses atomic.Int64
+		summaryWrites atomic.Int64
 	}
 }
 
@@ -104,6 +130,11 @@ func (s *Store) path(k Key) string {
 	binary.LittleEndian.PutUint64(b[:], uint64(int64(k.EntryBCI)))
 	h.Write(b[:])
 	h.Write([]byte(k.Backend))
+	if k.Summaries {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
 	return filepath.Join(s.dir, fmt.Sprintf("%016x.json", h.Sum64()))
 }
 
@@ -134,26 +165,152 @@ func (s *Store) put(k Key, g *ir.Graph) error {
 	if err != nil {
 		return fmt.Errorf("broker: marshaling envelope %s: %w", k.Name, err)
 	}
-	final := s.path(k)
+	if err := s.atomicWrite(s.path(k), data); err != nil {
+		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+	}
+	s.enforceMaxBytes()
+	return nil
+}
+
+// atomicWrite writes data to final via a temp file and a same-filesystem
+// rename, so concurrent readers never observe a partial file.
+func (s *Store) atomicWrite(final string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
-		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+		return err
 	}
 	if err := os.Rename(tmpName, final); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("broker: persisting %s: %w", k.Name, err)
+		return err
 	}
 	return nil
+}
+
+// SetMaxBytes bounds the total size of the store's .json files (code
+// artifacts and summary sets alike). When a write pushes the directory over
+// the bound, the oldest-modified files are expelled until it fits — the
+// disk tier's LRU, with modification time approximating recency. n <= 0
+// (the default) leaves the store unbounded. Safe to call at any time; the
+// bound applies from the next write.
+func (s *Store) SetMaxBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.maxBytes.Store(n)
+	s.enforceMaxBytes()
+}
+
+// enforceMaxBytes expels oldest-modified .json files until the store fits
+// its byte bound. Failures are ignored: eviction is best-effort hygiene,
+// and a file another process already removed simply stops counting.
+func (s *Store) enforceMaxBytes() {
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var files []file
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{e.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if total <= max {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mtime != files[j].mtime {
+			return files[i].mtime < files[j].mtime
+		}
+		return files[i].name < files[j].name // deterministic tie-break
+	})
+	for _, f := range files {
+		if total <= max {
+			break
+		}
+		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
+			total -= f.size
+			s.stats.expelled.Add(1)
+		}
+	}
+}
+
+// sumPath is the summary-set filename for a program fingerprint. One file
+// serves the whole program: summaries are whole-program analysis (CHA,
+// bottom-up SCC fixpoint), so per-method files would be incoherent.
+func (s *Store) sumPath(fp uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("sum-%016x.json", fp))
+}
+
+// PutSummaries persists the program's summary set. The payload is
+// summary.EncodeJSON's self-validating form (format version + program
+// fingerprint + per-method fingerprints), so no extra envelope is needed.
+func (s *Store) PutSummaries(p *bc.Program, set *summary.Set) error {
+	if s == nil || set == nil {
+		return nil
+	}
+	data, err := set.EncodeJSON()
+	if err != nil {
+		s.stats.writeErrors.Add(1)
+		return fmt.Errorf("broker: encoding summaries: %w", err)
+	}
+	if err := s.atomicWrite(s.sumPath(p.Fingerprint()), data); err != nil {
+		s.stats.writeErrors.Add(1)
+		return fmt.Errorf("broker: persisting summaries: %w", err)
+	}
+	s.stats.summaryWrites.Add(1)
+	s.enforceMaxBytes()
+	return nil
+}
+
+// LoadSummaries returns the persisted summary set for p, or (nil, false).
+// Everything read back is untrusted: summary.DecodeJSON rejects version or
+// fingerprint mismatches, arity mismatches, and out-of-range lattice
+// values, so a stale or tampered file is a miss, never a wrong analysis.
+func (s *Store) LoadSummaries(p *bc.Program) (*summary.Set, bool) {
+	if s == nil || p == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.sumPath(p.Fingerprint()))
+	if err != nil {
+		s.stats.summaryMisses.Add(1)
+		return nil, false
+	}
+	set, err := summary.DecodeJSON(data, p)
+	if err != nil {
+		s.stats.rejected.Add(1)
+		s.stats.summaryMisses.Add(1)
+		return nil, false
+	}
+	s.stats.summaryHits.Add(1)
+	return set, true
 }
 
 // Load returns the verified graph stored under k, decoded against r's
@@ -216,10 +373,14 @@ func (s *Store) Stats() StoreStats {
 		return StoreStats{}
 	}
 	return StoreStats{
-		Hits:        s.stats.hits.Load(),
-		Misses:      s.stats.misses.Load(),
-		Rejected:    s.stats.rejected.Load(),
-		Writes:      s.stats.writes.Load(),
-		WriteErrors: s.stats.writeErrors.Load(),
+		Hits:          s.stats.hits.Load(),
+		Misses:        s.stats.misses.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		Writes:        s.stats.writes.Load(),
+		WriteErrors:   s.stats.writeErrors.Load(),
+		Expelled:      s.stats.expelled.Load(),
+		SummaryHits:   s.stats.summaryHits.Load(),
+		SummaryMisses: s.stats.summaryMisses.Load(),
+		SummaryWrites: s.stats.summaryWrites.Load(),
 	}
 }

@@ -1,0 +1,122 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pea/internal/bc"
+	"pea/internal/summary"
+)
+
+// SummaryCache is the in-memory tier for inter-procedural escape-summary
+// sets, keyed by program fingerprint. Summary computation is whole-program
+// (call graph + SCC fixpoint over every method), so it is amortized once
+// per program, not per compilation: every tenant of a shared broker running
+// the same program content reuses one set. A nil *SummaryCache is valid
+// and always misses.
+type SummaryCache struct {
+	mu     sync.RWMutex
+	sets   map[uint64]*summary.Set
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewSummaryCache creates an empty summary cache.
+func NewSummaryCache() *SummaryCache {
+	return &SummaryCache{sets: make(map[uint64]*summary.Set)}
+}
+
+// Get returns the cached set for a program fingerprint, counting a hit or
+// miss.
+func (c *SummaryCache) Get(fp uint64) (*summary.Set, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	s := c.sets[fp]
+	c.mu.RUnlock()
+	if s == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return s, true
+}
+
+// Put stores the set for a program fingerprint. First writer wins, so
+// concurrent computations converge on one canonical set.
+func (c *SummaryCache) Put(fp uint64, s *summary.Set) *summary.Set {
+	if c == nil || s == nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.sets[fp]; ok {
+		return prev
+	}
+	c.sets[fp] = s
+	return s
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *SummaryCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// SummaryCache returns the broker's summary cache (never nil).
+func (b *Broker) SummaryCache() *SummaryCache { return b.summaries }
+
+// Summaries resolves the program's inter-procedural summary set through the
+// broker's tiers: the in-memory cache, then the persistent store (a warm
+// restart loads and re-validates the persisted set instead of re-analyzing
+// the program), then compute — whose result is published to both tiers so
+// later tenants and processes skip the analysis. The singleflight group
+// collapses concurrent first requests for the same program onto one
+// computation; compute is never invoked twice for one fingerprint.
+func (b *Broker) Summaries(p *bc.Program, compute func() *summary.Set) *summary.Set {
+	fp := p.Fingerprint()
+	if s, ok := b.summaries.Get(fp); ok {
+		b.emitSummarySource(s, "cache")
+		return s
+	}
+	b.sumFlightMu.Lock()
+	if b.sumFlight == nil {
+		b.sumFlight = make(map[uint64]*sync.Once)
+	}
+	once := b.sumFlight[fp]
+	if once == nil {
+		once = new(sync.Once)
+		b.sumFlight[fp] = once
+	}
+	b.sumFlightMu.Unlock()
+	once.Do(func() {
+		if s, ok := b.opts.Store.LoadSummaries(p); ok {
+			b.summaries.Put(fp, s)
+			b.emitSummarySource(s, "store")
+			return
+		}
+		s := compute()
+		if s == nil {
+			return
+		}
+		b.summaries.Put(fp, s)
+		// Persist-through is best-effort: a write failure leaves the set
+		// cached in memory, and the store counts it in WriteErrors.
+		_ = b.opts.Store.PutSummaries(p, s)
+	})
+	s, _ := b.summaries.Get(fp)
+	return s
+}
+
+// emitSummarySource reports a tier hit to the sink with the set's headline
+// numbers, mirroring the summary_ready event Compute emits on a cold run.
+func (b *Broker) emitSummarySource(s *summary.Set, source string) {
+	if b.opts.Sink == nil || s == nil {
+		return
+	}
+	st := s.Stats()
+	b.opts.Sink.SummaryReady(st.Methods, st.NoEscape, st.Preds, source)
+}

@@ -132,6 +132,15 @@ func (c *checker) checkNode(b *ir.Block, n *ir.Node) error {
 		if err := c.defDominatesUse(in, n, b, "use"); err != nil {
 			return err
 		}
+		// Virtual objects are deopt metadata: they may only be
+		// referenced from FrameStates. A VO flowing into a real input
+		// means an emitted graph computes with an object the analysis
+		// says does not exist — e.g. a summary-licensed virtual call
+		// argument that was never substituted.
+		if in.Op == ir.OpVirtualObject {
+			return fmt.Errorf("check: v%d (%s) in %s uses virtual object v%d as a value input",
+				n.ID, n.Op, b, in.ID)
+		}
 	}
 	if n.FrameState != nil {
 		if err := c.checkFrameState(b, n, n.FrameState); err != nil {

@@ -33,20 +33,29 @@ const (
 	reasonReturned      = "returned"
 	reasonThrown        = "thrown"
 	reasonStoredStatic  = "stored-to-static"
+	// reasonPrintSink marks values reaching the native print sink —
+	// reported separately from call arguments so escape attribution does
+	// not blame calls for unrelated native sinks. (Today OpPrint only
+	// accepts ints, so no ref ever carries this reason; the case keeps
+	// the analysis conservative if print ever grows a ref form.)
+	reasonPrintSink = "print-sink"
 )
 
 // Analyze computes the set of allocation nodes (OpNew / OpNewArray) that
 // never escape the graph under equi-escape-set rules.
 func Analyze(g *ir.Graph) map[*ir.Node]bool {
-	nonEscaping, _ := analyze(g)
+	nonEscaping, _ := analyze(g, nil)
 	return nonEscaping
 }
 
 // AnalyzeWith is Analyze with an observability sink receiving one
 // ea_verdict event per allocation site: verdict "captured" for allocations
 // whose set never escapes, "escapes" with the recorded reason otherwise.
-func AnalyzeWith(g *ir.Graph, sink *obs.Sink) map[*ir.Node]bool {
-	nonEscaping, u := analyze(g)
+// calleeNoEscape, when non-nil, has pea.Config.CalleeNoEscape semantics:
+// call arguments in positions every possible callee provably never
+// observes do not escape into the call.
+func AnalyzeWith(g *ir.Graph, sink *obs.Sink, calleeNoEscape func(*ir.Node) []bool) map[*ir.Node]bool {
+	nonEscaping, u := analyze(g, calleeNoEscape)
 	if sink != nil {
 		method := g.Method.QualifiedName()
 		g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
@@ -70,7 +79,7 @@ func AnalyzeWith(g *ir.Graph, sink *obs.Sink) map[*ir.Node]bool {
 	return nonEscaping
 }
 
-func analyze(g *ir.Graph) (map[*ir.Node]bool, *unionFind) {
+func analyze(g *ir.Graph, calleeNoEscape func(*ir.Node) []bool) (map[*ir.Node]bool, *unionFind) {
 	u := newUnionFind()
 
 	escape := func(n *ir.Node, reason string) {
@@ -98,12 +107,36 @@ func analyze(g *ir.Graph) (map[*ir.Node]bool, *unionFind) {
 			// Unknown sources: anything merged with them escapes.
 			escape(n, reasonUnknownSource)
 		case ir.OpInvoke:
-			// Arguments escape into the callee; the result is an
-			// unknown object.
-			for _, in := range n.Inputs {
+			// Arguments escape into the callee — unless the
+			// inter-procedural summary proves the position unobserved
+			// by every possible callee, in which case the argument's
+			// set is unaffected by the call (the pea transfer then
+			// keeps such objects virtual and passes null). The result
+			// is an unknown object regardless: ReturnsFresh is an
+			// inlining signal, never a license to skip this.
+			var safe []bool
+			if calleeNoEscape != nil {
+				if s := calleeNoEscape(n); len(s) == len(n.Inputs) {
+					safe = s
+				}
+			}
+			for i, in := range n.Inputs {
+				if safe != nil && safe[i] {
+					continue
+				}
 				escape(in, reasonCallArgument)
 			}
 			escape(n, reasonCallResult)
+		case ir.OpPrint:
+			// Native sink; distinct reason so attribution separates it
+			// from call-argument escapes.
+			for _, in := range n.Inputs {
+				escape(in, reasonPrintSink)
+			}
+		case ir.OpMonitorEnter, ir.OpMonitorExit:
+			// Locking observes the object but does not make it escape:
+			// monitors on captured objects are elided by the shared
+			// rewriter (the object provably has no concurrent aliases).
 		case ir.OpReturn:
 			for _, in := range n.Inputs {
 				escape(in, reasonReturned)
@@ -151,7 +184,7 @@ func analyze(g *ir.Graph) (map[*ir.Node]bool, *unionFind) {
 // g. It returns the transformation result (same shape as pea.Result).
 // Verdict events are emitted to conf.Sink when set.
 func Run(g *ir.Graph, conf pea.Config) (pea.Result, error) {
-	allowed := AnalyzeWith(g, conf.Sink)
+	allowed := AnalyzeWith(g, conf.Sink, conf.CalleeNoEscape)
 	if len(allowed) == 0 {
 		return pea.Result{}, nil
 	}

@@ -42,6 +42,10 @@ type SiteStats struct {
 	Materialized int64 `json:"materialized"`
 	// Remats counts deopt-time rematerializations by the VM runtime.
 	Remats int64 `json:"remats,omitempty"`
+	// KeptVirtual counts call arguments where the site's object stayed
+	// virtual across a non-inlined call under a callee escape summary
+	// (inter-procedural analysis, internal/summary).
+	KeptVirtual int64 `json:"kept_virtual,omitempty"`
 	// LocksElided counts elided monitor operations on the site's objects.
 	LocksElided int64 `json:"locks_elided,omitempty"`
 	// Captured/Escaped count the flow-insensitive EA baseline's verdicts.
@@ -78,6 +82,15 @@ func bucketReason(kind Kind, reason string) string {
 		return "merge"
 	case reason == "Invoke":
 		return "non-inlined-call"
+	case reason == "MonitorEnter" || reason == "MonitorExit":
+		// Synchronization forced the object to exist (un-elidable
+		// monitor) — distinct from call escapes so summary ablations
+		// attribute wins to the right sites.
+		return "monitor-sink"
+	case reason == "Print":
+		// Native output sink (currently unreachable for refs — print
+		// takes ints — but the bucket keeps attribution exhaustive).
+		return "print-sink"
 	default:
 		// StoreStatic, StoreField, Return, Throw, store-cycle,
 		// non-const-index, ...: the object reached an operation that
@@ -91,7 +104,8 @@ func bucketReason(kind Kind, reason string) string {
 func (t *EscapeTable) Write(e *Event) {
 	switch e.Kind {
 	case KindVirtualize, KindMaterialize, KindMergeMaterialize,
-		KindLockElide, KindEAVerdict, KindVMRematerialize:
+		KindLockElide, KindEAVerdict, KindVMRematerialize,
+		KindSummaryKeptVirtual:
 	default:
 		return
 	}
@@ -125,6 +139,8 @@ func (t *EscapeTable) Write(e *Event) {
 		}
 	case KindLockElide:
 		st.LocksElided++
+	case KindSummaryKeptVirtual:
+		st.KeptVirtual++
 	case KindEAVerdict:
 		if e.Detail == "captured" {
 			st.Captured++
@@ -186,19 +202,20 @@ func (t *EscapeTable) Snapshot() []SiteStats {
 func (t *EscapeTable) Table() string {
 	snap := t.Snapshot()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-32s %-10s %6s %6s %6s %6s  %s\n",
-		"SITE", "CLASS", "VIRT", "MAT", "REMAT", "LOCKS", "DOMINANT REASON")
-	var virt, mat, remat, locks int64
+	fmt.Fprintf(&b, "%-32s %-10s %6s %6s %6s %6s %6s  %s\n",
+		"SITE", "CLASS", "VIRT", "MAT", "REMAT", "LOCKS", "KEPT", "DOMINANT REASON")
+	var virt, mat, remat, locks, kept int64
 	for _, s := range snap {
-		fmt.Fprintf(&b, "%-32s %-10s %6d %6d %6d %6d  %s\n",
+		fmt.Fprintf(&b, "%-32s %-10s %6d %6d %6d %6d %6d  %s\n",
 			s.Site, s.Class, s.Virtualized, s.Materialized, s.Remats,
-			s.LocksElided, s.DominantReason)
+			s.LocksElided, s.KeptVirtual, s.DominantReason)
 		virt += s.Virtualized
 		mat += s.Materialized
 		remat += s.Remats
 		locks += s.LocksElided
+		kept += s.KeptVirtual
 	}
-	fmt.Fprintf(&b, "%-32s %-10s %6d %6d %6d %6d\n",
-		"TOTAL", "", virt, mat, remat, locks)
+	fmt.Fprintf(&b, "%-32s %-10s %6d %6d %6d %6d %6d\n",
+		"TOTAL", "", virt, mat, remat, locks, kept)
 	return b.String()
 }

@@ -75,6 +75,12 @@ const (
 	// KindBudgetBailout: a compile blew its deadline/IR budget and was
 	// re-armed. Reason summarizes the structured budget error.
 	KindBudgetBailout
+	// KindSummaryKept: PEA kept a virtual object virtual across a
+	// non-inlined call because the callee's inter-procedural summary
+	// proved the argument position unobserved. Method/BCI identify the
+	// allocation site; A is the analyzer's object id; Reason names the
+	// callee.
+	KindSummaryKept
 )
 
 // String names the kind as it appears in dumps (stable; peastat and tests
@@ -99,6 +105,8 @@ func (k Kind) String() string {
 		return "panic"
 	case KindBudgetBailout:
 		return "budget_bailout"
+	case KindSummaryKept:
+		return "summary_kept"
 	default:
 		return "unknown"
 	}

@@ -21,6 +21,8 @@ const (
 	MetricPEABailouts       = "pea.bailouts"
 	MetricEACaptured        = "ea.captured"
 	MetricEAEscaped         = "ea.escaped"
+	MetricSummarySets       = "summary.sets"
+	MetricSummaryKept       = "summary.kept_virtual"
 	MetricVMCompiles        = "vm.compiles"
 	MetricVMDeopts          = "vm.deopts"
 	MetricVMRemats          = "vm.rematerializations"

@@ -57,6 +57,13 @@ const (
 	// EA baseline verdicts (whole-method escape analysis).
 	KindEAVerdict Kind = "ea_verdict"
 
+	// Inter-procedural escape summaries: a summary set becomes available
+	// (computed or loaded from a cache tier), and a PEA decision kept a
+	// virtual object virtual across a non-inlined call because every
+	// possible callee's summary proves the argument position unobserved.
+	KindSummary            Kind = "summary"
+	KindSummaryKeptVirtual Kind = "summary_kept_virtual"
+
 	// VM lifecycle.
 	KindVMCompile       Kind = "vm_compile"
 	KindVMDeopt         Kind = "vm_deopt"
@@ -342,6 +349,30 @@ func (s *Sink) CheckViolation(phase, method, reason, detail string) {
 	s.emit(&Event{Kind: KindCheckViolation, Phase: phase, Method: method,
 		Reason: reason, Detail: detail})
 	s.Metrics().Add(MetricCheckViolations, 1)
+}
+
+// SummaryReady records that an inter-procedural summary set is available:
+// methods summarized, ref parameters proven no-escape, predicate edges,
+// and where the set came from ("computed", "memory", "store").
+func (s *Sink) SummaryReady(methods, noEscape, preds int, source string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindSummary, Phase: "summary", Reason: source,
+		Detail: fmt.Sprintf("methods=%d no_escape_params=%d preds=%d", methods, noEscape, preds)})
+	s.Metrics().Add(MetricSummarySets, 1)
+}
+
+// SummaryKeptVirtual records that PEA kept a virtual object virtual across
+// a non-inlined call at node because the callee summary proves the
+// argument unobserved, attributed to the object's allocation site.
+func (s *Sink) SummaryKeptVirtual(method, obj, node, block, callee, site string) {
+	if s == nil {
+		return
+	}
+	s.emit(&Event{Kind: KindSummaryKeptVirtual, Phase: "pea", Method: method,
+		Obj: obj, Node: node, Block: block, Detail: callee, Site: site})
+	s.Metrics().Add(MetricSummaryKept, 1)
 }
 
 // Inline records an inlining decision: callee inlined into method at node.

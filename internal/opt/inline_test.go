@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"testing"
+
+	"pea/internal/bc"
+	"pea/internal/build"
+	"pea/internal/ir"
+	"pea/internal/summary"
+)
+
+// summaryOrderProg builds a caller with two eligible call sites:
+//
+//	noesc(b) { return 7 }        // never observes b  -> NoEscape
+//	reads(b) { return b.v }      // loads from b      -> ArgEscape
+//	f(b)     { return noesc(b) + reads(b) }
+//
+// Inlining reads is what can unlock scalar replacement in f; noesc is
+// already harmless across the call boundary once summaries are consulted.
+func summaryOrderProg(t *testing.T) (*bc.Program, *bc.Method) {
+	t.Helper()
+	a := bc.NewAssembler()
+	box := a.Class("Box", "")
+	vField := box.Field("v", bc.KindInt)
+	c := a.Class("C", "")
+
+	noesc := c.Method("noesc", []bc.Kind{bc.KindRef}, bc.KindInt, true)
+	noesc.Const(7).ReturnValue()
+
+	reads := c.Method("reads", []bc.Kind{bc.KindRef}, bc.KindInt, true)
+	reads.Load(0).GetField(vField).ReturnValue()
+
+	f := c.Method("f", []bc.Kind{bc.KindRef}, bc.KindInt, true)
+	f.Load(0).InvokeStatic(noesc.Ref()).
+		Load(0).InvokeStatic(reads.Ref()).
+		Add().ReturnValue()
+
+	p, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, f.Ref()
+}
+
+// calleeOf returns the qualified name of an invoke site's target.
+func calleeOf(n *ir.Node) string {
+	if n == nil || n.Method == nil {
+		return "<none>"
+	}
+	return n.Method.QualifiedName()
+}
+
+func TestPickSitePrefersArgEscapeCallee(t *testing.T) {
+	p, f := summaryOrderProg(t)
+	g, err := build.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy behavior without summaries: first eligible site in block
+	// order, which is the noesc call.
+	legacy := &Inliner{BuildGraph: build.Build, Program: p}
+	if got := calleeOf(legacy.pickSite(g)); got != "C.noesc" {
+		t.Fatalf("nil-summaries pickSite = %s, want C.noesc (first in block order)", got)
+	}
+
+	// With summaries the ArgEscape callee outranks the NoEscape one even
+	// though it appears later: inlining it is what exposes b.v to PEA.
+	sums := summary.Compute(p, summary.Options{})
+	in := &Inliner{BuildGraph: build.Build, Program: p, Summaries: sums}
+	if got := calleeOf(in.pickSite(g)); got != "C.reads" {
+		t.Fatalf("summary pickSite = %s, want C.reads (ArgEscape param)", got)
+	}
+
+	// The order change must not change what ultimately gets inlined.
+	if _, err := in.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(g); err != nil {
+		t.Fatalf("invalid graph after summary-ordered inlining: %v\n%s", err, ir.Dump(g))
+	}
+	left := 0
+	g.ForEachNode(func(_ *ir.Block, n *ir.Node) {
+		if n.Op == ir.OpInvoke {
+			left++
+		}
+	})
+	if left != 0 {
+		t.Fatalf("%d invokes left, want 0 (budget fits both)\n%s", left, ir.Dump(g))
+	}
+}
+
+func TestInlinerScoreRanksFreshAboveGlobalEscape(t *testing.T) {
+	a := bc.NewAssembler()
+	box := a.Class("Box", "")
+	box.Field("v", bc.KindInt)
+	sinkF := box.Static("S", bc.KindRef)
+	c := a.Class("C", "")
+
+	mk := c.Method("mk", nil, bc.KindRef, true)
+	mk.New(box.Ref()).ReturnValue()
+
+	snk := c.Method("sink", []bc.Kind{bc.KindRef}, bc.KindVoid, true)
+	snk.Load(0).PutStatic(sinkF).Return()
+
+	p, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := summary.Compute(p, summary.Options{})
+	in := &Inliner{BuildGraph: build.Build, Program: p, Summaries: sums}
+	mkScore := in.score(mk.Ref())
+	snkScore := in.score(snk.Ref())
+	if mkScore <= snkScore {
+		t.Fatalf("score(mk)=%d <= score(sink)=%d; fresh-returning callee should rank higher",
+			mkScore, snkScore)
+	}
+}

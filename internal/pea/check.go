@@ -74,6 +74,19 @@ func (a *analyzer) checkRewrites() error {
 			n = r
 		}
 	}
+	// Every virtual object kept across a call must still hold its
+	// summary license: keeping one without it would hand the callee a
+	// null it could observe.
+	for _, k := range a.kept {
+		if a.conf.CalleeNoEscape == nil {
+			return fmt.Errorf("pea: kept o%d virtual across v%d without a summary provider", k.id, k.call.ID)
+		}
+		safe := a.conf.CalleeNoEscape(k.call)
+		if k.arg >= len(safe) || !safe[k.arg] {
+			return fmt.Errorf("pea: kept o%d virtual in arg %d of v%d but the callee summary does not license it",
+				k.id, k.arg, k.call.ID)
+		}
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"pea/internal/ir"
 	"pea/internal/obs"
 	"pea/internal/obs/flight"
 )
@@ -101,6 +102,25 @@ func (a *analyzer) eventMaterialize(id objID, b fmt.Stringer, beforeID int, reas
 		return
 	}
 	a.sink.MergeMaterialize(a.methodName(), fmt.Sprintf("o%d", id), b.String(), reason, a.siteOf(id))
+}
+
+// eventSummaryKept emits one call argument kept virtual under a callee
+// summary (emit phase only; called exactly when Result.SummaryKeptVirtual
+// counts it). Recorded in the flight recorder independently of the sink.
+func (a *analyzer) eventSummaryKept(id objID, call *ir.Node, b fmt.Stringer) {
+	callee := ""
+	if call.Method != nil {
+		callee = call.Method.QualifiedName()
+	}
+	if fl := a.conf.Flight; fl != nil {
+		method, bci := a.flightSite(id)
+		fl.Record(flight.KindSummaryKept, method, bci, int64(id), 0, fl.Reason(callee))
+	}
+	if a.sink == nil {
+		return
+	}
+	a.sink.SummaryKeptVirtual(a.methodName(), fmt.Sprintf("o%d", id),
+		fmt.Sprintf("v%d", call.ID), b.String(), callee, a.siteOf(id))
 }
 
 // eventLockElide emits one elided monitor operation (emit phase only).

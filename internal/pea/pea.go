@@ -33,6 +33,19 @@ type Config struct {
 	// DisableArrays is an ablation switch: constant-length arrays are
 	// never virtualized.
 	DisableArrays bool
+	// CalleeNoEscape, when non-nil, consults inter-procedural escape
+	// summaries (internal/summary) at OpInvoke nodes: it returns, per
+	// argument position, whether every possible callee provably never
+	// observes that argument — not a load, store, comparison, monitor,
+	// return, or further escaping call on any path. A true position
+	// licenses the transfer to keep a virtual object virtual across the
+	// call and pass null in the argument slot: the callee executes
+	// identically because it never looks at the value, and the call's
+	// FrameState still carries the virtual object, so deoptimization
+	// rematerializes it exactly as for any other node. nil (or a nil
+	// result for a particular call) falls back to the conservative
+	// default: every argument escapes (paper §5.2).
+	CalleeNoEscape func(call *ir.Node) []bool
 	// Budget, when non-nil, is the per-compile resource bound. The
 	// analysis polls it at the start of every fixpoint round and before
 	// the emit phase — its cooperative cancellation points — and unwinds
@@ -99,6 +112,10 @@ type Result struct {
 	// FoldedChecks counts reference equalities and type checks resolved
 	// at compile time.
 	FoldedChecks int
+	// SummaryKeptVirtual counts call arguments where a virtual object
+	// stayed virtual across a non-inlined call because the callee
+	// summary proved the position unobserved (Config.CalleeNoEscape).
+	SummaryKeptVirtual int
 }
 
 // Run performs Partial Escape Analysis with scalar replacement and lock
@@ -317,6 +334,10 @@ type analyzer struct {
 	// futureRef freezes hasFutureRef decisions from the analysis phase
 	// for replay during emit.
 	futureRef map[futKey]bool
+	// kept logs call arguments where a virtual object stayed virtual
+	// under a callee summary (emit phase), re-validated against the
+	// summary license by checkRewrites under strict checking.
+	kept []keptRec
 
 	zeroInt *ir.Node
 	nullRef *ir.Node

@@ -250,9 +250,96 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 		delete(a.replaced, n)
 		a.defaultTransfer(b, n, st)
 
+	case ir.OpInvoke:
+		safe := a.calleeSafe(n)
+		if safe == nil {
+			a.defaultTransfer(b, n, st)
+			return
+		}
+		// Pass 1: unsafe argument positions get the conservative
+		// treatment — any virtual object referenced there is
+		// materialized (paper §5.2). An object passed in both a safe
+		// and an unsafe slot of the same call materializes here, and
+		// pass 2 then sees it escaped and substitutes the real
+		// reference.
+		for i, in := range n.Inputs {
+			if safe[i] {
+				continue
+			}
+			r := a.resolveScalar(in)
+			if id, ok := a.aliasIn(st, r); ok {
+				if st.objs[id].virtual {
+					a.materializeAt(st, id, b, n, n.Op.String())
+				}
+				r = st.objs[id].materialized
+			}
+			if a.emit && r != in {
+				n.Inputs[i] = r
+			}
+		}
+		// Pass 2: safe positions. A still-virtual object stays virtual
+		// across the call — the summary proves no callee path observes
+		// the slot, so null is passed in its place and the callee
+		// executes identically. The call's FrameState keeps the
+		// virtual object, so a deopt inside or after the call
+		// rematerializes it like any other virtual value.
+		for i, in := range n.Inputs {
+			if !safe[i] {
+				continue
+			}
+			r := a.resolveScalar(in)
+			if id, ok := a.aliasIn(st, r); ok {
+				if st.objs[id].virtual {
+					if a.emit {
+						a.eventSummaryKept(id, n, b)
+						a.res.SummaryKeptVirtual++
+						a.kept = append(a.kept, keptRec{call: n, arg: i, id: id})
+						n.Inputs[i] = a.defaultValue(bc.KindRef)
+					}
+					continue
+				}
+				r = st.objs[id].materialized
+			}
+			if a.emit && r != in {
+				n.Inputs[i] = r
+			}
+		}
+		if a.emit && n.FrameState != nil {
+			n.FrameState = a.rewriteState(n.FrameState, st)
+		}
+
 	default:
 		a.defaultTransfer(b, n, st)
 	}
+}
+
+// keptRec is one emit-phase record of a virtual object kept virtual in a
+// call argument slot under a callee summary, for the strict-mode license
+// re-check in checkRewrites.
+type keptRec struct {
+	call *ir.Node
+	arg  int
+	id   objID
+}
+
+// calleeSafe returns the per-argument no-escape licenses for a call from
+// Config.CalleeNoEscape, or nil when no summary information applies (no
+// provider, unknown callee, arity mismatch, or nothing safe — the
+// conservative default transfer is equivalent then).
+func (a *analyzer) calleeSafe(n *ir.Node) []bool {
+	if a.conf.CalleeNoEscape == nil {
+		return nil
+	}
+	safe := a.conf.CalleeNoEscape(n)
+	if len(safe) != len(n.Inputs) {
+		return nil
+	}
+	for _, s := range safe {
+		if s {
+			return safe
+		}
+	}
+	return nil
 }
 
 // defaultTransfer handles every operation with no special rule: "any

@@ -57,6 +57,14 @@ type Options struct {
 	// artifact store rooted there. Restarting the server on the same
 	// directory replays persisted artifacts instead of recompiling.
 	StoreDir string
+	// StoreMaxBytes bounds the store directory's total size; writes over
+	// the bound expel the oldest-modified artifacts first (0 = unbounded).
+	StoreMaxBytes int64
+	// Summaries enables inter-procedural escape summaries for tenant
+	// compiles (vm.Options.Summaries). The whole-program analysis is
+	// amortized through the shared broker's memory tier and the store, so
+	// tenants posting identical programs analyze once.
+	Summaries bool
 	// MaxSourceBytes bounds a request body (default 1 MiB).
 	MaxSourceBytes int64
 	// MaxRuns bounds the per-request run count (default 64).
@@ -119,6 +127,7 @@ func New(opts Options) (*Server, error) {
 		if store, err = broker.NewStore(opts.StoreDir); err != nil {
 			return nil, err
 		}
+		store.SetMaxBytes(opts.StoreMaxBytes)
 	}
 	cacheMax := opts.CacheEntries
 	if cacheMax == 0 {
@@ -281,6 +290,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		CompileDeadline:  s.opts.CompileDeadline,
 		MaxIRNodes:       s.opts.MaxIRNodes,
 		CheckLevel:       s.opts.CheckLevel,
+		Summaries:        s.opts.Summaries,
 		InjectFault:      s.opts.InjectFault,
 		JIT:              s.jit,
 	})

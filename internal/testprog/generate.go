@@ -46,6 +46,8 @@ type generator struct {
 	m      *bc.MethodAsm
 	helper *bc.MethodAsm // int helper(int)
 	take   *bc.MethodAsm // int take(ref, int): escapes its argument
+	bulk   *bc.MethodAsm // int bulk(ref, int): too big to inline, never touches ref
+	fwd    *bc.MethodAsm // int fwd(ref, int): forwards its ref into bulk
 
 	intLocals []int
 	refLocals []int
@@ -78,6 +80,14 @@ func (g *generator) build() {
 	g.take.Load(1).Const(1).Arith(bc.OpAnd).If(bc.CondEQ, "skip")
 	g.take.Load(0).PutStatic(g.sink)
 	g.take.Label("skip").Load(0).GetField(g.v).Load(1).Add().ReturnValue()
+
+	// bulk(o, x): past the inliner's code bound and never observes o — the
+	// allocation a caller passes in stays virtual only through summaries.
+	g.bulk = padBulk(f, "bulk")
+
+	// fwd(o, x) = bulk(o, x) + 3 — no-escape derivable only transitively.
+	g.fwd = f.Method("fwd", []bc.Kind{bc.KindRef, bc.KindInt}, bc.KindInt, true)
+	g.fwd.Load(0).Load(1).InvokeStatic(g.bulk.Ref()).Const(3).Add().ReturnValue()
 
 	g.m = f.Method("entry", []bc.Kind{bc.KindInt, bc.KindInt}, bc.KindInt, true)
 	g.intLocals = []int{0, 1}
@@ -174,8 +184,8 @@ func (g *generator) stmts(depth int) {
 }
 
 func (g *generator) stmt(depth int) {
-	choice := g.r.Intn(14)
-	if depth <= 0 && choice >= 9 {
+	choice := g.r.Intn(16)
+	if depth <= 0 && choice >= 9 && choice <= 13 {
 		choice = g.r.Intn(9)
 	}
 	switch choice {
@@ -244,6 +254,16 @@ func (g *generator) stmt(depth int) {
 		g.m.Const(3).Arith(bc.OpAnd).If(bc.CondNE, skip)
 		g.m.Load(obj).PutStatic(g.sink)
 		g.m.Label(skip)
+	case 14: // call the big non-observing callee (summary-shaped site)
+		g.m.Load(g.refLocal())
+		g.intExpr(1)
+		g.m.InvokeStatic(g.bulk.Ref())
+		g.m.Store(g.intLocal())
+	case 15: // forward a ref through a small wrapper into the big callee
+		g.m.Load(g.refLocal())
+		g.intExpr(1)
+		g.m.InvokeStatic(g.fwd.Ref())
+		g.m.Store(g.intLocal())
 	default: // ref-equality driven branch
 		endL, eqL := g.label(), g.label()
 		g.m.Load(g.refLocal()).Load(g.refLocal()).IfRef(bc.CondEQ, eqL)

@@ -75,7 +75,118 @@ func Corpus() []Program {
 		nestedSync(),
 		selfReference(),
 		partialViaCallee(),
+		callBulkNoEscape(),
+		callChainForwarding(),
+		callRecursiveRef(),
+		callGuardedPred(),
 	}
+}
+
+// padBulk emits a callee that is too big to inline (past the inliner's
+// 80-instruction code bound) and never observes its ref parameter: >90
+// instructions of pure arithmetic on the int parameter. The shape
+// inter-procedural summaries exist for — without them every caller must
+// materialize the argument; with them it stays virtual across the call.
+func padBulk(c *bc.ClassAsm, name string) *bc.MethodAsm {
+	bulk := c.Method(name, []bc.Kind{bc.KindRef, bc.KindInt}, bc.KindInt, true)
+	bulk.Load(1)
+	for i := 0; i < 45; i++ {
+		bulk.Const(int64(i%7) + 1).Add()
+	}
+	bulk.ReturnValue()
+	return bulk
+}
+
+// callBulkNoEscape: the caller's Box flows into a non-inlinable callee that
+// never touches it, then is read back. Scalar replacement across the call
+// is only possible with callee escape summaries.
+func callBulkNoEscape() Program {
+	a := bc.NewAssembler()
+	box, v, _, _ := boxClass(a)
+	c := a.Class("P", "")
+	bulk := padBulk(c, "bulk")
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	l := m.NewLocal(bc.KindRef)
+	m.New(box.Ref()).Store(l)
+	m.Load(l).Load(0).PutField(v)
+	m.Load(l).Load(0).InvokeStatic(bulk.Ref())
+	m.Load(l).GetField(v).Add().ReturnValue()
+	p := mustFinish(a, "callBulkNoEscape")
+	return Program{"callBulkNoEscape", p, entry(p, "P", "run"),
+		[][]int64{{0}, {7}, {-3}, {1000}}}
+}
+
+// callChainForwarding: the ref argument is forwarded through two small
+// wrappers into the big callee; that it never escapes is only derivable
+// transitively (the summary fixpoint runs bottom-up over the call graph).
+func callChainForwarding() Program {
+	a := bc.NewAssembler()
+	box, v, _, _ := boxClass(a)
+	c := a.Class("P", "")
+	bulk := padBulk(c, "bulk")
+	inner := c.Method("inner", []bc.Kind{bc.KindRef, bc.KindInt}, bc.KindInt, true)
+	inner.Load(0).Load(1).InvokeStatic(bulk.Ref()).Const(1).Add().ReturnValue()
+	outer := c.Method("outer", []bc.Kind{bc.KindRef, bc.KindInt}, bc.KindInt, true)
+	outer.Load(0).Load(1).InvokeStatic(inner.Ref()).Const(2).Add().ReturnValue()
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	l := m.NewLocal(bc.KindRef)
+	m.New(box.Ref()).Store(l)
+	m.Load(l).Load(0).PutField(v)
+	m.Load(l).Load(0).InvokeStatic(outer.Ref())
+	m.Load(l).GetField(v).Add().ReturnValue()
+	p := mustFinish(a, "callChainForwarding")
+	return Program{"callChainForwarding", p, entry(p, "P", "run"),
+		[][]int64{{0}, {5}, {-11}}}
+}
+
+// callRecursiveRef: a Box threaded through a recursive callee that reads
+// its field. Recursion puts the callee in a call-graph cycle, which the
+// summary analysis must treat conservatively; the differential harnesses
+// check the conservatism never changes semantics.
+func callRecursiveRef() Program {
+	a := bc.NewAssembler()
+	box, v, _, _ := boxClass(a)
+	c := a.Class("P", "")
+	rec := c.Method("rec", []bc.Kind{bc.KindRef, bc.KindInt}, bc.KindInt, true)
+	rec.Load(1).Const(0).IfCmp(bc.CondGT, "more")
+	rec.Load(0).GetField(v).ReturnValue()
+	rec.Label("more").Load(0).Load(1).Const(1).Sub().InvokeStatic(rec.Ref())
+	rec.Const(1).Add().ReturnValue()
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	l := m.NewLocal(bc.KindRef)
+	m.New(box.Ref()).Store(l)
+	m.Load(l).Const(40).PutField(v)
+	m.Load(l).Load(0).InvokeStatic(rec.Ref()).ReturnValue()
+	p := mustFinish(a, "callRecursiveRef")
+	return Program{"callRecursiveRef", p, entry(p, "P", "run"),
+		[][]int64{{0}, {1}, {6}}}
+}
+
+// callGuardedPred: the callee escapes its ref argument only under an int
+// flag, and is too big to inline; callers passing a constant 0 flag keep
+// the argument virtual only through the summary's predicate refinement
+// (the SkipFlow-style conditional-escape fact).
+func callGuardedPred() Program {
+	a := bc.NewAssembler()
+	box, v, _, sink := boxClass(a)
+	c := a.Class("P", "")
+	g := c.Method("guarded", []bc.Kind{bc.KindRef, bc.KindInt}, bc.KindInt, true)
+	g.Load(1).If(bc.CondEQ, "skip")
+	g.Load(0).PutStatic(sink)
+	g.Label("skip").Load(1)
+	for i := 0; i < 42; i++ {
+		g.Const(int64(i%5) + 1).Add()
+	}
+	g.ReturnValue()
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	l := m.NewLocal(bc.KindRef)
+	m.New(box.Ref()).Store(l)
+	m.Load(l).Load(0).PutField(v)
+	m.Load(l).Const(0).InvokeStatic(g.Ref()) // dead guard: never escapes
+	m.Load(l).GetField(v).Add().ReturnValue()
+	p := mustFinish(a, "callGuardedPred")
+	return Program{"callGuardedPred", p, entry(p, "P", "run"),
+		[][]int64{{0}, {3}, {77}}}
 }
 
 // straightLine: pure arithmetic, no control flow.

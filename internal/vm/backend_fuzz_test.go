@@ -101,6 +101,7 @@ func TestFuzzBackendDifferential(t *testing.T) {
 		{"sync-osr", true, Options{EA: EAPartial, Speculate: true, OSRThreshold: 8}},
 		{"async", false, Options{EA: EAPartial, Speculate: true, Async: true, JITWorkers: 2}},
 		{"async-osr", false, Options{EA: EAPartial, Speculate: true, OSRThreshold: 8, Async: true, JITWorkers: 2}},
+		{"sync-sum", true, Options{EA: EAPartial, Speculate: true, Summaries: true}},
 	}
 	for seed := 0; seed < seeds; seed++ {
 		p := testprog.Generate(int64(seed))

@@ -93,6 +93,8 @@ func TestFuzzedProgramsAgreeAcrossModes(t *testing.T) {
 		{"jit-pea-spec", Options{EA: EAPartial, Speculate: true, Validate: true}},
 		{"jit-pea-osr", Options{EA: EAPartial, OSRThreshold: 8, Validate: true}},
 		{"jit-pea-osr-spec", Options{EA: EAPartial, OSRThreshold: 8, Speculate: true, Validate: true}},
+		{"jit-pea-sum", Options{EA: EAPartial, Summaries: true, Validate: true}},
+		{"jit-pea-sum-spec", Options{EA: EAPartial, Summaries: true, Speculate: true, Validate: true}},
 	}
 	for seed := 0; seed < seeds; seed++ {
 		p := testprog.Generate(int64(seed))

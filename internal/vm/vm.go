@@ -49,6 +49,7 @@ import (
 	"pea/internal/opt"
 	"pea/internal/pea"
 	"pea/internal/rt"
+	"pea/internal/summary"
 )
 
 // EAMode selects the escape analysis configuration of the JIT.
@@ -93,6 +94,16 @@ type Options struct {
 	// Speculate enables profile-guided branch pruning with
 	// deoptimization.
 	Speculate bool
+	// Summaries enables inter-procedural escape summaries (internal/
+	// summary): a whole-program bottom-up analysis computed once per
+	// program — resolved through the broker's memory and disk tiers, so
+	// warm restarts skip it — and consulted by the pipeline so that (a)
+	// EA/PEA keep objects virtual across non-inlined calls whose callee
+	// provably never observes the argument, and (b) the inliner
+	// prioritizes call sites whose inlining can unlock scalar
+	// replacement. Off by default: summaries change compiled code, so the
+	// flag is part of the code-cache key.
+	Summaries bool
 	// OSRThreshold is the back-edge count at which a hot loop triggers an
 	// on-stack-replacement compilation of its enclosing method, entered at
 	// the loop header mid-invocation. <=0 (the default) disables OSR; the
@@ -321,6 +332,13 @@ type VM struct {
 	// panicking compile resubmitted under different keys minimizes once.
 	crashMu       sync.Mutex
 	crashCaptured map[*bc.Method]bool
+
+	// sums is the program's inter-procedural summary set, resolved
+	// lazily through the broker's tiers on the first compile that wants
+	// it (sumOnce); nil until then and forever when Options.Summaries is
+	// off.
+	sums    *summary.Set
+	sumOnce sync.Once
 
 	// flight is the always-on flight recorder (never nil after New);
 	// reasonRemat is the pre-interned "deopt-remat" reason code so the
@@ -581,6 +599,7 @@ func (vm *VM) cacheKey(m *bc.Method) broker.Key {
 		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), 0),
 		EntryBCI:    broker.NoOSR,
 		Backend:     vm.backend.Name(),
+		Summaries:   vm.Opts.Summaries,
 	}
 }
 
@@ -598,8 +617,29 @@ func (vm *VM) osrCacheKey(m *bc.Method, entryBCI int) broker.Key {
 		Fingerprint: vm.Interp.Profile.Fingerprint(spec, vm.Opts.minPruneTotal(), vm.Opts.OSRThreshold),
 		EntryBCI:    entryBCI,
 		Backend:     vm.backend.Name(),
+		Summaries:   vm.Opts.Summaries,
 	}
 }
+
+// summarySet resolves the program's inter-procedural summary set, computing
+// it on first use through the broker's cache tiers (memory, then disk, then
+// analysis). Returns nil when Options.Summaries is off.
+func (vm *VM) summarySet() *summary.Set {
+	if !vm.Opts.Summaries {
+		return nil
+	}
+	vm.sumOnce.Do(func() {
+		vm.sums = vm.jit.Summaries(vm.Prog, func() *summary.Set {
+			return summary.Compute(vm.Prog, summary.Options{Sink: vm.Opts.Sink})
+		})
+	})
+	return vm.sums
+}
+
+// Summaries exposes the VM's inter-procedural summary set (computing it on
+// first call), or nil when Options.Summaries is off. Used by tools that
+// render the summary table.
+func (vm *VM) Summaries() *summary.Set { return vm.summarySet() }
 
 // compileForKey is the broker's compile callback: the full pipeline
 // followed by backend lowering, so the broker caches the lowered artifact
@@ -835,8 +875,13 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 			return nil, err
 		}
 	}
+	sums := vm.summarySet() // nil unless Options.Summaries
+	var calleeSafe func(*ir.Node) []bool
+	if sums != nil {
+		calleeSafe = sums.ArgSafe
+	}
 	phases := []opt.Phase{
-		&opt.Inliner{BuildGraph: build.Build, Program: vm.Prog, Profile: vm.Interp.Profile, Sink: sink},
+		&opt.Inliner{BuildGraph: build.Build, Program: vm.Prog, Profile: vm.Interp.Profile, Sink: sink, Summaries: sums},
 		opt.Canonicalize{},
 		opt.SimplifyCFG{},
 		opt.GVN{},
@@ -882,11 +927,13 @@ func (vm *VM) compileEntry(m *bc.Method, spec bool, entryBCI int) (*ir.Graph, er
 				g.NumNodes(), len(g.Blocks))
 		}
 		var eaErr error
+		conf := pea.Config{Sink: sink, Check: lvl, Budget: bud, Flight: vm.flight,
+			CalleeNoEscape: calleeSafe}
 		switch vm.Opts.EA {
 		case EAFlowInsensitive:
-			_, eaErr = ea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud, Flight: vm.flight})
+			_, eaErr = ea.Run(g, conf)
 		case EAPartial:
-			_, eaErr = pea.Run(g, pea.Config{Sink: sink, Check: lvl, Budget: bud, Flight: vm.flight})
+			_, eaErr = pea.Run(g, conf)
 		}
 		vm.fault(vm.Opts.EA.String(), m)
 		if eaErr != nil {

@@ -48,6 +48,8 @@ func TestAllModesAgree(t *testing.T) {
 		{"jit-ea", Options{EA: EAFlowInsensitive}},
 		{"jit-pea", Options{EA: EAPartial}},
 		{"jit-pea-spec", Options{EA: EAPartial, Speculate: true}},
+		{"jit-pea-sum", Options{EA: EAPartial, Summaries: true}},
+		{"jit-pea-sum-spec", Options{EA: EAPartial, Summaries: true, Speculate: true}},
 	}
 	const warmup = 30
 	for _, p := range testprog.Corpus() {
