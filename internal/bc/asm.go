@@ -36,7 +36,15 @@ type MethodAsm struct {
 	m      *Method
 	labels map[string]int   // label -> pc
 	fixups map[string][]int // label -> pcs of branches to patch
+	excs   []excFixup       // exception-table entries awaiting label resolution
 	line   int
+}
+
+// excFixup is an exception-table entry recorded against labels; finish()
+// resolves the labels into pcs.
+type excFixup struct {
+	start, end, handler string
+	class               *Class
 }
 
 // Class declares a class. superName is "" for no superclass.
@@ -263,8 +271,19 @@ func (ma *MethodAsm) Return() *MethodAsm { return ma.emit(Instr{Op: OpReturn}) }
 // ReturnValue pops and returns the top of stack.
 func (ma *MethodAsm) ReturnValue() *MethodAsm { return ma.emit(Instr{Op: OpReturnValue}) }
 
-// Throw pops a ref and aborts execution.
+// Throw pops a ref and raises it as an exception.
 func (ma *MethodAsm) Throw() *MethodAsm { return ma.emit(Instr{Op: OpThrow}) }
+
+// Exception declares an exception-table entry: instructions from label
+// start (inclusive) to label end (exclusive) are protected, and a matching
+// exception raised there transfers control to label handler with the
+// operand stack replaced by the exception reference. class nil catches
+// everything, including intrinsic traps (which bind null). Entries match
+// in declaration order; the first match wins.
+func (ma *MethodAsm) Exception(start, end, handler string, class *Class) *MethodAsm {
+	ma.excs = append(ma.excs, excFixup{start: start, end: end, handler: handler, class: class})
+	return ma
+}
 
 // Print pops an int and appends it to the VM output.
 func (ma *MethodAsm) Print() *MethodAsm { return ma.emit(Instr{Op: OpPrint}) }
@@ -282,6 +301,33 @@ func (ma *MethodAsm) finish() error {
 		for _, pc := range pcs {
 			ma.m.Code[pc].A = int64(target)
 		}
+	}
+	for _, e := range ma.excs {
+		resolve := func(label string) (int, error) {
+			pc, ok := ma.labels[label]
+			if !ok {
+				return 0, fmt.Errorf("bc: undefined exception label %q in %s", label, ma.m.QualifiedName())
+			}
+			return pc, nil
+		}
+		start, err := resolve(e.start)
+		if err != nil {
+			return err
+		}
+		end, err := resolve(e.end)
+		if err != nil {
+			return err
+		}
+		handler, err := resolve(e.handler)
+		if err != nil {
+			return err
+		}
+		if start == end {
+			continue // empty protected range: covers nothing
+		}
+		ma.m.ExceptionTable = append(ma.m.ExceptionTable, ExceptionHandler{
+			Start: start, End: end, Handler: handler, Class: e.class,
+		})
 	}
 	return nil
 }

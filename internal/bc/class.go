@@ -34,6 +34,24 @@ type Field struct {
 // QualifiedName returns "Class.name".
 func (f *Field) QualifiedName() string { return f.Class.Name + "." + f.Name }
 
+// ExceptionHandler is one exception-table entry of a method. Instructions
+// in the pc range [Start, End) are protected: when an exception is raised
+// there whose class matches Class — nil matches everything, including
+// intrinsic traps such as null dereferences — control transfers to pc
+// Handler with the operand stack replaced by the single exception
+// reference (null for intrinsic traps caught by a catch-all entry).
+// Entries are searched in table order; the first match wins, mirroring the
+// JVM's exception_table semantics.
+type ExceptionHandler struct {
+	Start   int
+	End     int
+	Handler int
+	Class   *Class
+}
+
+// Covers reports whether the entry protects pc.
+func (h *ExceptionHandler) Covers(pc int) bool { return pc >= h.Start && pc < h.End }
+
 // Method is a bytecode method.
 type Method struct {
 	Class  *Class
@@ -48,6 +66,9 @@ type Method struct {
 	LocalKinds []Kind
 	MaxStack   int // computed by Verify
 	Code       []Instr
+	// ExceptionTable lists the method's protected regions in match order.
+	// Empty for methods without handlers.
+	ExceptionTable []ExceptionHandler
 
 	// VSlot is the vtable slot for virtual dispatch, -1 for static and
 	// direct-only methods.

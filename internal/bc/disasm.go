@@ -25,6 +25,14 @@ func Disassemble(m *Method) string {
 		}
 		fmt.Fprintf(&b, "%s%4d: %s\n", mark, pc, FormatInstr(in))
 	}
+	for i := range m.ExceptionTable {
+		h := &m.ExceptionTable[i]
+		cls := "any"
+		if h.Class != nil {
+			cls = h.Class.Name
+		}
+		fmt.Fprintf(&b, "  catch %s [%d,%d) -> %d\n", cls, h.Start, h.End, h.Handler)
+	}
 	return b.String()
 }
 

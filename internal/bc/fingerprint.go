@@ -103,6 +103,18 @@ func hashMethod(h hash.Hash64, m *Method) {
 		}
 		// Instr.Line is diagnostics only and deliberately excluded.
 	}
+	hashInt(h, len(m.ExceptionTable))
+	for i := range m.ExceptionTable {
+		eh := &m.ExceptionTable[i]
+		hashInt(h, eh.Start)
+		hashInt(h, eh.End)
+		hashInt(h, eh.Handler)
+		if eh.Class != nil {
+			hashString(h, eh.Class.Name)
+		} else {
+			hashString(h, "")
+		}
+	}
 }
 
 func hashString(h hash.Hash64, s string) {

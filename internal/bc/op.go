@@ -106,8 +106,10 @@ const (
 	OpReturn
 	// OpReturnValue pops the return value and returns it. [v] -> []
 	OpReturnValue
-	// OpThrow pops a reference and aborts execution with an error
-	// (this VM has no exception handlers). [r] -> []
+	// OpThrow pops a reference and raises it as an exception: the nearest
+	// enclosing exception-table entry matching the object's class (here or
+	// in a caller) receives control; without one, execution aborts with an
+	// error. Throwing null raises an intrinsic "null throw" trap. [r] -> []
 	OpThrow
 
 	// OpPrint pops an int and appends it to the VM's output log. [i] -> []

@@ -20,6 +20,17 @@ func Verify(m *Method) error {
 			return fmt.Errorf("bc: %s local slot %d has kind %s", m.QualifiedName(), i, k)
 		}
 	}
+	for i := range m.ExceptionTable {
+		h := &m.ExceptionTable[i]
+		if h.Start < 0 || h.Start >= h.End || h.End > len(m.Code) {
+			return fmt.Errorf("bc: %s exception entry %d has range [%d,%d) outside code [0,%d)",
+				m.QualifiedName(), i, h.Start, h.End, len(m.Code))
+		}
+		if h.Handler < 0 || h.Handler >= len(m.Code) {
+			return fmt.Errorf("bc: %s exception entry %d has handler pc %d outside code [0,%d)",
+				m.QualifiedName(), i, h.Handler, len(m.Code))
+		}
+	}
 	v := &verifier{m: m, shapes: make([][]Kind, len(m.Code)), reached: make([]bool, len(m.Code))}
 	if err := v.run(); err != nil {
 		return fmt.Errorf("bc: %s: %w", m.QualifiedName(), err)
@@ -112,6 +123,18 @@ func (v *verifier) flow(pc int, shape []Kind) error {
 func (v *verifier) step(pc int) error {
 	in := &v.m.Code[pc]
 	st := append([]Kind(nil), v.shapes[pc]...)
+
+	// Every reached pc inside a protected range can transfer to the
+	// range's handler with the operand stack replaced by the exception
+	// reference, so handlers of live ranges get the [ref] entry shape
+	// (the JVM verifier's rule).
+	for i := range v.m.ExceptionTable {
+		if h := &v.m.ExceptionTable[i]; h.Covers(pc) {
+			if err := v.flow(h.Handler, []Kind{KindRef}); err != nil {
+				return err
+			}
+		}
+	}
 
 	pop := func(want Kind) error {
 		if len(st) == 0 {

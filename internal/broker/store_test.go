@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"slices"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"pea/internal/bc"
 	"pea/internal/check"
@@ -280,5 +284,82 @@ func TestBrokerDiskTier(t *testing.T) {
 	}
 	if st := b2.Stats(); st.CacheHits != int64(len(ms)) {
 		t.Fatalf("memory tier not warmed by disk loads: %+v", st)
+	}
+}
+
+// TestStoreEvictionDeterministicTieBreak pins the eviction order of
+// enforceMaxBytes: oldest modification time first, with ties broken by
+// file name — so two stores with identical contents always expel the same
+// artifacts regardless of directory-listing or write order.
+func TestStoreEvictionDeterministicTieBreak(t *testing.T) {
+	p, ms := testProgram(t, 4)
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if err := s.Put(contentKey(p, m), mustBuild(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	list := func() []string {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range ents {
+			if !e.IsDir() {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		return names
+	}
+	total := func(names []string) int64 {
+		var n int64
+		for _, name := range names {
+			info, err := os.Stat(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += info.Size()
+		}
+		return n
+	}
+
+	names := list()
+	if len(names) != 4 {
+		t.Fatalf("store holds %v, want 4 files", names)
+	}
+	// Equal mtimes everywhere: the name alone must decide, evicting the
+	// lexicographically smallest first.
+	when := time.Now().Add(-time.Hour)
+	for _, name := range names {
+		if err := os.Chtimes(filepath.Join(dir, name), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetMaxBytes(total(names) - 1)
+	if got, want := list(), names[1:]; !slices.Equal(got, want) {
+		t.Fatalf("after name tie-break eviction: %v, want %v", got, want)
+	}
+
+	// mtime dominates the name: age the lexicographically last file and it
+	// goes first even though its name sorts after every other survivor.
+	names = list()
+	victim := names[len(names)-1]
+	older := when.Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, victim), older, older); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMaxBytes(total(names) - 1)
+	if got, want := list(), names[:len(names)-1]; !slices.Equal(got, want) {
+		t.Fatalf("after mtime eviction: %v, want %v", got, want)
+	}
+	if st := s.Stats(); st.Expelled != 2 {
+		t.Fatalf("expelled = %d, want 2", st.Expelled)
 	}
 }

@@ -96,6 +96,14 @@ type builder struct {
 	// succs lists, per leader pc, the successor leader pcs in edge order
 	// (taken target first for conditional branches).
 	succs map[int][]int
+	// exsuccs lists, per leader pc whose block ends in a covered trapping
+	// instruction, the handler pcs its dispatch chain can reach (table
+	// order, up to and including the first catch-all entry). These edges
+	// participate in reachability, liveness, and reverse postorder, but
+	// control flows through the synthesized dispatch chain, not directly.
+	exsuccs map[int][]int
+	// chains maps such a leader pc to its synthesized dispatch chain.
+	chains map[int]*dispatchChain
 	// liveAt[pc] has one bool per local slot: live before executing pc.
 	liveAt [][]bool
 
@@ -115,6 +123,78 @@ type builder struct {
 type zeroKey struct {
 	b *ir.Block
 	k bc.Kind
+}
+
+// dispatchChain is the IR-only block sequence that selects an exception
+// handler for one covered trapping instruction: the head holds the
+// ExceptionObject node, then one type test per typed table entry (in table
+// order), ending in a Goto for a catch-all entry or an Unwind when the
+// table is exhausted.
+type dispatchChain struct {
+	head *ir.Block
+	// blocks lists every chain block; all share one exit state (the
+	// locals at the trap point with the exception object as the stack).
+	blocks []*ir.Block
+	excObj *ir.Node
+}
+
+// trappingOp reports whether op can raise a catchable trap: intrinsic
+// faults (division by zero, null dereference, array bounds, negative array
+// size, null monitor) or exceptions propagating out of a callee. OpThrow is
+// handled separately as a terminator.
+func trappingOp(op bc.Op) bool {
+	// oplint:ignore — deliberate allowlist: every op absent here is
+	// trap-free by construction, and new trapping ops must opt in.
+	switch op {
+	case bc.OpDiv, bc.OpRem,
+		bc.OpGetField, bc.OpPutField,
+		bc.OpArrayLoad, bc.OpArrayStore, bc.OpArrayLen,
+		bc.OpNewArray,
+		bc.OpMonitorEnter, bc.OpMonitorExit,
+		bc.OpInvokeStatic, bc.OpInvokeDirect, bc.OpInvokeVirtual:
+		return true
+	}
+	return false
+}
+
+// handlerPCs returns the handler pcs a trap at pc can dispatch to: the
+// covering exception-table entries in order, stopping after the first
+// catch-all (later entries are shadowed). Nil when pc is uncovered or the
+// instruction cannot trap.
+func (b *builder) handlerPCs(pc int) []int {
+	in := &b.m.Code[pc]
+	if !trappingOp(in.Op) && in.Op != bc.OpThrow {
+		return nil
+	}
+	var hs []int
+	for i := range b.m.ExceptionTable {
+		h := &b.m.ExceptionTable[i]
+		if !h.Covers(pc) {
+			continue
+		}
+		hs = append(hs, h.Handler)
+		if h.Class == nil {
+			break
+		}
+	}
+	return hs
+}
+
+// coveringEntries returns the dispatch-relevant exception-table entries for
+// pc, in the same order as handlerPCs.
+func (b *builder) coveringEntries(pc int) []*bc.ExceptionHandler {
+	var es []*bc.ExceptionHandler
+	for i := range b.m.ExceptionTable {
+		h := &b.m.ExceptionTable[i]
+		if !h.Covers(pc) {
+			continue
+		}
+		es = append(es, h)
+		if h.Class == nil {
+			break
+		}
+	}
+	return es
 }
 
 // pendingPhi describes one phi awaiting predecessor inputs: either a local
@@ -184,6 +264,13 @@ func (b *builder) build() (*ir.Graph, error) {
 			}
 		}
 	}
+	for _, hs := range b.exsuccs {
+		for _, h := range hs {
+			if h == b.entry {
+				entryIsTarget = true
+			}
+		}
+	}
 	var preamble *ir.Block
 	if b.osr || entryIsTarget {
 		preamble = b.g.Entry()
@@ -211,6 +298,17 @@ func (b *builder) build() (*ir.Graph, error) {
 		b.blockAt[b.entry].Preds = append([]*ir.Block{preamble}, b.blockAt[b.entry].Preds...)
 		// Keep edge-order bookkeeping consistent: the preamble edge is
 		// predecessor 0 of the entry's block.
+	}
+
+	// Synthesize one dispatch chain per block ending in a covered trapping
+	// instruction, wiring handler predecessors in deterministic pc order.
+	b.chains = make(map[int]*dispatchChain)
+	for _, pc := range leaderPCs {
+		if len(b.exsuccs[pc]) == 0 {
+			continue
+		}
+		last := b.blockEnd(pc) - 1
+		b.chains[pc] = b.newChain(last, b.blockAt[pc], b.coveringEntries(last))
 	}
 
 	// Place parameters (and the preamble jump) in the entry block. A
@@ -303,6 +401,18 @@ func (b *builder) findBlocks() {
 		}
 		b.reach[pc] = true
 		in := &code[pc]
+		// A covered trapping instruction also reaches its handlers (via
+		// the dispatch chain), and must end its block so the exceptional
+		// edge has a unique source.
+		if hs := b.handlerPCs(pc); len(hs) > 0 {
+			for _, h := range hs {
+				b.leaders[h] = true
+				work = append(work, h)
+			}
+			if in.Op != bc.OpThrow && pc+1 < len(code) {
+				b.leaders[pc+1] = true
+			}
+		}
 		switch {
 		case in.Op == bc.OpGoto:
 			b.leaders[in.Target()] = true
@@ -347,6 +457,20 @@ func (b *builder) findBlocks() {
 			b.succs[pc] = nil
 		}
 	}
+
+	// Exceptional successor edges, per leader: the block's last
+	// instruction is a covered trapping op (the leader-marking above
+	// guarantees such an op ends its block).
+	b.exsuccs = make(map[int][]int)
+	for pc := 0; pc < len(code); pc++ {
+		if !b.reach[pc] || !b.leaders[pc] {
+			continue
+		}
+		last := b.blockEnd(pc) - 1
+		if hs := b.handlerPCs(last); len(hs) > 0 {
+			b.exsuccs[pc] = hs
+		}
+	}
 }
 
 // blockEnd returns the pc one past the last instruction belonging to the
@@ -378,6 +502,9 @@ func (b *builder) reversePostorder(leaders []int) []int {
 		}
 		visited[pc] = true
 		for _, s := range b.succs[pc] {
+			dfs(s)
+		}
+		for _, s := range b.exsuccs[pc] {
 			dfs(s)
 		}
 		post = append(post, pc)
@@ -442,7 +569,7 @@ func (b *builder) computeLiveness() {
 		changed = false
 		for i := len(blocks) - 1; i >= 0; i-- {
 			bi := blocks[i]
-			for _, s := range b.succs[bi.leader] {
+			for _, s := range append(append([]int(nil), b.succs[bi.leader]...), b.exsuccs[bi.leader]...) {
 				sin := liveIn(byLeader[s])
 				for k, v := range sin {
 					if v && !bi.liveOut[k] {
@@ -469,6 +596,55 @@ func (b *builder) computeLiveness() {
 			b.liveAt[pc] = append([]bool(nil), live...)
 		}
 	}
+}
+
+// newChain builds the dispatch chain for a trap at trapPC in the block
+// `from`: the head materializes the in-flight exception object, each typed
+// table entry becomes a dynamic InstanceOf test (intrinsic traps carry a
+// null exception object, so typed entries never match them), a catch-all
+// entry ends the chain with a Goto, and an exhausted table ends it with an
+// Unwind that re-raises to the caller. Handler predecessors are wired here;
+// the trapping block's own successor edge to the head is set when the block
+// is translated.
+func (b *builder) newChain(trapPC int, from *ir.Block, entries []*bc.ExceptionHandler) *dispatchChain {
+	head := b.g.NewBlock()
+	head.Preds = []*ir.Block{from}
+	excObj := b.g.NewNode(ir.OpExceptionObject, bc.KindRef)
+	excObj.BCI = trapPC
+	b.g.Append(head, excObj)
+	ch := &dispatchChain{head: head, blocks: []*ir.Block{head}, excObj: excObj}
+	cur := head
+	for _, h := range entries {
+		hb := b.blockAt[h.Handler]
+		if h.Class == nil {
+			gt := b.g.NewNode(ir.OpGoto, bc.KindVoid)
+			gt.BCI = trapPC
+			gt.Block = cur
+			cur.Term = gt
+			cur.Succs = []*ir.Block{hb}
+			hb.Preds = append(hb.Preds, cur)
+			return ch
+		}
+		iof := b.g.NewNode(ir.OpInstanceOf, bc.KindInt, excObj)
+		iof.Class = h.Class
+		iof.BCI = trapPC
+		b.g.Append(cur, iof)
+		next := b.g.NewBlock()
+		next.Preds = []*ir.Block{cur}
+		t := b.g.NewNode(ir.OpIf, bc.KindVoid, iof)
+		t.BCI = trapPC
+		t.Block = cur
+		cur.Term = t
+		cur.Succs = []*ir.Block{hb, next}
+		hb.Preds = append(hb.Preds, cur)
+		ch.blocks = append(ch.blocks, next)
+		cur = next
+	}
+	uw := b.g.NewNode(ir.OpUnwind, bc.KindVoid)
+	uw.BCI = trapPC
+	uw.Block = cur
+	cur.Term = uw
+	return ch
 }
 
 // entryState computes the abstract state at a block's entry, inserting
@@ -578,7 +754,13 @@ func (b *builder) zeroIn(pred *ir.Block, kind bc.Kind) *ir.Node {
 	} else {
 		n = b.g.NewNode(ir.OpConst, bc.KindInt)
 	}
-	b.g.Append(pred, n)
+	// An OnException terminator must keep guarding the block's last node;
+	// slot the constant in front of the guard.
+	if pred.Term != nil && pred.Term.Op == ir.OpOnException {
+		b.g.InsertBefore(pred, n, pred.Term.Inputs[0])
+	} else {
+		b.g.Append(pred, n)
+	}
 	b.zeroOf[key] = n
 	return n
 }
@@ -825,6 +1007,34 @@ func (b *builder) translateBlock(leader int) error {
 
 		default:
 			return fmt.Errorf("build: %s: pc %d: unsupported opcode %s", b.m.QualifiedName(), pc, in.Op)
+		}
+	}
+
+	// A block ending in a covered trapping instruction gets its
+	// exceptional edge: an OnException terminator guarding the trapping
+	// node (a covered Throw keeps its Throw terminator and takes the
+	// dispatch chain as its only successor). Every chain block shares one
+	// exit state — the locals at the trap point with the exception object
+	// as the sole stack slot — which is what the handler block's merge
+	// phis consume.
+	if ch := b.chains[leader]; ch != nil {
+		if blk.Term != nil {
+			// Covered OpThrow: ir.Verify accepts a single-successor Throw.
+			blk.Succs = []*ir.Block{ch.head}
+		} else {
+			guard := blk.Nodes[len(blk.Nodes)-1]
+			t := b.g.NewNode(ir.OpOnException, bc.KindVoid, guard)
+			t.BCI = end - 1
+			t.Block = blk
+			blk.Term = t
+			blk.Succs = []*ir.Block{b.blockAt[b.succs[leader][0]], ch.head}
+		}
+		exitSt := &absState{
+			locals: append([]*ir.Node(nil), st.locals...),
+			stack:  []*ir.Node{ch.excObj},
+		}
+		for _, cb := range ch.blocks {
+			b.exit[cb] = exitSt
 		}
 	}
 

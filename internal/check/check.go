@@ -91,7 +91,40 @@ func (c *checker) run() error {
 			return err
 		}
 	}
+	if err := c.checkExceptional(); err != nil {
+		return err
+	}
 	return c.checkParams()
+}
+
+// checkExceptional validates exceptional-edge structure beyond what
+// ir.Verify enforces: an OpExceptionObject reads the engine's pending-trap
+// register, which is only populated on entry through an exceptional edge.
+// Every predecessor of its block must therefore be a trap source — an
+// OnException terminator routing here as its exceptional successor, or a
+// covered Throw.
+func (c *checker) checkExceptional() error {
+	for _, b := range c.g.Blocks {
+		for _, n := range b.Nodes {
+			if n.Op != ir.OpExceptionObject {
+				continue
+			}
+			for _, p := range b.Preds {
+				t := p.Term
+				switch {
+				case t == nil:
+					return fmt.Errorf("check: exception object v%d in %s: predecessor %s has no terminator",
+						n.ID, b, p)
+				case t.Op == ir.OpOnException && len(p.Succs) == 2 && p.Succs[1] == b:
+				case t.Op == ir.OpThrow && len(p.Succs) == 1:
+				default:
+					return fmt.Errorf("check: exception object v%d in %s: predecessor %s enters without raising (terminator %s)",
+						n.ID, b, p, t.Op)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // defDominatesUse checks that def is available when user executes.

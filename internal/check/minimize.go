@@ -3,9 +3,9 @@ package check
 import "pea/internal/bc"
 
 // Minimize shrinks the bytecode of m with delta debugging while a
-// failure predicate keeps holding. It mutates m.Code in place and
-// reports how many instructions were eliminated (removed or reduced to
-// nops).
+// failure predicate keeps holding. It mutates m.Code (and
+// m.ExceptionTable) in place and reports how many instructions were
+// eliminated (removed or reduced to nops).
 //
 // reproduces is called with m already holding the candidate body; it
 // must re-run whatever tripped (a strict check, a differential
@@ -14,29 +14,32 @@ import "pea/internal/bc"
 // sees structurally valid programs; panics inside the predicate count as
 // "still fails" (the crash being minimized may itself be a panic).
 //
-// Two reduction passes alternate until a fixpoint:
+// Three reduction passes alternate until a fixpoint:
 //   - range deletion (classic ddmin): drop a chunk of instructions,
 //     retargeting branches across the gap (branches into the deleted
-//     range land on its former start);
+//     range land on its former start) and shifting exception-table
+//     ranges and handler pcs the same way — entries whose covered range
+//     empties out are dropped;
 //   - nop substitution: replace single instructions with OpNop, which
 //     survives where deletion cannot (keeps pcs stable for the rest of
-//     the body).
+//     the body);
+//   - exception-table reduction: drop whole entries, then shave covered
+//     ranges one pc at a time from either end, taking coverage that
+//     merely masks the failure.
 func Minimize(m *bc.Method, reproduces func() bool) int {
 	eliminated := 0
-	try := func(cand []bc.Instr) bool {
-		orig := m.Code
-		origMax := m.MaxStack
-		m.Code = cand
+	try := func(cand []bc.Instr, table []bc.ExceptionHandler) bool {
+		orig, origTable, origMax := m.Code, m.ExceptionTable, m.MaxStack
+		m.Code, m.ExceptionTable = cand, table
 		if bc.Verify(m) == nil && holds(reproduces) {
 			return true
 		}
-		m.Code = orig
-		m.MaxStack = origMax
+		m.Code, m.ExceptionTable, m.MaxStack = orig, origTable, origMax
 		return false
 	}
 
 	for {
-		before := len(m.Code) + countNops(m.Code)
+		before := len(m.Code) + countNops(m.Code) + tableSpan(m.ExceptionTable)
 		// Pass 1: ddmin range deletion over power-of-two chunk sizes
 		// (largest ≤ len/2 down to 1), so every size down to single
 		// instructions — crucially including 2, which halving len/2
@@ -47,7 +50,7 @@ func Minimize(m *bc.Method, reproduces func() bool) int {
 		}
 		for ; chunk >= 1; chunk /= 2 {
 			for start := 0; start+chunk <= len(m.Code); {
-				if cand := deleteRange(m.Code, start, chunk); cand != nil && try(cand) {
+				if cand, table := deleteRange(m.Code, m.ExceptionTable, start, chunk); cand != nil && try(cand, table) {
 					eliminated += chunk
 					continue // same start now holds the next chunk
 				}
@@ -62,11 +65,38 @@ func Minimize(m *bc.Method, reproduces func() bool) int {
 			}
 			cand := append([]bc.Instr(nil), m.Code...)
 			cand[pc] = bc.Instr{Op: bc.OpNop}
-			if try(cand) {
+			if try(cand, m.ExceptionTable) {
 				eliminated++
 			}
 		}
-		if len(m.Code)+countNops(m.Code) == before {
+		// Pass 3: exception-table reduction. Entry deletion counts
+		// toward eliminated (a whole handler edge is gone); range
+		// shaving only narrows coverage, so it contributes to the
+		// fixpoint measure via tableSpan instead.
+		for i := 0; i < len(m.ExceptionTable); {
+			cand := append([]bc.ExceptionHandler(nil), m.ExceptionTable[:i]...)
+			cand = append(cand, m.ExceptionTable[i+1:]...)
+			if try(m.Code, cand) {
+				eliminated++
+				continue
+			}
+			i++
+		}
+		for i := range m.ExceptionTable {
+			for m.ExceptionTable[i].End-m.ExceptionTable[i].Start > 1 {
+				cand := append([]bc.ExceptionHandler(nil), m.ExceptionTable...)
+				cand[i].Start++
+				if try(m.Code, cand) {
+					continue
+				}
+				cand = append([]bc.ExceptionHandler(nil), m.ExceptionTable...)
+				cand[i].End--
+				if !try(m.Code, cand) {
+					break
+				}
+			}
+		}
+		if len(m.Code)+countNops(m.Code)+tableSpan(m.ExceptionTable) == before {
 			return eliminated
 		}
 	}
@@ -93,11 +123,26 @@ func countNops(code []bc.Instr) int {
 	return n
 }
 
+// tableSpan measures the exception table for the fixpoint test: entry
+// count plus total covered pcs, so both entry deletion and range shaving
+// register as progress.
+func tableSpan(t []bc.ExceptionHandler) int {
+	s := len(t)
+	for i := range t {
+		s += t[i].End - t[i].Start
+	}
+	return s
+}
+
 // deleteRange returns a copy of code with [start, start+size) removed
 // and all branch targets fixed up: targets past the range shift down,
-// targets into the range land on its former start. Returns nil when the
-// result would leave a branch pointing past the end.
-func deleteRange(code []bc.Instr, start, size int) []bc.Instr {
+// targets into the range land on its former start. Exception-table
+// entries shift the same way (End, being exclusive, clamps to start
+// rather than shifting when it points into the range); entries whose
+// covered range empties, or whose handler pc falls off the shortened
+// end, are dropped. Returns nil when the result would leave a branch
+// pointing past the end.
+func deleteRange(code []bc.Instr, table []bc.ExceptionHandler, start, size int) ([]bc.Instr, []bc.ExceptionHandler) {
 	out := make([]bc.Instr, 0, len(code)-size)
 	for pc := range code {
 		if pc >= start && pc < start+size {
@@ -113,11 +158,34 @@ func deleteRange(code []bc.Instr, start, size int) []bc.Instr {
 				t = start
 			}
 			if t >= len(code)-size {
-				return nil // branch would fall off the end
+				return nil, nil // branch would fall off the end
 			}
 			in.A = int64(t)
 		}
 		out = append(out, in)
 	}
-	return out
+	shift := func(t int) int {
+		switch {
+		case t >= start+size:
+			return t - size
+		case t >= start:
+			return start
+		}
+		return t
+	}
+	var outTable []bc.ExceptionHandler
+	for _, h := range table {
+		h.Start, h.Handler = shift(h.Start), shift(h.Handler)
+		switch {
+		case h.End >= start+size:
+			h.End -= size
+		case h.End > start:
+			h.End = start
+		}
+		if h.Start >= h.End || h.Handler >= len(code)-size {
+			continue
+		}
+		outTable = append(outTable, h)
+	}
+	return out, outTable
 }

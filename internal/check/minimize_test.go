@@ -112,3 +112,55 @@ func TestMinimizeIrreducible(t *testing.T) {
 		}
 	}
 }
+
+// TestMinimizeShrinksExceptionTable: the reducer must delete junk inside
+// and around a protected range (shifting Start/End/Handler like branch
+// targets), shave the range down to the trapping instruction, and drop
+// table entries that are not needed to reproduce.
+func TestMinimizeShrinksExceptionTable(t *testing.T) {
+	_, m := assemble(t, func(ma *bc.MethodAsm) {
+		r := ma.NewLocal(bc.KindRef)
+		ma.Const(8).Pop().Const(9).Pop() // junk before the try
+		ma.Label("ts")
+		ma.Const(1).Pop().Const(2).Pop() // junk inside the try
+		ma.ConstNull().Throw()
+		ma.Label("te")
+		ma.Label("h").Store(r).Load(0).ReturnValue()
+		ma.Exception("ts", "te", "h", nil)
+		ma.Exception("ts", "te", "h", nil) // redundant second entry
+	})
+	if err := bc.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Reproduction requires a throw that some entry still covers.
+	covered := func() bool {
+		for pc := range m.Code {
+			if m.Code[pc].Op != bc.OpThrow {
+				continue
+			}
+			for i := range m.ExceptionTable {
+				if m.ExceptionTable[i].Covers(pc) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	eliminated := check.Minimize(m, covered)
+
+	if !covered() {
+		t.Fatal("minimizer broke the covered-throw predicate")
+	}
+	if err := bc.Verify(m); err != nil {
+		t.Fatalf("minimized body does not verify: %v", err)
+	}
+	if eliminated < 4 {
+		t.Fatalf("eliminated only %d", eliminated)
+	}
+	if len(m.ExceptionTable) != 1 {
+		t.Fatalf("redundant table entry survived: %v", m.ExceptionTable)
+	}
+	if e := m.ExceptionTable[0]; e.End-e.Start != 1 {
+		t.Fatalf("protected range not shaved to the throw: %+v (code %v)", e, m.Code)
+	}
+}

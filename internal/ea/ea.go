@@ -103,8 +103,10 @@ func analyze(g *ir.Graph, calleeNoEscape func(*ir.Node) []bool) (map[*ir.Node]bo
 		// oplint:ignore — enumerates escape *sources* only; ops absent
 		// here contribute no escape edges.
 		switch n.Op {
-		case ir.OpParam, ir.OpLoadStatic:
-			// Unknown sources: anything merged with them escapes.
+		case ir.OpParam, ir.OpLoadStatic, ir.OpExceptionObject:
+			// Unknown sources: anything merged with them escapes. The
+			// exception object entering a handler may be any thrown
+			// reference (or null, for intrinsic traps).
 			escape(n, reasonUnknownSource)
 		case ir.OpInvoke:
 			// Arguments escape into the callee — unless the

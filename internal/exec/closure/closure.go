@@ -102,6 +102,11 @@ type frame struct {
 	eng   *exec.Engine
 	env   *rt.Env
 	code  *Code
+	// pending is the in-flight exception: set by a guarded op that
+	// trapped (or a covered Throw), tested by the OnException terminator,
+	// read by ExceptionObject, re-raised by Unwind. Guarded ops clear it
+	// before executing, so a stale value can never misroute a later guard.
+	pending *rt.Trap
 }
 
 // abort carries a trap or invoke error out of the dispatch loop; Run
@@ -118,6 +123,7 @@ func (c *Code) Graph() *ir.Graph { return c.g }
 func (c *Code) Run(e *exec.Engine, args []rt.Value) (ret rt.Value, err error) {
 	f := c.pool.Get().(*frame)
 	f.eng, f.env = e, e.Env
+	f.pending = nil
 	for _, p := range c.params {
 		f.slots[p.slot] = args[p.arg]
 	}
@@ -147,6 +153,29 @@ func (c *Code) Run(e *exec.Engine, args []rt.Value) (ret rt.Value, err error) {
 		if bi = b.term(f); bi < 0 {
 			return f.ret, nil
 		}
+	}
+}
+
+// guarded wraps a lowered op so that a trap it raises is captured into the
+// frame's pending register rather than unwinding the run; non-trap aborts
+// (step-budget exhaustion, structural errors) still propagate.
+func guarded(inner op) op {
+	return func(f *frame) {
+		f.pending = nil
+		defer func() {
+			if r := recover(); r != nil {
+				ab, ok := r.(abort)
+				if !ok {
+					panic(r)
+				}
+				tr, ok := ab.err.(*rt.Trap)
+				if !ok {
+					panic(r)
+				}
+				f.pending = tr
+			}
+		}()
+		inner(f)
 	}
 }
 
@@ -229,6 +258,12 @@ func compile(g *ir.Graph) (*Code, error) {
 				return nil, err
 			}
 			if o != nil {
+				// The node an OnException terminator guards has its trap
+				// intercepted and recorded instead of aborting the run;
+				// the terminator then routes to the dispatch chain.
+				if b.Term != nil && b.Term.Op == ir.OpOnException && b.Term.Inputs[0] == n {
+					o = guarded(o)
+				}
 				ops = append(ops, o)
 			}
 		}

@@ -20,7 +20,7 @@ func trap(reason string, m *bc.Method, bci int) {
 // parameters are frame-initialization, virtual objects are
 // deopt-metadata-only).
 func (cc *compiler) lowerNode(n *ir.Node) (op, error) {
-	m, bci := cc.g.Method, n.BCI
+	m, bci := n.OriginMethod(cc.g.Method), n.BCI
 	// oplint:ignore — intentionally partial: lowerNode sees only placed
 	// non-terminator ops (phis are lowered into edge copies, terminators
 	// by lowerTerm), and the default below rejects anything else at
@@ -272,6 +272,18 @@ func (cc *compiler) lowerNode(n *ir.Node) (op, error) {
 		mod := n.AuxInt
 		return func(f *frame) { f.slots[d] = rt.IntValue(f.env.Rand(mod)) }, nil
 
+	case ir.OpExceptionObject:
+		d, err := cc.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) {
+			if f.pending == nil {
+				panic(abort{fmt.Errorf("closure: ExceptionObject with no pending exception")})
+			}
+			f.slots[d] = rt.HandlerValue(f.pending)
+		}, nil
+
 	default:
 		return nil, fmt.Errorf("closure: cannot lower %s in %s", n, cc.g.Method.QualifiedName())
 	}
@@ -297,7 +309,7 @@ func (cc *compiler) lowerArith(n *ir.Node) (op, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, bci := cc.g.Method, n.BCI
+	m, bci := n.OriginMethod(cc.g.Method), n.BCI
 	// oplint:ignore — Aux2 on OpArith holds only the arithmetic subset of
 	// bc.Op (interp.EvalArith's domain); the default case rejects the rest.
 	switch n.Aux2 {
@@ -401,7 +413,7 @@ func (cc *compiler) lowerMaterialize(n *ir.Node) (op, error) {
 // The argument vector is allocated per call — the callee owns it, exactly
 // as in the oracle and the interpreter.
 func (cc *compiler) lowerInvoke(n *ir.Node) (op, error) {
-	m, bci := cc.g.Method, n.BCI
+	m, bci := n.OriginMethod(cc.g.Method), n.BCI
 	argSlots := make([]int32, len(n.Inputs))
 	for i := range n.Inputs {
 		var err error
@@ -451,7 +463,7 @@ func (cc *compiler) lowerInvoke(n *ir.Node) (op, error) {
 // lowerTerm lowers a block terminator: successor indices are pre-linked and
 // each outgoing edge's phi parallel copy is baked into the returned func.
 func (cc *compiler) lowerTerm(b *ir.Block, t *ir.Node) (term, error) {
-	m, bci := cc.g.Method, t.BCI
+	m, bci := t.OriginMethod(cc.g.Method), t.BCI
 	// oplint:ignore — intentionally partial: only terminators reach
 	// lowerTerm (value and fixed ops go through lowerNode), and the
 	// default rejects the rest at compile time.
@@ -524,13 +536,54 @@ func (cc *compiler) lowerTerm(b *ir.Block, t *ir.Node) (term, error) {
 		if err != nil {
 			return nil, err
 		}
+		if len(b.Succs) == 1 {
+			// Covered throw: record the exception and enter the dispatch
+			// chain directly.
+			next := cc.blkIdx[b.Succs[0]]
+			return func(f *frame) int {
+				x := f.slots[v]
+				if x.Ref == nil {
+					f.pending = rt.NewTrap("null throw", m, bci)
+				} else {
+					f.pending = rt.NewThrow(x.Ref, m, bci)
+				}
+				return next
+			}, nil
+		}
 		return func(f *frame) int {
 			x := f.slots[v]
 			if x.Ref == nil {
-				trap("null dereference in throw", m, bci)
+				trap("null throw", m, bci)
 			}
-			trap("uncaught exception "+x.Ref.String(), m, bci)
-			return done // unreachable
+			panic(abort{rt.NewThrow(x.Ref, m, bci)})
+		}, nil
+
+	case ir.OpOnException:
+		nSucc, dSucc := b.Succs[0], b.Succs[1]
+		nNext, dNext := cc.blkIdx[nSucc], cc.blkIdx[dSucc]
+		nMoves, err := cc.edge(b, nSucc)
+		if err != nil {
+			return nil, err
+		}
+		dMoves, err := cc.edge(b, dSucc)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) int {
+			if f.pending != nil {
+				f.copyEdge(dMoves)
+				return dNext
+			}
+			f.copyEdge(nMoves)
+			return nNext
+		}, nil
+
+	case ir.OpUnwind:
+		return func(f *frame) int {
+			if f.pending == nil {
+				panic(abort{fmt.Errorf("closure: Unwind with no pending exception")})
+			}
+			panic(abort{f.pending})
 		}, nil
 
 	case ir.OpDeopt:

@@ -71,7 +71,17 @@ func assertSameBehaviour(t *testing.T, name string, args []int64,
 		t.Fatalf("%s%v: interp err=%v, exec err=%v", name, args, err1, err2)
 	}
 	if err1 != nil {
-		return // both trapped; traps carry engine-specific positions
+		// Traps are canonical: identity is (reason, method, bci) with the
+		// method the innermost frame, so every engine must agree exactly.
+		t1, ok1 := err1.(*rt.Trap)
+		t2, ok2 := err2.(*rt.Trap)
+		if ok1 != ok2 {
+			t.Fatalf("%s%v: interp err=%v, exec err=%v", name, args, err1, err2)
+		}
+		if ok1 && (t1.Reason != t2.Reason || t1.Method != t2.Method || t1.PC != t2.PC) {
+			t.Fatalf("%s%v: trap identity differs: interp=%v, exec=%v", name, args, t1, t2)
+		}
+		return
 	}
 	if !v1.Equal(v2) {
 		t.Fatalf("%s%v: interp=%v exec=%v", name, args, v1, v2)

@@ -36,6 +36,10 @@ func (c oracleCode) Run(e *Engine, args []rt.Value) (rt.Value, error) {
 type frame struct {
 	values map[*ir.Node]rt.Value
 	args   []rt.Value
+	// pending is the in-flight exception while control runs through a
+	// dispatch chain: set when a guarded node traps or a covered Throw
+	// fires, read by ExceptionObject, re-raised by Unwind.
+	pending *rt.Trap
 }
 
 func (f *frame) set(n *ir.Node, v rt.Value) { f.values[n] = v }
@@ -56,6 +60,7 @@ func (e *Engine) Run(g *ir.Graph, args []rt.Value) (rt.Value, error) {
 	f := &frame{values: make(map[*ir.Node]rt.Value, 64), args: args}
 	block := g.Entry()
 	var prev *ir.Block
+outer:
 	for {
 		// Evaluate phis first, as a parallel copy based on the edge
 		// we arrived through.
@@ -82,6 +87,17 @@ func (e *Engine) Run(g *ir.Graph, args []rt.Value) (rt.Value, error) {
 			}
 			done, ret, err := e.evalNode(g, f, n)
 			if err != nil {
+				// A trap raised by the node an OnException terminator
+				// guards (always the block's last node) transfers to the
+				// dispatch chain instead of unwinding; anything else —
+				// traps of unguarded nodes, step-budget exhaustion —
+				// propagates.
+				t := block.Term
+				if tr, ok := err.(*rt.Trap); ok && t.Op == ir.OpOnException && t.Inputs[0] == n {
+					f.pending = tr
+					prev, block = block, block.Succs[1]
+					continue outer
+				}
 				return rt.Value{}, err
 			}
 			if done {
@@ -106,6 +122,9 @@ func (e *Engine) Run(g *ir.Graph, args []rt.Value) (rt.Value, error) {
 			} else {
 				prev, block = block, block.Succs[1]
 			}
+		case ir.OpOnException:
+			// The guarded node completed without trapping.
+			prev, block = block, block.Succs[0]
 		case ir.OpReturn:
 			if len(t.Inputs) == 1 {
 				return f.get(t.Inputs[0]), nil
@@ -113,10 +132,23 @@ func (e *Engine) Run(g *ir.Graph, args []rt.Value) (rt.Value, error) {
 			return rt.Value{}, nil
 		case ir.OpThrow:
 			v := f.get(t.Inputs[0])
+			var tr *rt.Trap
 			if v.Ref == nil {
-				return rt.Value{}, e.trap(g, t, "null dereference in throw")
+				tr = rt.NewTrap("null throw", t.OriginMethod(g.Method), t.BCI)
+			} else {
+				tr = rt.NewThrow(v.Ref, t.OriginMethod(g.Method), t.BCI)
 			}
-			return rt.Value{}, e.trap(g, t, "uncaught exception "+v.Ref.String())
+			if len(block.Succs) == 1 { // covered: enter the dispatch chain
+				f.pending = tr
+				prev, block = block, block.Succs[0]
+			} else {
+				return rt.Value{}, tr
+			}
+		case ir.OpUnwind:
+			if f.pending == nil {
+				return rt.Value{}, fmt.Errorf("exec: Unwind with no pending exception")
+			}
+			return rt.Value{}, f.pending
 		case ir.OpDeopt:
 			return e.deopt(g, f, t)
 		default:
@@ -126,7 +158,7 @@ func (e *Engine) Run(g *ir.Graph, args []rt.Value) (rt.Value, error) {
 }
 
 func (e *Engine) trap(g *ir.Graph, n *ir.Node, reason string) error {
-	return rt.NewTrap(reason, g.Method, n.BCI)
+	return rt.NewTrap(reason, n.OriginMethod(g.Method), n.BCI)
 }
 
 // evalNode executes one non-terminator node. done=true means the whole
@@ -274,6 +306,11 @@ func (e *Engine) evalNode(g *ir.Graph, f *frame, n *ir.Node) (done bool, ret rt.
 	case ir.OpVirtualObject:
 		// No runtime effect: virtual objects exist only inside frame
 		// states and are materialized by the deoptimization runtime.
+	case ir.OpExceptionObject:
+		if f.pending == nil {
+			return false, rt.Value{}, fmt.Errorf("exec: ExceptionObject with no pending exception")
+		}
+		f.set(n, rt.HandlerValue(f.pending))
 	default:
 		return false, rt.Value{}, fmt.Errorf("exec: unhandled node %s", n)
 	}
@@ -362,6 +399,10 @@ func costOf(n *ir.Node) int64 {
 		return 2
 	case ir.OpThrow, ir.OpDeopt:
 		return 0 // charged separately
+	case ir.OpOnException, ir.OpExceptionObject, ir.OpUnwind:
+		// The non-throwing path through a guard is free — exception
+		// tables cost nothing until a trap actually fires.
+		return 0
 	default:
 		return cost.ALU
 	}

@@ -72,7 +72,7 @@ func TestExecTraps(t *testing.T) {
 		}, "uncaught exception"},
 		{"null throw", func(m *bc.MethodAsm, box *bc.ClassAsm, v *bc.Field) {
 			m.ConstNull().Throw()
-		}, "null dereference in throw"},
+		}, "null throw"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

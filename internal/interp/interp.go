@@ -125,7 +125,12 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 	in := &m.Code[pc]
 	it.Env.Cycles += cost.OfOp(in.Op) * cost.InterpFactor
 
-	trap := func(reason string) error { return rt.NewTrap(reason, m, pc) }
+	// trap raises an intrinsic trap at the current pc: the nearest
+	// matching exception-table entry of this frame receives control, or
+	// the trap propagates to the caller as an error.
+	trap := func(reason string) (bool, rt.Value, error) {
+		return it.raise(f, rt.NewTrap(reason, m, pc))
+	}
 
 	switch in.Op {
 	case bc.OpNop:
@@ -150,7 +155,7 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 		var r int64
 		r, err = EvalArith(in.Op, a, b)
 		if err != nil {
-			return false, rt.Value{}, trap(err.Error())
+			return trap(err.Error())
 		}
 		f.push(rt.IntValue(r))
 	case bc.OpNeg:
@@ -190,14 +195,14 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 	case bc.OpNewArray:
 		n := f.pop().I
 		if n < 0 {
-			return false, rt.Value{}, trap(fmt.Sprintf("negative array size %d", n))
+			return trap(fmt.Sprintf("negative array size %d", n))
 		}
 		it.Env.Cycles += cost.AllocPerField * n * cost.InterpFactor
 		f.push(rt.RefValue(it.Env.AllocArray(in.Kind, n)))
 	case bc.OpGetField:
 		obj := f.pop()
 		if obj.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in getfield " + in.Field.QualifiedName())
+			return trap("null dereference in getfield " + in.Field.QualifiedName())
 		}
 		it.Env.Stats.FieldLoads++
 		f.push(obj.Ref.Fields[in.Field.Offset])
@@ -205,7 +210,7 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 		v := f.pop()
 		obj := f.pop()
 		if obj.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in putfield " + in.Field.QualifiedName())
+			return trap("null dereference in putfield " + in.Field.QualifiedName())
 		}
 		it.Env.Stats.FieldStores++
 		obj.Ref.Fields[in.Field.Offset] = v
@@ -217,10 +222,10 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 		idx := f.pop().I
 		arr := f.pop()
 		if arr.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in arrayload")
+			return trap("null dereference in arrayload")
 		}
 		if idx < 0 || idx >= int64(arr.Ref.Len()) {
-			return false, rt.Value{}, trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
+			return trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
 		}
 		f.push(arr.Ref.Fields[idx])
 	case bc.OpArrayStore:
@@ -228,16 +233,16 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 		idx := f.pop().I
 		arr := f.pop()
 		if arr.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in arraystore")
+			return trap("null dereference in arraystore")
 		}
 		if idx < 0 || idx >= int64(arr.Ref.Len()) {
-			return false, rt.Value{}, trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
+			return trap(fmt.Sprintf("array index %d out of range [0,%d)", idx, arr.Ref.Len()))
 		}
 		arr.Ref.Fields[idx] = v
 	case bc.OpArrayLen:
 		arr := f.pop()
 		if arr.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in arraylen")
+			return trap("null dereference in arraylen")
 		}
 		f.push(rt.IntValue(int64(arr.Ref.Len())))
 	case bc.OpInstanceOf:
@@ -245,20 +250,30 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 		ok := obj.Ref != nil && !obj.Ref.IsArray() && obj.Ref.Class.IsSubclassOf(in.Class)
 		f.push(rt.BoolValue(ok))
 	case bc.OpInvokeStatic, bc.OpInvokeDirect, bc.OpInvokeVirtual:
-		return false, rt.Value{}, it.invoke(f, in)
+		if err := it.invoke(f, in); err != nil {
+			// A trap unwinding out of the callee (or the null-receiver
+			// trap raised here) can be caught by a handler covering the
+			// call site; other errors (step budget, internal faults) are
+			// not exceptions and keep propagating.
+			if t, ok := err.(*rt.Trap); ok {
+				return it.raise(f, t)
+			}
+			return false, rt.Value{}, err
+		}
+		return false, rt.Value{}, nil
 	case bc.OpMonitorEnter:
 		obj := f.pop()
 		if obj.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in monitorenter")
+			return trap("null dereference in monitorenter")
 		}
 		it.Env.MonitorEnter(obj.Ref)
 	case bc.OpMonitorExit:
 		obj := f.pop()
 		if obj.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in monitorexit")
+			return trap("null dereference in monitorexit")
 		}
 		if err := it.Env.MonitorExit(obj.Ref); err != nil {
-			return false, rt.Value{}, trap(err.Error())
+			return trap(err.Error())
 		}
 	case bc.OpReturn:
 		return true, rt.Value{}, nil
@@ -267,18 +282,34 @@ func (it *Interp) step(f *Frame) (done bool, ret rt.Value, err error) {
 	case bc.OpThrow:
 		obj := f.pop()
 		if obj.Ref == nil {
-			return false, rt.Value{}, trap("null dereference in throw")
+			return trap("null throw")
 		}
-		return false, rt.Value{}, trap("uncaught exception " + obj.Ref.String())
+		return it.raise(f, rt.NewThrow(obj.Ref, m, pc))
 	case bc.OpPrint:
 		it.Env.Print(f.pop().I)
 	case bc.OpRand:
 		f.push(rt.IntValue(it.Env.Rand(in.A)))
 	default:
-		return false, rt.Value{}, trap(fmt.Sprintf("unknown opcode %d", in.Op))
+		return trap(fmt.Sprintf("unknown opcode %d", in.Op))
 	}
 	f.PC = pc + 1
 	return false, rt.Value{}, nil
+}
+
+// raise dispatches a trap raised while f.PC addresses the faulting
+// instruction: the first matching exception-table entry covering f.PC
+// receives control with the operand stack replaced by the exception value
+// (the thrown object, or null for intrinsic traps under a catch-all
+// entry); without a match the trap propagates to the caller as an error,
+// preserving its origin identity.
+func (it *Interp) raise(f *Frame, t *rt.Trap) (done bool, ret rt.Value, err error) {
+	if h := rt.MatchHandler(f.Method, f.PC, t); h != nil {
+		f.Stack = f.Stack[:0]
+		f.push(rt.HandlerValue(t))
+		f.PC = h.Handler
+		return false, rt.Value{}, nil
+	}
+	return false, rt.Value{}, t
 }
 
 func (it *Interp) branch(f *Frame, in *bc.Instr, taken bool) (done bool, ret rt.Value, err error) {

@@ -96,6 +96,12 @@ const (
 	// OpDeopt transfers execution to the interpreter using FrameState.
 	// Created by speculative branch pruning. Terminates its block.
 	OpDeopt
+	// OpExceptionObject yields the in-flight exception reference at the
+	// entry of an exception-dispatch block: the thrown object, or null
+	// for intrinsic traps. It is fixed (never deduplicated or removed)
+	// and reads the engine's pending-exception register, which the
+	// OpOnException edge into its block has just set.
+	OpExceptionObject
 
 	// Terminators.
 
@@ -106,42 +112,58 @@ const (
 	OpGoto
 	// OpReturn returns input 0 (or nothing if no inputs).
 	OpReturn
-	// OpThrow aborts execution with the exception object input 0.
+	// OpThrow raises the exception object input 0. With one successor the
+	// throw is covered by a handler range and control transfers to the
+	// dispatch block; with no successors the exception unwinds out of the
+	// compiled method (the caller may still catch it).
 	OpThrow
+	// OpOnException guards the trapping node Inputs[0], which must be the
+	// last node of the same block: Succs[0] is the normal continuation,
+	// Succs[1] the exception-dispatch block entered (with the engine's
+	// pending-exception register set) iff the guarded node traps. This is
+	// the IR form of Graal's exception-projection edges.
+	OpOnException
+	// OpUnwind re-raises the pending exception out of the current
+	// compiled method, preserving its origin identity. It terminates a
+	// dispatch chain with no matching local handler.
+	OpUnwind
 )
 
 var opNames = [...]string{
-	OpInvalid:       "invalid",
-	OpParam:         "Param",
-	OpConst:         "Const",
-	OpConstNull:     "ConstNull",
-	OpPhi:           "Phi",
-	OpArith:         "Arith",
-	OpNeg:           "Neg",
-	OpCmp:           "Cmp",
-	OpRefEq:         "RefEq",
-	OpInstanceOf:    "InstanceOf",
-	OpVirtualObject: "VirtualObject",
-	OpNew:           "New",
-	OpNewArray:      "NewArray",
-	OpLoadField:     "LoadField",
-	OpStoreField:    "StoreField",
-	OpLoadStatic:    "LoadStatic",
-	OpStoreStatic:   "StoreStatic",
-	OpLoadIndexed:   "LoadIndexed",
-	OpStoreIndexed:  "StoreIndexed",
-	OpArrayLength:   "ArrayLength",
-	OpMonitorEnter:  "MonitorEnter",
-	OpMonitorExit:   "MonitorExit",
-	OpInvoke:        "Invoke",
-	OpPrint:         "Print",
-	OpRand:          "Rand",
-	OpMaterialize:   "Materialize",
-	OpDeopt:         "Deopt",
-	OpIf:            "If",
-	OpGoto:          "Goto",
-	OpReturn:        "Return",
-	OpThrow:         "Throw",
+	OpInvalid:         "invalid",
+	OpParam:           "Param",
+	OpConst:           "Const",
+	OpConstNull:       "ConstNull",
+	OpPhi:             "Phi",
+	OpArith:           "Arith",
+	OpNeg:             "Neg",
+	OpCmp:             "Cmp",
+	OpRefEq:           "RefEq",
+	OpInstanceOf:      "InstanceOf",
+	OpVirtualObject:   "VirtualObject",
+	OpNew:             "New",
+	OpNewArray:        "NewArray",
+	OpLoadField:       "LoadField",
+	OpStoreField:      "StoreField",
+	OpLoadStatic:      "LoadStatic",
+	OpStoreStatic:     "StoreStatic",
+	OpLoadIndexed:     "LoadIndexed",
+	OpStoreIndexed:    "StoreIndexed",
+	OpArrayLength:     "ArrayLength",
+	OpMonitorEnter:    "MonitorEnter",
+	OpMonitorExit:     "MonitorExit",
+	OpInvoke:          "Invoke",
+	OpPrint:           "Print",
+	OpRand:            "Rand",
+	OpMaterialize:     "Materialize",
+	OpDeopt:           "Deopt",
+	OpExceptionObject: "ExceptionObject",
+	OpIf:              "If",
+	OpGoto:            "Goto",
+	OpReturn:          "Return",
+	OpThrow:           "Throw",
+	OpOnException:     "OnException",
+	OpUnwind:          "Unwind",
 }
 
 // String returns the op name.
@@ -155,7 +177,7 @@ func (o Op) String() string {
 // IsTerminator reports whether the op ends a block.
 func (o Op) IsTerminator() bool {
 	switch o {
-	case OpIf, OpGoto, OpReturn, OpThrow, OpDeopt:
+	case OpIf, OpGoto, OpReturn, OpThrow, OpDeopt, OpOnException, OpUnwind:
 		return true
 	}
 	return false
@@ -261,6 +283,25 @@ type Node struct {
 	// BCI is the bytecode index this node originates from (-1 if
 	// synthetic).
 	BCI int
+
+	// Origin is the bytecode method BCI refers to, recorded on nodes that
+	// can trap. The graph builder sets it to the method being translated,
+	// and the inliner copies it verbatim when splicing callee bodies into
+	// callers — so a trap in inlined code is reported against the callee,
+	// exactly as the interpreter would report it. Engines fall back to
+	// the graph's method when nil.
+	Origin *bc.Method
+}
+
+// OriginMethod returns the method n's BCI belongs to: Origin when set (the
+// innermost inlined method), fallback otherwise. Engines build trap
+// identities from this so every backend attributes a fault to the same
+// (method, bci).
+func (n *Node) OriginMethod(fallback *bc.Method) *bc.Method {
+	if n.Origin != nil {
+		return n.Origin
+	}
+	return fallback
 }
 
 // Pure reports whether this node may be freely deduplicated/removed:

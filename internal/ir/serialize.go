@@ -51,6 +51,7 @@ type jsonNode struct {
 	FieldName   string `json:"fieldName,omitempty"`
 	FieldStatic bool   `json:"fieldStatic,omitempty"`
 	Method      string `json:"methodRef,omitempty"`
+	Origin      string `json:"origin,omitempty"`
 	ElemKind    uint8  `json:"elemKind,omitempty"`
 	State       int    `json:"state"`
 	DeoptReason string `json:"deoptReason,omitempty"`
@@ -256,6 +257,9 @@ func encodeNode(n *Node, e *encoder) (jsonNode, error) {
 	if n.Method != nil {
 		jn.Method = n.Method.QualifiedName()
 	}
+	if n.Origin != nil {
+		jn.Origin = n.Origin.QualifiedName()
+	}
 	return jn, nil
 }
 
@@ -401,6 +405,11 @@ func DecodeJSON(data []byte, r Resolver) (*Graph, error) {
 		if jn.Method != "" {
 			if n.Method, err = d.method(jn.Method); err != nil {
 				return nil, fmt.Errorf("ir: decode: v%d: %w", jn.ID, err)
+			}
+		}
+		if jn.Origin != "" {
+			if n.Origin, err = d.method(jn.Origin); err != nil {
+				return nil, fmt.Errorf("ir: decode: v%d origin: %w", jn.ID, err)
 			}
 		}
 		if jn.State >= 0 {

@@ -111,10 +111,25 @@ func Verify(g *Graph) error {
 			if len(t.Inputs) != 1 {
 				return fmt.Errorf("ir: %s Throw has %d inputs", b, len(t.Inputs))
 			}
+			// A covered throw transfers to its dispatch block; an
+			// uncovered one unwinds out of the method.
+			if len(b.Succs) == 1 {
+				wantSuccs = 1
+			}
 		case OpDeopt:
 			if t.FrameState == nil {
 				return fmt.Errorf("ir: %s Deopt without FrameState", b)
 			}
+		case OpOnException:
+			wantSuccs = 2
+			if len(t.Inputs) != 1 {
+				return fmt.Errorf("ir: %s OnException has %d inputs", b, len(t.Inputs))
+			}
+			if len(b.Nodes) == 0 || b.Nodes[len(b.Nodes)-1] != t.Inputs[0] {
+				return fmt.Errorf("ir: %s OnException does not guard the block's last node", b)
+			}
+		case OpUnwind:
+			wantSuccs = 0
 		}
 		if len(b.Succs) != wantSuccs {
 			return fmt.Errorf("ir: %s (%s) has %d succs, want %d", b, t.Op, len(b.Succs), wantSuccs)
@@ -159,7 +174,9 @@ func Verify(g *Graph) error {
 					return fmt.Errorf("ir: v%d (%s) input v%d (%s) is not placed in any block",
 						n.ID, n.Op, in.ID, in.Op)
 				}
-				if in.Kind == bc.KindVoid {
+				// OnException's input names the guarded node, not a value
+				// use — the guard may be a void store or call.
+				if in.Kind == bc.KindVoid && n.Op != OpOnException {
 					return fmt.Errorf("ir: v%d (%s) uses void node v%d (%s)", n.ID, n.Op, in.ID, in.Op)
 				}
 			}
@@ -254,10 +271,11 @@ func verifyFrameState(fs *FrameState, placed map[*Node]bool) error {
 func verifyArity(n *Node) error {
 	want := -1
 	switch n.Op {
-	case OpParam, OpConst, OpConstNull, OpRand, OpLoadStatic, OpVirtualObject, OpNew, OpDeopt:
+	case OpParam, OpConst, OpConstNull, OpRand, OpLoadStatic, OpVirtualObject, OpNew, OpDeopt,
+		OpExceptionObject, OpUnwind:
 		want = 0
 	case OpNeg, OpInstanceOf, OpNewArray, OpLoadField, OpStoreStatic,
-		OpArrayLength, OpMonitorEnter, OpMonitorExit, OpPrint, OpThrow:
+		OpArrayLength, OpMonitorEnter, OpMonitorExit, OpPrint, OpThrow, OpOnException:
 		want = 1
 	case OpArith, OpCmp, OpRefEq, OpStoreField, OpLoadIndexed:
 		want = 2

@@ -176,6 +176,25 @@ type ThrowStmt struct {
 	Line int
 }
 
+// TryStmt is try { } catch (C e) { } ... finally { }. At least one catch
+// clause or a finally block is present.
+type TryStmt struct {
+	Body    []Stmt
+	Catches []*CatchClause
+	Finally []Stmt // nil when absent
+	Line    int
+}
+
+// CatchClause handles exceptions of one class (and its subclasses),
+// binding the caught object to a fresh local.
+type CatchClause struct {
+	Class   string
+	Name    string
+	Body    []Stmt
+	Line    int
+	Binding any // *localVar resolved by the checker
+}
+
 // BlockStmt is a nested { } scope.
 type BlockStmt struct {
 	Body []Stmt
@@ -194,6 +213,7 @@ func (*ExprStmt) stmtNode()     {}
 func (*PrintStmt) stmtNode()    {}
 func (*SyncStmt) stmtNode()     {}
 func (*ThrowStmt) stmtNode()    {}
+func (*TryStmt) stmtNode()      {}
 func (*BlockStmt) stmtNode()    {}
 
 // Expr is an expression node. The checker fills in T.

@@ -266,6 +266,18 @@ func returnsAll(body []Stmt) bool {
 			if lit, ok := s.Cond.(*BoolLit); ok && lit.Val && !hasBreak(s.Body) {
 				return true
 			}
+		case *TryStmt:
+			// A finally that itself returns dominates every completion.
+			if s.Finally != nil && returnsAll(s.Finally) {
+				return true
+			}
+			all := returnsAll(s.Body)
+			for _, cc := range s.Catches {
+				all = all && returnsAll(cc.Body)
+			}
+			if all {
+				return true
+			}
 		}
 	}
 	return false
@@ -289,6 +301,15 @@ func hasBreak(body []Stmt) bool {
 		case *SyncStmt:
 			if hasBreak(s.Body) {
 				return true
+			}
+		case *TryStmt:
+			if hasBreak(s.Body) || hasBreak(s.Finally) {
+				return true
+			}
+			for _, cc := range s.Catches {
+				if hasBreak(cc.Body) {
+					return true
+				}
 			}
 		}
 	}
@@ -452,6 +473,36 @@ func (c *checker) stmt(s Stmt) error {
 		}
 		if t.Kind != TypeClass {
 			return errf(s.Line, 1, "throw expects an object, got %s", t)
+		}
+		return nil
+	case *TryStmt:
+		c.pushScope()
+		err := c.stmts(s.Body)
+		c.popScope()
+		if err != nil {
+			return err
+		}
+		for _, cc := range s.Catches {
+			if c.classes[cc.Class] == nil {
+				return errf(cc.Line, 1, "catch of unknown class %s", cc.Class)
+			}
+			c.pushScope()
+			if err := c.declare(cc.Name, &Type{Kind: TypeClass, Class: cc.Class}, cc.Line); err != nil {
+				c.popScope()
+				return err
+			}
+			cc.Binding = c.lookupLocal(cc.Name)
+			err := c.stmts(cc.Body)
+			c.popScope()
+			if err != nil {
+				return err
+			}
+		}
+		if s.Finally != nil {
+			c.pushScope()
+			err := c.stmts(s.Finally)
+			c.popScope()
+			return err
 		}
 		return nil
 	case *BlockStmt:

@@ -124,11 +124,41 @@ func (g *gen) bodies() error {
 	return nil
 }
 
-// loopCtx tracks the labels and synchronized nesting of one loop.
+// loopCtx tracks the labels and the synchronized/try nesting of one loop.
 type loopCtx struct {
 	contLabel  string
 	breakLabel string
 	syncDepth  int
+	tryDepth   int
+}
+
+// tryCtx tracks one enclosing try statement during emission: its finally
+// body (nil when absent), the synchronized nesting at entry, and the
+// exception-coverage segments collected so far. Segments are split
+// ("holes") around inline finally copies emitted for abrupt exits, so
+// handler coverage matches Java scoping: a finally copy is never covered
+// by its own try or by anything nested inside it, while outer tries —
+// which the finally is lexically inside — keep covering it.
+type tryCtx struct {
+	fin       []Stmt
+	syncDepth int
+	segs      []excSeg
+	openStart string // label opening the current segment; "" when closed
+	inBody    bool   // emitting the try body: typed catches cover it
+}
+
+type excSeg struct {
+	start, end string
+	body       bool // opened during the try body (typed-catch coverage)
+}
+
+// close ends the currently open coverage segment at label `at`.
+func (t *tryCtx) close(at string) {
+	if t.openStart == "" {
+		return
+	}
+	t.segs = append(t.segs, excSeg{start: t.openStart, end: at, body: t.inBody})
+	t.openStart = ""
 }
 
 // fngen generates one method body.
@@ -142,6 +172,7 @@ type fngen struct {
 	// currently entered synchronized blocks.
 	syncSlots []int
 	loops     []loopCtx
+	tries     []*tryCtx
 }
 
 func (f *fngen) label() string {
@@ -219,7 +250,8 @@ func (f *fngen) stmt(s Stmt) error {
 		if err := f.condJump(s.Cond, end, false); err != nil {
 			return err
 		}
-		f.loops = append(f.loops, loopCtx{contLabel: head, breakLabel: end, syncDepth: len(f.syncSlots)})
+		f.loops = append(f.loops, loopCtx{contLabel: head, breakLabel: end,
+			syncDepth: len(f.syncSlots), tryDepth: len(f.tries)})
 		err := f.stmts(s.Body)
 		f.loops = f.loops[:len(f.loops)-1]
 		if err != nil {
@@ -242,7 +274,8 @@ func (f *fngen) stmt(s Stmt) error {
 				return err
 			}
 		}
-		f.loops = append(f.loops, loopCtx{contLabel: cont, breakLabel: end, syncDepth: len(f.syncSlots)})
+		f.loops = append(f.loops, loopCtx{contLabel: cont, breakLabel: end,
+			syncDepth: len(f.syncSlots), tryDepth: len(f.tries)})
 		err := f.stmts(s.Body)
 		f.loops = f.loops[:len(f.loops)-1]
 		if err != nil {
@@ -259,27 +292,29 @@ func (f *fngen) stmt(s Stmt) error {
 		return nil
 	case *BreakStmt:
 		l := f.loops[len(f.loops)-1]
-		f.unwindSyncs(l.syncDepth)
-		f.ma.Goto(l.breakLabel)
-		return nil
+		return f.abruptExit(l.tryDepth, l.syncDepth, func() { f.ma.Goto(l.breakLabel) })
 	case *ContinueStmt:
 		l := f.loops[len(f.loops)-1]
-		f.unwindSyncs(l.syncDepth)
-		f.ma.Goto(l.contLabel)
-		return nil
+		return f.abruptExit(l.tryDepth, l.syncDepth, func() { f.ma.Goto(l.contLabel) })
 	case *ReturnStmt:
 		f.ma.SetLine(s.Line)
 		if s.Value != nil {
 			if err := f.expr(s.Value); err != nil {
 				return err
 			}
-			f.unwindSyncs(0)
-			f.ma.ReturnValue()
-		} else {
-			f.unwindSyncs(0)
-			f.ma.Return()
+			// Inline finally copies between here and the return run with
+			// an empty stack; spill the return value to a slot and reload
+			// it at the jump itself.
+			for _, t := range f.tries {
+				if t.fin != nil {
+					tmp := f.ma.NewLocal(kindOf(s.Value.typ()))
+					f.ma.Store(tmp)
+					return f.abruptExit(0, 0, func() { f.ma.Load(tmp).ReturnValue() })
+				}
+			}
+			return f.abruptExit(0, 0, func() { f.ma.ReturnValue() })
 		}
-		return nil
+		return f.abruptExit(0, 0, func() { f.ma.Return() })
 	case *ExprStmt:
 		f.ma.SetLine(s.Line)
 		call := s.X.(*CallExpr)
@@ -321,6 +356,8 @@ func (f *fngen) stmt(s Stmt) error {
 		}
 		f.ma.Throw()
 		return nil
+	case *TryStmt:
+		return f.tryStmt(s)
 	case *BlockStmt:
 		return f.stmts(s.Body)
 	default:
@@ -328,12 +365,165 @@ func (f *fngen) stmt(s Stmt) error {
 	}
 }
 
-// unwindSyncs releases monitors entered above the given depth (for return,
-// break, and continue leaving synchronized regions).
-func (f *fngen) unwindSyncs(depth int) {
-	for i := len(f.syncSlots) - 1; i >= depth; i-- {
+// releaseSyncs releases monitors entered between nesting depths to and
+// from (from >= to), innermost first.
+func (f *fngen) releaseSyncs(from, to int) {
+	for i := from - 1; i >= to; i-- {
 		f.ma.Load(f.syncSlots[i]).MonitorExit()
 	}
+}
+
+// abruptExit emits the monitor releases and finally copies owed by a
+// return, break, or continue crossing tries down to tryDepth and
+// synchronized blocks down to syncDepth, then the jump itself via
+// emitJump. Coverage segments of crossed tries are split around each
+// inline finally copy (see tryCtx): the copy of try i's finally leaves
+// the coverage of i and everything nested inside it, but stays inside
+// outer tries' coverage.
+func (f *fngen) abruptExit(tryDepth, syncDepth int, emitJump func()) error {
+	anyFin := false
+	for _, t := range f.tries[tryDepth:] {
+		if t.fin != nil {
+			anyFin = true
+		}
+	}
+	if !anyFin {
+		f.releaseSyncs(len(f.syncSlots), syncDepth)
+		emitJump()
+		return nil
+	}
+	saved := f.tries
+	closedFrom := len(saved) // tries at index >= closedFrom are closed
+	syncs := len(f.syncSlots)
+	for i := len(saved) - 1; i >= tryDepth; i-- {
+		t := saved[i]
+		if t.fin == nil {
+			continue
+		}
+		f.releaseSyncs(syncs, t.syncDepth)
+		syncs = t.syncDepth
+		if i < closedFrom {
+			at := f.label()
+			f.ma.Label(at)
+			for j := closedFrom - 1; j >= i; j-- {
+				saved[j].close(at)
+			}
+			closedFrom = i
+		}
+		// A return inside this finally copy re-runs only outer finallys.
+		f.tries = saved[:i]
+		err := f.stmts(t.fin)
+		f.tries = saved
+		if err != nil {
+			return err
+		}
+	}
+	f.releaseSyncs(syncs, syncDepth)
+	emitJump()
+	if closedFrom < len(saved) {
+		at := f.label()
+		f.ma.Label(at)
+		for j := closedFrom; j < len(saved); j++ {
+			saved[j].openStart = at
+		}
+	}
+	return nil
+}
+
+// tryStmt lowers try/catch/finally onto the exception table. Layout:
+//
+//	Ls:  body                     ─ typed catches + catch-all cover this
+//	Le:  goto norm
+//	Hi:  store eᵢ; catch body;    ─ only the catch-all covers these
+//	     goto norm                  (an exception in a catch runs finally)
+//	Lce:
+//	Hf:  store tmp; finally;      ─ uncovered: exceptions here propagate
+//	     load tmp; throw            and finally never re-runs
+//	norm: finally                 ─ normal-completion copy, uncovered
+//
+// Table order is typed entries first (declaration order, first match
+// wins), then the finally's catch-all. Rethrow after finally restores the
+// caught object; an intrinsic trap was bound as null, so its rethrow
+// surfaces as a fresh "null throw" — a documented approximation.
+func (f *fngen) tryStmt(s *TryStmt) error {
+	f.ma.SetLine(s.Line)
+	start := f.label()
+	f.ma.Label(start)
+	ctx := &tryCtx{fin: s.Finally, syncDepth: len(f.syncSlots), openStart: start, inBody: true}
+	f.tries = append(f.tries, ctx)
+	pop := func() { f.tries = f.tries[:len(f.tries)-1] }
+	if err := f.stmts(s.Body); err != nil {
+		pop()
+		return err
+	}
+	bodyEnd := f.label()
+	f.ma.Label(bodyEnd)
+	ctx.close(bodyEnd)
+	ctx.inBody = false
+	norm := f.label()
+	f.ma.Goto(norm)
+	type handlerEntry struct {
+		label string
+		class *bc.Class
+	}
+	var handlers []handlerEntry
+	for i, cc := range s.Catches {
+		h := f.label()
+		f.ma.Label(h)
+		if i == 0 && s.Finally != nil {
+			ctx.openStart = h
+		}
+		handlers = append(handlers, handlerEntry{
+			label: h,
+			class: f.g.classes[f.g.ck.classes[cc.Class]].Ref(),
+		})
+		v := cc.Binding.(*localVar)
+		v.slot = f.ma.NewLocal(bc.KindRef)
+		f.ma.Store(v.slot)
+		if err := f.stmts(cc.Body); err != nil {
+			pop()
+			return err
+		}
+		f.ma.Goto(norm)
+	}
+	if s.Finally != nil && len(s.Catches) > 0 {
+		catchEnd := f.label()
+		f.ma.Label(catchEnd)
+		ctx.close(catchEnd)
+	}
+	pop()
+	var allHandler string
+	if s.Finally != nil {
+		allHandler = f.label()
+		f.ma.Label(allHandler)
+		tmp := f.ma.NewLocal(bc.KindRef)
+		f.ma.Store(tmp)
+		if err := f.stmts(s.Finally); err != nil {
+			return err
+		}
+		if !returnsAll(s.Finally) {
+			f.ma.Load(tmp).Throw()
+		}
+	}
+	f.ma.Label(norm)
+	if s.Finally != nil {
+		if err := f.stmts(s.Finally); err != nil {
+			return err
+		}
+	}
+	for _, h := range handlers {
+		for _, seg := range ctx.segs {
+			if seg.body {
+				f.ma.Exception(seg.start, seg.end, h.label, h.class)
+			}
+		}
+	}
+	if s.Finally != nil {
+		for _, seg := range ctx.segs {
+			f.ma.Exception(seg.start, seg.end, allHandler, nil)
+		}
+	}
+	return nil
 }
 
 func (f *fngen) assign(s *AssignStmt) error {

@@ -288,6 +288,8 @@ func (p *parser) stmt() (Stmt, error) {
 			return nil, err
 		}
 		return &ThrowStmt{X: e, Line: t.line}, nil
+	case p.at(tokKeyword, "try"):
+		return p.tryStmt()
 	case p.startsVarDecl():
 		s, err := p.varDecl()
 		if err != nil {
@@ -374,6 +376,54 @@ func (p *parser) simpleStmt() (Stmt, error) {
 		}
 	}
 	return &ExprStmt{X: lhs, Line: t.line}, nil
+}
+
+func (p *parser) tryStmt() (Stmt, error) {
+	t, _ := p.expect(tokKeyword, "try")
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	ts := &TryStmt{Body: body, Line: t.line}
+	for p.at(tokKeyword, "catch") {
+		ct := p.cur()
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cls, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		cbody, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		ts.Catches = append(ts.Catches, &CatchClause{
+			Class: cls.text, Name: name.text, Body: cbody, Line: ct.line,
+		})
+	}
+	if p.accept(tokKeyword, "finally") {
+		fin, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if fin == nil {
+			fin = []Stmt{}
+		}
+		ts.Finally = fin
+	}
+	if len(ts.Catches) == 0 && ts.Finally == nil {
+		return nil, errf(t.line, t.col, "try needs at least one catch clause or a finally block")
+	}
+	return ts, nil
 }
 
 func (p *parser) ifStmt() (Stmt, error) {

@@ -44,6 +44,7 @@ var keywords = map[string]bool{
 	"true": true, "false": true, "this": true, "synchronized": true,
 	"instanceof": true, "throw": true, "print": true, "rand": true,
 	"for": true, "break": true, "continue": true,
+	"try": true, "catch": true, "finally": true,
 }
 
 // Error is a positioned front-end error.

@@ -41,6 +41,12 @@ func runCanonOnce(g *ir.Graph) bool {
 			}
 		}
 		for _, n := range append([]*ir.Node(nil), b.Nodes...) {
+			// A node guarded by an OnException terminator must stay the
+			// block's last node; folding it away would orphan the guard.
+			// PEA removes provably-safe guards itself.
+			if b.Term != nil && b.Term.Op == ir.OpOnException && b.Term.Inputs[0] == n {
+				continue
+			}
 			if v := canonValue(g, b, n); v != nil && v != n {
 				g.ReplaceAllUsages(n, v)
 				// Division, remainder, and ArrayLength are not Pure()

@@ -106,6 +106,12 @@ func (in *Inliner) pickSite(g *ir.Graph) *ir.Node {
 			if n.Op != ir.OpInvoke {
 				continue
 			}
+			// A guarded invoke's trap routes to the caller's dispatch
+			// chain; splicing the callee body in would let its throws
+			// bypass that chain. Such sites stay calls.
+			if b.Term != nil && b.Term.Op == ir.OpOnException && b.Term.Inputs[0] == n {
+				continue
+			}
 			callee := in.resolveTarget(n)
 			if callee == nil {
 				continue
@@ -188,6 +194,19 @@ func (in *Inliner) resolveTarget(n *ir.Node) *bc.Method {
 	}
 	if len(callee.Code) > in.maxCalleeCode() {
 		return nil
+	}
+	// Callees that raise or catch keep their own frame: an inlined throw
+	// would need the caller's dispatch chains re-derived around the
+	// spliced body, and an inlined handler would need its table scoped to
+	// cloned blocks. Neither transformation exists yet, so such callees
+	// stay calls (the invoke itself can still be guarded by the caller).
+	if len(callee.ExceptionTable) > 0 {
+		return nil
+	}
+	for i := range callee.Code {
+		if callee.Code[i].Op == bc.OpThrow {
+			return nil
+		}
 	}
 	// No recursive inlining: the callee must not already be on the
 	// frame-state chain.
@@ -301,6 +320,7 @@ func (in *Inliner) inlineSite(g *ir.Graph, invoke *ir.Node) error {
 	// Clone the callee graph into g.
 	cl := &cloner{
 		g:      g,
+		callee: callee,
 		args:   invoke.Inputs,
 		outer:  during,
 		nodes:  make(map[*ir.Node]*ir.Node),
@@ -393,6 +413,7 @@ func (in *Inliner) inlineSite(g *ir.Graph, invoke *ir.Node) error {
 // cloner copies callee nodes/blocks/frame-states into the caller graph.
 type cloner struct {
 	g      *ir.Graph
+	callee *bc.Method
 	args   []*ir.Node
 	outer  *ir.FrameState
 	nodes  map[*ir.Node]*ir.Node
@@ -426,6 +447,9 @@ func (cl *cloner) node(x *ir.Node) *ir.Node {
 	n.ElemKind = x.ElemKind
 	n.DeoptReason = x.DeoptReason
 	n.BCI = x.BCI
+	// Cloned nodes keep reporting trap identity against the method they
+	// came from, not the graph they now live in.
+	n.Origin = x.OriginMethod(cl.callee)
 	n.Inputs = make([]*ir.Node, len(x.Inputs))
 	for i, in := range x.Inputs {
 		n.Inputs[i] = cl.node(in)

@@ -276,6 +276,31 @@ func Run(g *ir.Graph, conf Config) (Result, error) {
 			}
 		}
 	}
+	// Guards whose trapping node was virtualized or scalar-replaced away
+	// can no longer trap (a virtual object is never null, a virtualized
+	// constant-length array never has a negative size): retire the
+	// OnException terminator and let the dead dispatch chain fall off the
+	// graph. RemoveDeadBlocks prunes the handler's matching predecessor
+	// slots and phi inputs.
+	retired := false
+	for _, b := range g.Blocks {
+		t := b.Term
+		if t == nil || t.Op != ir.OpOnException {
+			continue
+		}
+		if len(b.Nodes) > 0 && b.Nodes[len(b.Nodes)-1] == t.Inputs[0] {
+			continue
+		}
+		gt := g.NewNode(ir.OpGoto, bc.KindVoid)
+		gt.BCI = t.BCI
+		gt.Block = b
+		b.Term = gt
+		b.Succs = b.Succs[:1]
+		retired = true
+	}
+	if retired {
+		g.RemoveDeadBlocks()
+	}
 	a.res.Changed = a.res.VirtualizedAllocs > 0 || a.res.ElidedMonitors > 0 ||
 		a.res.ScalarizedLoads > 0 || a.res.FoldedChecks > 0
 	return a.res, nil

@@ -50,6 +50,15 @@ func (a *analyzer) transferNode(b *ir.Block, n *ir.Node, st *peaState) {
 		// merges) are transparent to the transfer.
 		return
 
+	case ir.OpOnException, ir.OpExceptionObject, ir.OpUnwind:
+		// OnException's input names the node it guards, not a value use —
+		// the default transfer would wrongly materialize the guarded
+		// node's object. The exception object and Unwind reference no
+		// virtual state either: virtual objects stay virtual across the
+		// exceptional edge, which is the whole point — the handler path
+		// materializes only what it actually observes escaping.
+		return
+
 	case ir.OpNew, ir.OpNewArray:
 		if !a.virtualizableAlloc(n) {
 			a.defaultTransfer(b, n, st)

@@ -257,13 +257,26 @@ func (e *Env) MonitorExit(obj *Object) error {
 // Print appends v to the program output.
 func (e *Env) Print(v int64) { e.Output = append(e.Output, v) }
 
-// Trap is a runtime error raised by executing code (null dereference,
-// division by zero, array bounds, explicit throw). The VM has no exception
-// handlers, so a trap aborts execution.
+// Trap is a runtime exception raised by executing code: an intrinsic trap
+// (null dereference, division by zero, array bounds, negative array size,
+// null throw) or a guest `throw`. A trap unwinds until an exception-table
+// entry matches it; without one it aborts execution as an error.
+//
+// Reason, Method and PC are the trap's canonical identity — the reason
+// string, the bytecode method the trapping instruction belongs to (the
+// innermost method when the trap happens in inlined code), and its pc
+// there. Every engine (interpreter, oracle, closure JIT) reports the same
+// triple for the same guest fault, so differential harnesses compare traps
+// exactly instead of just their reasons.
 type Trap struct {
 	Reason string
 	Method *bc.Method
 	PC     int
+	// Value is the thrown object for guest `throw` (never nil there:
+	// throwing null raises an intrinsic "null throw" trap instead).
+	// Intrinsic traps carry a nil Value; typed handlers never match them
+	// and catch-all handlers bind null.
+	Value *Object
 }
 
 // Error implements the error interface.
@@ -274,7 +287,43 @@ func (t *Trap) Error() string {
 	return "trap: " + t.Reason
 }
 
-// NewTrap builds a trap error.
+// NewTrap builds an intrinsic trap error.
 func NewTrap(reason string, m *bc.Method, pc int) *Trap {
 	return &Trap{Reason: reason, Method: m, PC: pc}
+}
+
+// NewThrow builds the trap for a guest `throw` of obj (non-nil). The
+// reason is derived from the class name only — never the allocation serial
+// — so an uncaught exception reads identically whether the object was heap
+// allocated or rematerialized from a scalar-replaced frame state.
+func NewThrow(obj *Object, m *bc.Method, pc int) *Trap {
+	return &Trap{Reason: "uncaught exception " + obj.Class.Name, Method: m, PC: pc, Value: obj}
+}
+
+// MatchHandler returns the first exception-table entry of m that covers pc
+// and matches t — typed entries match guest exceptions of a matching
+// class, catch-all entries (nil Class) match everything including
+// intrinsic traps — or nil when the trap keeps unwinding. Every engine
+// dispatches through this one function so handler selection can never
+// diverge between them.
+func MatchHandler(m *bc.Method, pc int, t *Trap) *bc.ExceptionHandler {
+	for i := range m.ExceptionTable {
+		h := &m.ExceptionTable[i]
+		if !h.Covers(pc) {
+			continue
+		}
+		if h.Class == nil || (t.Value != nil && t.Value.Class.IsSubclassOf(h.Class)) {
+			return h
+		}
+	}
+	return nil
+}
+
+// HandlerValue returns the value a handler binds for t: the thrown object,
+// or null for intrinsic traps reaching a catch-all entry.
+func HandlerValue(t *Trap) Value {
+	if t.Value != nil {
+		return RefValue(t.Value)
+	}
+	return Null
 }

@@ -154,3 +154,77 @@ func TestTrapError(t *testing.T) {
 		t.Fatalf("trap format: %q", got)
 	}
 }
+
+// TestMatchHandler pins the one shared handler-selection function: first
+// covering entry wins, typed entries match subclasses but never intrinsic
+// traps, catch-all entries match everything and bind null for intrinsics.
+func TestMatchHandler(t *testing.T) {
+	a := bc.NewAssembler()
+	base := a.Class("Base", "")
+	sub := a.Class("Sub", "Base")
+	other := a.Class("Other", "")
+	c := a.Class("C", "")
+	ma := c.Method("m", nil, bc.KindInt, true)
+	r := ma.NewLocal(bc.KindRef)
+	ma.Label("s0")
+	ma.Const(1).Pop()
+	ma.Label("s1")
+	ma.Const(2).Pop().Const(0).ReturnValue()
+	ma.Label("h1").Store(r).Const(1).ReturnValue()
+	ma.Label("h2").Store(r).Const(2).ReturnValue()
+	ma.Label("h3").Store(r).Const(3).ReturnValue()
+	ma.Exception("s0", "s1", "h1", sub.Ref())  // covers pc 0..1, typed Sub
+	ma.Exception("s0", "s2", "h2", base.Ref()) // covers pc 0..3, typed Base
+	ma.Label("s2")
+	p, err := a.Finish("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.ClassByName("C").MethodByName("m")
+	bcls := p.ClassByName("Base")
+	scls := p.ClassByName("Sub")
+	ocls := p.ClassByName("Other")
+	_ = base
+	_ = other
+
+	throw := func(cls *bc.Class) *Trap {
+		return NewThrow(&Object{Class: cls}, m, 0)
+	}
+	// Subclass object at a pc both entries cover: first entry wins.
+	if h := MatchHandler(m, 0, throw(scls)); h == nil || h.Handler != m.ExceptionTable[0].Handler {
+		t.Fatalf("Sub at pc 0: got %+v", h)
+	}
+	// Base object does not match the Sub entry; falls to the Base entry.
+	if h := MatchHandler(m, 0, throw(bcls)); h == nil || h.Handler != m.ExceptionTable[1].Handler {
+		t.Fatalf("Base at pc 0: got %+v", h)
+	}
+	// Past the first entry's range only the second covers.
+	if h := MatchHandler(m, 2, throw(scls)); h == nil || h.Handler != m.ExceptionTable[1].Handler {
+		t.Fatalf("Sub at pc 2: got %+v", h)
+	}
+	// Unrelated class: no typed entry matches.
+	if h := MatchHandler(m, 0, throw(ocls)); h != nil {
+		t.Fatalf("Other matched %+v", h)
+	}
+	// Intrinsic trap (nil Value): typed entries never match.
+	if h := MatchHandler(m, 0, NewTrap("division by zero", m, 0)); h != nil {
+		t.Fatalf("intrinsic matched typed entry %+v", h)
+	}
+	// Catch-all matches intrinsics and binds null.
+	m.ExceptionTable = append(m.ExceptionTable, bc.ExceptionHandler{Start: 0, End: 4, Handler: m.ExceptionTable[1].Handler})
+	tr := NewTrap("division by zero", m, 0)
+	h := MatchHandler(m, 0, tr)
+	if h == nil || h.Class != nil {
+		t.Fatalf("catch-all did not match intrinsic: %+v", h)
+	}
+	if v := HandlerValue(tr); !v.IsNull() {
+		t.Fatalf("intrinsic handler value = %+v, want null", v)
+	}
+	if v := HandlerValue(throw(scls)); v.IsNull() || v.Ref.Class != scls {
+		t.Fatalf("guest handler value = %+v", v)
+	}
+	// Out-of-range pc: nothing covers.
+	if h := MatchHandler(m, 99, throw(scls)); h != nil {
+		t.Fatalf("uncovered pc matched %+v", h)
+	}
+}

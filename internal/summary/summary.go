@@ -540,6 +540,14 @@ func (s *Set) paramContribs(p *ir.Node, uses map[*ir.Node][]*ir.Node) []contrib 
 				// shape ever changes.
 				out = append(out, contrib{GlobalEscape, u.Block})
 
+			case ir.OpOnException, ir.OpExceptionObject, ir.OpUnwind:
+				// Exception plumbing: OnException's sole input is the
+				// guarded trapping node (a control dependence, not a
+				// value flow) and the other two take no inputs, so a
+				// ref parameter can never reach here. Conservative if
+				// the IR shape ever changes.
+				out = append(out, contrib{GlobalEscape, u.Block})
+
 			case ir.OpVirtualObject, ir.OpMaterialize, ir.OpDeopt, ir.OpInvalid:
 				// PEA-introduced nodes never occur in freshly built
 				// graphs; treat any appearance as unknown code.

@@ -254,6 +254,24 @@ func (g *generator) stmt(depth int) {
 		g.m.Const(3).Arith(bc.OpAnd).If(bc.CondNE, skip)
 		g.m.Load(obj).PutStatic(g.sink)
 		g.m.Label(skip)
+	case 13: // try/catch: a data-dependent throw caught in-method. The
+		// handler folds the caught object's field into the static
+		// accumulator, so a dispatch bug changes the final result.
+		ts, te, h, next, skip := g.label(), g.label(), g.label(), g.label(), g.label()
+		g.m.Label(ts)
+		g.stmts(depth - 1)
+		g.intExpr(1)
+		g.m.Const(7).Arith(bc.OpAnd).If(bc.CondNE, skip)
+		g.newBox()
+		g.m.Throw()
+		g.m.Label(skip)
+		g.m.Label(te)
+		g.m.Goto(next)
+		exc := g.m.NewLocal(bc.KindRef)
+		g.m.Label(h).Store(exc)
+		g.m.GetStatic(g.gint).Load(exc).GetField(g.v).Add().PutStatic(g.gint)
+		g.m.Label(next)
+		g.m.Exception(ts, te, h, g.box.Ref())
 	case 14: // call the big non-observing callee (summary-shaped site)
 		g.m.Load(g.refLocal())
 		g.intExpr(1)

@@ -79,6 +79,11 @@ func Corpus() []Program {
 		callChainForwarding(),
 		callRecursiveRef(),
 		callGuardedPred(),
+		throwInLoop(),
+		catchRethrow(),
+		catchAllIntrinsic(),
+		catchPartialEscape(),
+		uncaughtTrap(),
 	}
 }
 
@@ -838,4 +843,155 @@ func boxedCounter() Program {
 	p := mustFinish(a, "boxedCounter")
 	return Program{"boxedCounter", p, entry(p, "P", "run"),
 		[][]int64{{0}, {1}, {30}}}
+}
+
+// throwInLoop: a rare data-dependent throw inside a loop, caught by a
+// typed handler in the same iteration. The per-iteration Box stays virtual
+// on the non-throwing path; the thrown Box materializes only when raised.
+func throwInLoop() Program {
+	a := bc.NewAssembler()
+	box, v, _, _ := boxClass(a)
+	c := a.Class("P", "")
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	i := m.NewLocal(bc.KindInt)
+	s := m.NewLocal(bc.KindInt)
+	o := m.NewLocal(bc.KindRef)
+	e := m.NewLocal(bc.KindRef)
+	m.Const(0).Store(i).Const(0).Store(s)
+	m.Label("head").Load(i).Load(0).IfCmp(bc.CondGE, "done")
+	m.Label("ts")
+	m.New(box.Ref()).Store(o)
+	m.Load(o).Load(i).PutField(v)
+	m.Load(i).Const(5).Rem().Const(3).IfCmp(bc.CondNE, "ok")
+	m.New(box.Ref()).Store(e)
+	m.Load(e).Load(i).Const(100).Add().PutField(v)
+	m.Load(e).Throw()
+	m.Label("ok").Load(s).Load(o).GetField(v).Add().Store(s)
+	m.Label("te").Goto("next")
+	m.Label("h").Store(e)
+	m.Load(s).Load(e).GetField(v).Add().Store(s)
+	m.Label("next").Load(i).Const(1).Add().Store(i)
+	m.Goto("head")
+	m.Label("done").Load(s).ReturnValue()
+	m.Exception("ts", "te", "h", box.Ref())
+	p := mustFinish(a, "throwInLoop")
+	return Program{"throwInLoop", p, entry(p, "P", "run"),
+		[][]int64{{0}, {3}, {4}, {10}, {23}}}
+}
+
+// catchRethrow: an inner handler mutates the caught object and rethrows it
+// into an outer handler — the exception object's identity and field state
+// must survive the second dispatch.
+func catchRethrow() Program {
+	a := bc.NewAssembler()
+	box, v, _, _ := boxClass(a)
+	c := a.Class("P", "")
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	e := m.NewLocal(bc.KindRef)
+	m.Label("os")
+	m.Label("is")
+	m.New(box.Ref()).Store(e)
+	m.Load(e).Load(0).PutField(v)
+	m.Load(e).Throw()
+	m.Label("ie")
+	m.Label("ih").Store(e)
+	m.Load(e).Load(e).GetField(v).Const(1).Add().PutField(v)
+	m.Load(e).Throw()
+	m.Label("oe")
+	m.Label("oh").Store(e)
+	m.Load(e).GetField(v).Const(2).Mul().ReturnValue()
+	m.Exception("is", "ie", "ih", box.Ref())
+	m.Exception("os", "oe", "oh", box.Ref())
+	p := mustFinish(a, "catchRethrow")
+	return Program{"catchRethrow", p, entry(p, "P", "run"),
+		[][]int64{{0}, {7}, {-3}}}
+}
+
+// catchAllIntrinsic: a catch-all entry (nil class) observes both a guest
+// throw and an intrinsic division trap; the intrinsic case binds null. The
+// handler itself allocates — the finally-with-allocation shape.
+func catchAllIntrinsic() Program {
+	a := bc.NewAssembler()
+	box, v, _, _ := boxClass(a)
+	c := a.Class("P", "")
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	o := m.NewLocal(bc.KindRef)
+	e := m.NewLocal(bc.KindRef)
+	f := m.NewLocal(bc.KindRef)
+	s := m.NewLocal(bc.KindInt)
+	m.Label("ts")
+	m.New(box.Ref()).Store(o)
+	m.Load(o).Load(0).PutField(v)
+	m.Load(0).Const(0).IfCmp(bc.CondGE, "pos")
+	m.New(box.Ref()).Store(e)
+	m.Load(e).Const(7).PutField(v)
+	m.Load(e).Throw()
+	m.Label("pos").Const(100).Load(0).Div() // intrinsic trap when x == 0
+	m.Load(o).GetField(v).Add().Store(s)
+	m.Label("te").Goto("done")
+	m.Label("h").Store(e)
+	m.New(box.Ref()).Store(f)
+	m.Load(f).Const(99).PutField(v)
+	m.Load(e).IfNull(bc.CondEQ, "intr")
+	m.Load(f).GetField(v).Load(e).GetField(v).Add().Store(s)
+	m.Goto("done")
+	m.Label("intr").Load(f).GetField(v).Neg().Store(s)
+	m.Label("done").Load(s).ReturnValue()
+	m.Exception("ts", "te", "h", nil)
+	p := mustFinish(a, "catchAllIntrinsic")
+	return Program{"catchAllIntrinsic", p, entry(p, "P", "run"),
+		[][]int64{{5}, {0}, {-3}}}
+}
+
+// catchPartialEscape: the paper's partial-escape pattern mapped onto
+// exception edges — the per-iteration Box escapes into the sink only on
+// the rare handler path, so PEA materializes it on the exceptional edge
+// and elides it everywhere else.
+func catchPartialEscape() Program {
+	a := bc.NewAssembler()
+	box, v, _, sink := boxClass(a)
+	c := a.Class("P", "")
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	i := m.NewLocal(bc.KindInt)
+	s := m.NewLocal(bc.KindInt)
+	o := m.NewLocal(bc.KindRef)
+	e := m.NewLocal(bc.KindRef)
+	m.Const(0).Store(i).Const(0).Store(s)
+	m.Label("head").Load(i).Load(0).IfCmp(bc.CondGE, "done")
+	m.New(box.Ref()).Store(o)
+	m.Load(o).Load(i).PutField(v)
+	m.Label("ts")
+	m.Load(i).Const(7).Rem().Const(6).IfCmp(bc.CondNE, "ok")
+	m.New(box.Ref()).Store(e)
+	m.Load(e).Load(i).PutField(v)
+	m.Load(e).Throw()
+	m.Label("ok").Load(s).Load(o).GetField(v).Const(1).Add().Add().Store(s)
+	m.Label("te").Goto("next")
+	m.Label("h").Store(e)
+	m.Load(o).PutStatic(sink)
+	m.Load(s).Load(e).GetField(v).Load(o).GetField(v).Add().Add().Store(s)
+	m.Label("next").Load(i).Const(1).Add().Store(i)
+	m.Goto("head")
+	m.Label("done").Load(s).ReturnValue()
+	m.Exception("ts", "te", "h", box.Ref())
+	p := mustFinish(a, "catchPartialEscape")
+	return Program{"catchPartialEscape", p, entry(p, "P", "run"),
+		[][]int64{{0}, {5}, {7}, {20}}}
+}
+
+// uncaughtTrap: traps that escape the entry method — one ArgSet raises an
+// intrinsic division trap, another a guest throw no handler covers. The
+// differential harnesses compare the canonical trap identity
+// (reason, method, bci) exactly across engines.
+func uncaughtTrap() Program {
+	a := bc.NewAssembler()
+	box, v, _, _ := boxClass(a)
+	c := a.Class("P", "")
+	m := c.Method("run", []bc.Kind{bc.KindInt}, bc.KindInt, true)
+	m.Load(0).Const(0).IfCmp(bc.CondGE, "div")
+	m.New(box.Ref()).Dup().Const(9).PutField(v).Throw()
+	m.Label("div").Const(100).Load(0).Div().ReturnValue()
+	p := mustFinish(a, "uncaughtTrap")
+	return Program{"uncaughtTrap", p, entry(p, "P", "run"),
+		[][]int64{{4}, {0}, {-1}}}
 }

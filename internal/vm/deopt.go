@@ -174,14 +174,34 @@ func (vm *VM) deopt(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bo
 		return rt.Value{}, err
 	}
 	ret, err := vm.Interp.Resume(inner)
-	if err != nil {
-		return rt.Value{}, err
-	}
 	retKind := fs.Method.Ret
 	for s := fs.Outer; s != nil; s = s.Outer {
-		f, err := buildFrame(s)
 		if err != nil {
-			return rt.Value{}, err
+			// The resumed callee trapped instead of returning: unwind
+			// into this frame exactly as the interpreter would, giving
+			// its exception table a shot at the invoke's pc before
+			// propagating further out.
+			tr, ok := err.(*rt.Trap)
+			if !ok {
+				return rt.Value{}, err
+			}
+			h := rt.MatchHandler(s.Method, s.BCI, tr)
+			if h == nil {
+				continue
+			}
+			f, ferr := buildFrame(s)
+			if ferr != nil {
+				return rt.Value{}, ferr
+			}
+			f.Stack = append(f.Stack[:0], rt.HandlerValue(tr))
+			f.PC = h.Handler
+			ret, err = vm.Interp.Resume(f)
+			retKind = s.Method.Ret
+			continue
+		}
+		f, ferr := buildFrame(s)
+		if ferr != nil {
+			return rt.Value{}, ferr
 		}
 		// s.BCI is the invoke instruction whose callee just returned;
 		// complete it: push the result and continue after the call.
@@ -195,10 +215,10 @@ func (vm *VM) deopt(g *ir.Graph, n *ir.Node, eval func(x *ir.Node) (rt.Value, bo
 		}
 		f.PC = s.BCI + 1
 		ret, err = vm.Interp.Resume(f)
-		if err != nil {
-			return rt.Value{}, err
-		}
 		retKind = s.Method.Ret
+	}
+	if err != nil {
+		return rt.Value{}, err
 	}
 	return ret, nil
 }
